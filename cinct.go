@@ -1,0 +1,339 @@
+// Package cinct is a compressed self-index for network-constrained
+// trajectories (NCTs), reproducing "CiNCT: Compression and Retrieval
+// for Massive Vehicular Trajectories via Relative Movement Labeling"
+// (Koide, Tadokoro, Xiao, Ishikawa — ICDE 2018).
+//
+// An Index stores a corpus of trajectories — each a sequence of road
+// edge IDs — in entropy-compressed form while answering, without
+// decompressing the corpus:
+//
+//   - Count / Find: how many times (and where) does a given path occur?
+//   - Trajectory: reconstruct any stored trajectory;
+//   - SubPath: decompress an arbitrary slice of a stored trajectory.
+//
+// The compression exploits the sparsity of road networks: a vehicle on
+// edge w can move to only a handful of next edges, so re-labeling each
+// BWT symbol by the rank of its transition (relative movement labeling)
+// yields a tiny-alphabet, low-entropy sequence whose Huffman-shaped
+// wavelet tree is both smaller and faster than any general-purpose
+// FM-index over raw edge IDs.
+//
+// Basic usage:
+//
+//	ix, err := cinct.Build(trajs, nil)
+//	n := ix.Count([]uint32{e1, e2, e3})  // trajectories passing e1→e2→e3
+//	hits := ix.Find([]uint32{e1, e2, e3}, 10)
+//	full := ix.Trajectory(hits[0].Trajectory)
+package cinct
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"cinct/internal/core"
+	"cinct/internal/etgraph"
+	"cinct/internal/trajstr"
+	"cinct/internal/wavelet"
+)
+
+// Options tunes index construction. The zero value is NOT valid; use
+// DefaultOptions or pass nil to Build.
+type Options struct {
+	// Block is the RRR block size b ∈ {15, 31, 63} (§III-C2). Larger
+	// compresses better and searches slightly slower; the paper shows
+	// CiNCT is nearly insensitive to it. 0 means 63.
+	Block int
+	// Uncompressed stores plain bit vectors instead of RRR (mainly for
+	// ablation).
+	Uncompressed bool
+	// RandomLabeling uses randomly shuffled RML labels instead of the
+	// optimal bigram-sorted strategy (the Fig. 14 ablation).
+	RandomLabeling bool
+	// Seed drives RandomLabeling.
+	Seed int64
+	// SampleRate is the suffix-array sampling rate for Find/Trajectory/
+	// SubPath (locate support). 0 disables locate: the index only
+	// counts. Default 64.
+	SampleRate int
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() *Options {
+	return &Options{Block: 63, SampleRate: 64}
+}
+
+func (o *Options) coreOptions() core.Options {
+	spec := wavelet.RRRSpec(o.Block)
+	if o.Block == 0 {
+		spec = wavelet.RRRSpec(63)
+	}
+	if o.Uncompressed {
+		spec = wavelet.PlainSpec
+	}
+	strat := etgraph.BigramSorted
+	if o.RandomLabeling {
+		strat = etgraph.RandomShuffle
+	}
+	return core.Options{Spec: spec, Strategy: strat, Seed: o.Seed, SASample: o.SampleRate}
+}
+
+// Index is a compressed, searchable trajectory corpus. An Index is
+// immutable after Build/Load and safe for concurrent use by multiple
+// goroutines.
+type Index struct {
+	corpus *trajstr.Corpus
+	core   *core.Index
+	hasLoc bool
+}
+
+// Match is one occurrence of a query path.
+type Match struct {
+	// Trajectory is the ID (build-order position) of the matching
+	// trajectory.
+	Trajectory int
+	// Offset is the 0-based position within the trajectory (in travel
+	// order) where the path starts.
+	Offset int
+}
+
+// ErrNoLocate is returned by operations that need locate support on an
+// index built with SampleRate == 0.
+var ErrNoLocate = errors.New("cinct: index built without locate support (SampleRate = 0)")
+
+// Build indexes a corpus. Each trajectory is a non-empty sequence of
+// road edge IDs in travel order; IDs need not be dense. opts may be
+// nil for defaults.
+func Build(trajs [][]uint32, opts *Options) (*Index, error) {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	switch opts.Block {
+	case 0, 15, 31, 63:
+	default:
+		return nil, fmt.Errorf("cinct: Block must be 15, 31 or 63; got %d", opts.Block)
+	}
+	if opts.SampleRate < 0 {
+		return nil, fmt.Errorf("cinct: SampleRate must be >= 0; got %d", opts.SampleRate)
+	}
+	corpus, err := trajstr.New(trajs)
+	if err != nil {
+		return nil, err
+	}
+	co := opts.coreOptions()
+	ix := &Index{
+		corpus: corpus,
+		core:   core.Build(corpus.Text, corpus.Sigma, co),
+		hasLoc: co.SASample > 0,
+	}
+	// The corpus text is recoverable from the self-index; drop it so
+	// the resident footprint is the compressed structures only.
+	if ix.hasLoc {
+		ix.corpus.Text = nil
+	}
+	return ix, nil
+}
+
+// NumTrajectories returns the number of indexed trajectories.
+func (ix *Index) NumTrajectories() int { return ix.corpus.NumTrajectories() }
+
+// NumEdges returns the number of distinct road edges in the corpus.
+func (ix *Index) NumEdges() int { return ix.corpus.NumEdges() }
+
+// Len returns the total symbol count |T| of the underlying trajectory
+// string (edges + separators).
+func (ix *Index) Len() int { return ix.core.Len() }
+
+// Count returns the number of occurrences of the path (edge IDs in
+// travel order) across the corpus. A trajectory that traverses the
+// path twice contributes two. An empty path returns 0.
+func (ix *Index) Count(path []uint32) int {
+	if len(path) == 0 {
+		return 0
+	}
+	pat, ok := ix.corpus.ReversedPattern(path)
+	if !ok {
+		return 0
+	}
+	return int(ix.core.Count(pat))
+}
+
+// Find returns up to limit occurrences of the path (limit <= 0 means
+// all). The same trajectory appears once per occurrence. Requires
+// locate support.
+func (ix *Index) Find(path []uint32, limit int) ([]Match, error) {
+	if !ix.hasLoc {
+		return nil, ErrNoLocate
+	}
+	if len(path) == 0 {
+		return nil, nil
+	}
+	pat, ok := ix.corpus.ReversedPattern(path)
+	if !ok {
+		return nil, nil
+	}
+	sp, ep, ok := ix.core.SuffixRange(pat)
+	if !ok {
+		return nil, nil
+	}
+	var out []Match
+	for j := sp; j < ep; j++ {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		pos := ix.core.Locate(j)
+		doc, endOff, inDoc := ix.docAt(pos)
+		if !inDoc {
+			continue
+		}
+		// pos holds the path's last edge; the match starts m-1 earlier
+		// in travel order.
+		out = append(out, Match{Trajectory: doc, Offset: endOff - (len(path) - 1)})
+	}
+	return out, nil
+}
+
+// docAt maps a text position to (trajectory, travel-order offset)
+// without the corpus text (which Build dropped): it relies only on the
+// document start/length tables.
+func (ix *Index) docAt(pos int64) (doc, offset int, ok bool) {
+	return ix.corpus.DocAtByTables(int(pos))
+}
+
+// FindTrajectories returns the IDs of up to limit *distinct*
+// trajectories containing the path (limit <= 0 means all), in
+// ascending order. Unlike Find, a trajectory traversing the path
+// several times appears once. Requires locate support.
+func (ix *Index) FindTrajectories(path []uint32, limit int) ([]int, error) {
+	hits, err := ix.Find(path, 0)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]struct{}, len(hits))
+	ids := make([]int, 0, len(hits))
+	for _, h := range hits {
+		if _, dup := seen[h.Trajectory]; dup {
+			continue
+		}
+		seen[h.Trajectory] = struct{}{}
+		ids = append(ids, h.Trajectory)
+	}
+	sort.Ints(ids)
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	return ids, nil
+}
+
+// Trajectory reconstructs trajectory id (0 <= id < NumTrajectories) in
+// travel order from the compressed index alone. Requires locate
+// support.
+func (ix *Index) Trajectory(id int) ([]uint32, error) {
+	return ix.SubPath(id, 0, ix.TrajectoryLen(id))
+}
+
+// TrajectoryLen returns the length (edge count) of trajectory id.
+func (ix *Index) TrajectoryLen(id int) int { return ix.corpus.TrajectoryLen(id) }
+
+// SubPath extracts edges [from, to) of trajectory id in travel order —
+// the paper's sub-path extraction query (§IV-C) lifted to trajectory
+// coordinates. Requires locate support.
+func (ix *Index) SubPath(id, from, to int) ([]uint32, error) {
+	if !ix.hasLoc {
+		return nil, ErrNoLocate
+	}
+	ln := ix.corpus.TrajectoryLen(id) // panics on bad id, as documented
+	if from < 0 || to > ln || from > to {
+		return nil, fmt.Errorf("cinct: SubPath[%d,%d) out of range [0,%d)", from, to, ln)
+	}
+	if from == to {
+		return nil, nil
+	}
+	// Trajectory id occupies text [start, start+ln) storing the
+	// *reversed* edges; travel offsets [from, to) map to text
+	// [start+ln-to, start+ln-from).
+	start := int64(ix.corpus.DocStart(id))
+	a := start + int64(ln-to)
+	b := start + int64(ln-from)
+	syms := ix.core.ExtractRange(a, b)
+	out := make([]uint32, len(syms))
+	for i, s := range syms {
+		out[len(syms)-1-i] = ix.corpus.EdgeFor(s)
+	}
+	return out, nil
+}
+
+// Stats summarizes the index.
+type Stats struct {
+	// Trajectories and Edges describe the corpus.
+	Trajectories int
+	Edges        int
+	// TextLen is |T|.
+	TextLen int
+	// MaxLabel is the labeled-BWT alphabet size (max ET-graph
+	// out-degree).
+	MaxLabel int
+	// ETGraphEdges is |E_T|.
+	ETGraphEdges int
+	// AvgOutDegree is d̄ of the ET-graph (Table III).
+	AvgOutDegree float64
+	// LabelEntropy is H0 of the RML-labeled BWT in bits per symbol —
+	// the paper's headline statistic (Table III's H0(φ) column).
+	LabelEntropy float64
+	// SizeBits breaks down the footprint.
+	WaveletBits, GraphBits, CArrayBits, LocateBits int
+	// BitsPerSymbol is the paper's headline size metric (with
+	// ET-graph, without locate structures).
+	BitsPerSymbol float64
+}
+
+// Stats reports size and shape statistics.
+func (ix *Index) Stats() Stats {
+	s := ix.core.Sizes()
+	g := ix.core.Graph()
+	return Stats{
+		Trajectories:  ix.corpus.NumTrajectories(),
+		Edges:         ix.corpus.NumEdges(),
+		TextLen:       ix.core.Len(),
+		MaxLabel:      ix.core.MaxLabel(),
+		ETGraphEdges:  g.NumEdges(),
+		AvgOutDegree:  g.AvgOutDegree(),
+		LabelEntropy:  ix.core.LabelEntropy(),
+		WaveletBits:   s.LabeledWT,
+		GraphBits:     s.ETGraph,
+		CArrayBits:    s.CArray,
+		LocateBits:    s.Locate,
+		BitsPerSymbol: ix.core.BitsPerSymbol(true),
+	}
+}
+
+// Save writes the index to w; Load reads it back. The format embeds
+// the corpus metadata (edge map, document table) and the compressed
+// core index.
+func (ix *Index) Save(w io.Writer) (int64, error) {
+	n1, err := ix.corpus.SaveMeta(w)
+	if err != nil {
+		return n1, err
+	}
+	n2, err := ix.core.Save(w)
+	return n1 + n2, err
+}
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	// One shared buffered reader: the two loaders each call
+	// bufio.NewReader, which returns this same object rather than
+	// wrapping again — so no bytes are lost to read-ahead.
+	br := bufio.NewReader(r)
+	corpus, err := trajstr.LoadMeta(br)
+	if err != nil {
+		return nil, err
+	}
+	ci, err := core.Load(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{corpus: corpus, core: ci, hasLoc: ci.SampleRate() > 0}, nil
+}

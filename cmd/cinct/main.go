@@ -1,0 +1,404 @@
+// Command cinct builds, inspects and queries CiNCT indexes from the
+// command line.
+//
+//	cinct build  -in corpus.txt -index corpus.cinct [-block 63] [-sample 64]
+//	cinct stats  -index corpus.cinct
+//	cinct count  -index corpus.cinct -path "17 42 99"
+//	cinct find   -index corpus.cinct -path "17 42 99" [-limit 10]
+//	cinct show   -index corpus.cinct -traj 5
+//
+// Corpus files hold one trajectory per line as space-separated road
+// edge IDs (the format cmd/trajgen emits).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cinct"
+	"cinct/internal/trajio"
+)
+
+// newDeterministicRand gives verify reproducible sampling.
+func newDeterministicRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "build":
+		err = cmdBuild(args)
+	case "stats":
+		err = cmdStats(args)
+	case "count":
+		err = cmdCount(args)
+	case "find":
+		err = cmdFind(args)
+	case "show":
+		err = cmdShow(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "build-temporal":
+		err = cmdBuildTemporal(args)
+	case "find-interval":
+		err = cmdFindInterval(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cinct %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: cinct {build|stats|count|find|show|verify|build-temporal|find-interval} [flags]")
+	os.Exit(2)
+}
+
+// cmdBuildTemporal indexes a corpus together with a timestamps file
+// (same line-per-trajectory layout; times[k][i] = entry time of edge i).
+func cmdBuildTemporal(args []string) error {
+	fs := flag.NewFlagSet("build-temporal", flag.ExitOnError)
+	in := fs.String("in", "", "input corpus file")
+	timesPath := fs.String("times", "", "timestamps file (aligned with -in)")
+	out := fs.String("index", "", "output index file")
+	block := fs.Int("block", 63, "RRR block size (15, 31 or 63)")
+	sample := fs.Int("sample", 64, "SA sample rate (must be > 0)")
+	fs.Parse(args)
+	if *in == "" || *timesPath == "" || *out == "" {
+		return fmt.Errorf("-in, -times and -index are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	trajs, err := trajio.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	tf, err := os.Open(*timesPath)
+	if err != nil {
+		return err
+	}
+	times, err := trajio.ReadTimes(tf)
+	tf.Close()
+	if err != nil {
+		return err
+	}
+	opts := cinct.DefaultOptions()
+	opts.Block = *block
+	opts.SampleRate = *sample
+	ix, err := cinct.BuildTemporal(trajs, times, opts)
+	if err != nil {
+		return err
+	}
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	n, err := ix.Save(of)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("temporal index: %d trajectories, %d bytes on disk (timestamps %.2f bits/entry)\n",
+		ix.NumTrajectories(), n, float64(ix.TimestampBits())/float64(ix.Len()))
+	return nil
+}
+
+// cmdFindInterval runs a strict path query.
+func cmdFindInterval(args []string) error {
+	fs := flag.NewFlagSet("find-interval", flag.ExitOnError)
+	index := fs.String("index", "", "temporal index file")
+	path := fs.String("path", "", "space-separated edge IDs in travel order")
+	from := fs.Int64("from", 0, "interval start (inclusive)")
+	to := fs.Int64("to", 1<<62, "interval end (inclusive)")
+	limit := fs.Int("limit", 20, "max matches (0 = all)")
+	fs.Parse(args)
+	if *index == "" {
+		return fmt.Errorf("-index is required")
+	}
+	f, err := os.Open(*index)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ix, err := cinct.LoadTemporal(f)
+	if err != nil {
+		return err
+	}
+	p, err := parsePath(*path)
+	if err != nil {
+		return err
+	}
+	hits, err := ix.FindInInterval(p, *from, *to, *limit)
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		fmt.Printf("trajectory %d @ offset %d, entered t=%d\n",
+			h.Trajectory, h.Offset, h.EnteredAt)
+	}
+	fmt.Printf("%d match(es)\n", len(hits))
+	return nil
+}
+
+// cmdVerify cross-checks the index against the original corpus: counts
+// of sampled sub-paths versus a naive scan, and full reconstruction of
+// sampled trajectories.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	in := fs.String("in", "", "original corpus file")
+	index := fs.String("index", "", "index file")
+	samples := fs.Int("samples", 200, "number of sampled checks")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	trajs, err := trajio.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	ix, err := loadIndex(*index)
+	if err != nil {
+		return err
+	}
+	if ix.NumTrajectories() != len(trajs) {
+		return fmt.Errorf("index holds %d trajectories, corpus has %d",
+			ix.NumTrajectories(), len(trajs))
+	}
+	naive := func(path []uint32) int {
+		count := 0
+		for _, tr := range trajs {
+		scan:
+			for i := 0; i+len(path) <= len(tr); i++ {
+				for j := range path {
+					if tr[i+j] != path[j] {
+						continue scan
+					}
+				}
+				count++
+			}
+		}
+		return count
+	}
+	rng := newDeterministicRand()
+	checked := 0
+	for checked < *samples {
+		tr := trajs[rng.Intn(len(trajs))]
+		if len(tr) < 2 {
+			continue
+		}
+		m := 2 + rng.Intn(4)
+		if m > len(tr) {
+			m = len(tr)
+		}
+		start := rng.Intn(len(tr) - m + 1)
+		path := tr[start : start+m]
+		if got, want := ix.Count(path), naive(path); got != want {
+			return fmt.Errorf("MISMATCH: Count(%v) = %d, naive scan = %d", path, got, want)
+		}
+		checked++
+	}
+	// Reconstruction spot checks.
+	for k := 0; k < *samples/10+1; k++ {
+		id := rng.Intn(len(trajs))
+		got, err := ix.Trajectory(id)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(trajs[id]) {
+			return fmt.Errorf("MISMATCH: trajectory %d length %d, corpus %d",
+				id, len(got), len(trajs[id]))
+		}
+		for i := range got {
+			if got[i] != trajs[id][i] {
+				return fmt.Errorf("MISMATCH: trajectory %d differs at %d", id, i)
+			}
+		}
+	}
+	fmt.Printf("verified: %d count checks and %d reconstructions OK\n",
+		checked, *samples/10+1)
+	return nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input corpus file")
+	out := fs.String("index", "", "output index file")
+	block := fs.Int("block", 63, "RRR block size (15, 31 or 63)")
+	sample := fs.Int("sample", 64, "SA sample rate (0 = count-only index)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -index are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	trajs, err := trajio.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	opts := cinct.DefaultOptions()
+	opts.Block = *block
+	opts.SampleRate = *sample
+	t0 := time.Now()
+	ix, err := cinct.Build(trajs, opts)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(t0)
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	n, err := ix.Save(of)
+	if err != nil {
+		return err
+	}
+	s := ix.Stats()
+	fmt.Printf("indexed %d trajectories (%d symbols) in %v\n",
+		s.Trajectories, s.TextLen, buildTime.Round(time.Millisecond))
+	fmt.Printf("index: %d bytes on disk, %.2f bits/symbol in memory\n", n, s.BitsPerSymbol)
+	return nil
+}
+
+func loadIndex(path string) (*cinct.Index, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-index is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cinct.Load(f)
+}
+
+func parsePath(s string) ([]uint32, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty -path")
+	}
+	out := make([]uint32, len(fields))
+	for i, fld := range fields {
+		v, err := strconv.ParseUint(fld, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad edge ID %q: %v", fld, err)
+		}
+		out[i] = uint32(v)
+	}
+	return out, nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	index := fs.String("index", "", "index file")
+	fs.Parse(args)
+	ix, err := loadIndex(*index)
+	if err != nil {
+		return err
+	}
+	s := ix.Stats()
+	fmt.Printf("trajectories:     %d\n", s.Trajectories)
+	fmt.Printf("distinct edges:   %d\n", s.Edges)
+	fmt.Printf("|T|:              %d\n", s.TextLen)
+	fmt.Printf("ET-graph edges:   %d (d̄ = %.2f, max out-degree %d)\n",
+		s.ETGraphEdges, s.AvgOutDegree, s.MaxLabel)
+	fmt.Printf("H0(φ(Tbwt)):      %.2f bits/symbol\n", s.LabelEntropy)
+	fmt.Printf("wavelet tree:     %.2f bits/symbol\n", float64(s.WaveletBits)/float64(s.TextLen))
+	fmt.Printf("ET-graph:         %.2f bits/symbol\n", float64(s.GraphBits)/float64(s.TextLen))
+	fmt.Printf("C array:          %.2f bits/symbol\n", float64(s.CArrayBits)/float64(s.TextLen))
+	fmt.Printf("locate samples:   %.2f bits/symbol\n", float64(s.LocateBits)/float64(s.TextLen))
+	fmt.Printf("total (index):    %.2f bits/symbol\n", s.BitsPerSymbol)
+	return nil
+}
+
+func cmdCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	index := fs.String("index", "", "index file")
+	path := fs.String("path", "", "space-separated edge IDs in travel order")
+	fs.Parse(args)
+	ix, err := loadIndex(*index)
+	if err != nil {
+		return err
+	}
+	p, err := parsePath(*path)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	n := ix.Count(p)
+	fmt.Printf("%d occurrences (%v)\n", n, time.Since(t0))
+	return nil
+}
+
+func cmdFind(args []string) error {
+	fs := flag.NewFlagSet("find", flag.ExitOnError)
+	index := fs.String("index", "", "index file")
+	path := fs.String("path", "", "space-separated edge IDs in travel order")
+	limit := fs.Int("limit", 20, "max matches to report (0 = all)")
+	fs.Parse(args)
+	ix, err := loadIndex(*index)
+	if err != nil {
+		return err
+	}
+	p, err := parsePath(*path)
+	if err != nil {
+		return err
+	}
+	hits, err := ix.Find(p, *limit)
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		fmt.Printf("trajectory %d @ offset %d\n", h.Trajectory, h.Offset)
+	}
+	fmt.Printf("%d match(es)\n", len(hits))
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	index := fs.String("index", "", "index file")
+	traj := fs.Int("traj", 0, "trajectory ID")
+	fs.Parse(args)
+	ix, err := loadIndex(*index)
+	if err != nil {
+		return err
+	}
+	if *traj < 0 || *traj >= ix.NumTrajectories() {
+		return fmt.Errorf("trajectory %d out of range [0,%d)", *traj, ix.NumTrajectories())
+	}
+	tr, err := ix.Trajectory(*traj)
+	if err != nil {
+		return err
+	}
+	for i, e := range tr {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(e)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,176 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation (§VI) on the dataset analogs. See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for recorded results.
+//
+//	experiments                  # run everything at quick scale
+//	experiments -exp fig10       # one experiment
+//	experiments -scale full      # paper-sized corpora (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cinct/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table3|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table4|table5|all")
+		scale = flag.String("scale", "quick", "quick or full")
+	)
+	flag.Parse()
+
+	valid := map[string]bool{
+		"all": true, "table3": true, "fig10": true, "fig11": true, "fig12": true,
+		"fig13": true, "fig14": true, "fig15": true, "fig16": true,
+		"table4": true, "table5": true,
+	}
+	if !valid[*exp] {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q\n", *exp)
+		os.Exit(2)
+	}
+	if *scale != "quick" && *scale != "full" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	s := experiments.Quick
+	queries := 200
+	if *scale == "full" {
+		s = experiments.Full
+		queries = 500 // the paper's workload size
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	t0 := time.Now()
+
+	var prepared []*experiments.Prepared
+	needDatasets := false
+	for _, e := range []string{"table3", "fig10", "fig11", "fig14", "fig15", "fig16", "table4", "table5"} {
+		if want(e) {
+			needDatasets = true
+		}
+	}
+	if needDatasets {
+		fmt.Fprintf(os.Stderr, "generating dataset analogs (%s scale)...\n", *scale)
+		var err error
+		prepared, err = experiments.PaperDatasets(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	byName := map[string]*experiments.Prepared{}
+	for _, p := range prepared {
+		byName[p.Name] = p
+	}
+
+	if want("table3") {
+		header("Table III — dataset statistics")
+		for _, p := range prepared {
+			fmt.Println(experiments.Table3(p))
+		}
+	}
+	if want("fig10") {
+		header("Fig. 10 — index size vs suffix-range query time (|P|=20, all datasets)")
+		for _, p := range prepared {
+			for _, r := range experiments.Fig10(p, queries, 20) {
+				fmt.Println(r)
+			}
+		}
+	}
+	if want("fig11") {
+		header("Fig. 11 — query length vs search time (Singapore analog)")
+		for _, r := range experiments.Fig11(byName["singapore"], queries,
+			[]int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}) {
+			fmt.Println(r)
+		}
+	}
+	if want("fig12") {
+		header("Fig. 12 — σ scaling (RandWalk, d̄=4)")
+		sigmas := []int{1 << 10, 1 << 11, 1 << 12}
+		lenPer := 100
+		if s == experiments.Full {
+			// The paper sweeps σ = 2^14…2^18 at |T| = 800σ (up to 200M
+			// symbols on their 32 GB testbed); 2^13…2^16 at 200σ keeps
+			// the same four-doubling sweep laptop-sized.
+			sigmas = []int{1 << 13, 1 << 14, 1 << 15, 1 << 16}
+			lenPer = 200
+		}
+		rows, err := experiments.Fig12(sigmas, lenPer, queries, 20)
+		fail(err)
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	if want("fig13") {
+		header("Fig. 13 — out-degree scaling (RandWalk, σ fixed)")
+		sigma, total := 1<<12, 400000
+		degrees := []int{4, 8, 16, 32, 64}
+		if s == experiments.Full {
+			// Paper: σ = 2^16, |T| = 100M; 2^14/10M preserves the d̄
+			// sweep at laptop size.
+			sigma, total = 1<<14, 10_000_000
+			degrees = []int{4, 8, 16, 32, 64, 128}
+		}
+		rows, err := experiments.Fig13(sigma, degrees, total, queries, 20)
+		fail(err)
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	if want("fig14") {
+		header("Fig. 14 — labeling strategies (bigram-sorted vs random)")
+		for _, p := range prepared {
+			for _, r := range experiments.Fig14(p, queries, 20) {
+				fmt.Println(r)
+			}
+		}
+	}
+	if want("fig15") {
+		header("Fig. 15 — sub-path extraction time (whole text)")
+		for _, name := range []string{"singapore", "roma", "mogen", "chess"} {
+			for _, r := range experiments.Fig15(byName[name]) {
+				fmt.Println(r)
+			}
+		}
+	}
+	if want("fig16") {
+		header("Fig. 16 — index construction breakdown (Singapore analog)")
+		for _, r := range experiments.Fig16(byName["singapore"]) {
+			fmt.Println(r)
+		}
+	}
+	if want("table4") {
+		header("Table IV — compression ratios (larger is better)")
+		for _, p := range prepared {
+			for _, r := range experiments.Table4(p) {
+				fmt.Println(r)
+			}
+		}
+	}
+	if want("table5") {
+		header("Table V — labeling entropy, RML vs MEL")
+		for _, name := range []string{"singapore2", "roma"} {
+			row, err := experiments.Table5(byName[name])
+			fail(err)
+			fmt.Println(row)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "\ndone in %v\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

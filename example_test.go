@@ -1,0 +1,108 @@
+package cinct_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"cinct"
+)
+
+// The paper's running example (Fig. 1a): four trajectories over road
+// segments A..F = 0..5.
+func paperTrajectories() [][]uint32 {
+	return [][]uint32{
+		{0, 1, 4, 5}, // T1 = A B E F
+		{0, 1, 2},    // T2 = A B C
+		{1, 2},       // T3 = B C
+		{0, 3},       // T4 = A D
+	}
+}
+
+func ExampleBuild() {
+	ix, err := cinct.Build(paperTrajectories(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ix.NumTrajectories(), "trajectories over", ix.NumEdges(), "edges")
+	// Output: 4 trajectories over 6 edges
+}
+
+func ExampleIndex_Count() {
+	ix, err := cinct.Build(paperTrajectories(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ix.Count([]uint32{0, 1})) // A→B: trips T1 and T2
+	fmt.Println(ix.Count([]uint32{1, 0})) // B→A: never driven
+	// Output:
+	// 2
+	// 0
+}
+
+func ExampleIndex_FindTrajectories() {
+	ix, err := cinct.Build(paperTrajectories(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := ix.FindTrajectories([]uint32{1, 2}, 0) // B→C
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ids)
+	// Output: [1 2]
+}
+
+func ExampleIndex_SubPath() {
+	ix, err := cinct.Build(paperTrajectories(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := ix.SubPath(0, 1, 3) // edges [1,3) of T1
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sub)
+	// Output: [1 4]
+}
+
+func ExampleLoad() {
+	ix, err := cinct.Build(paperTrajectories(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := cinct.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(loaded.Count([]uint32{0, 1}))
+	// Output: 2
+}
+
+func ExampleBuildTemporal() {
+	trajs := paperTrajectories()
+	times := [][]int64{
+		{100, 160, 220, 280},
+		{90, 150, 210},
+		{400, 460},
+		{100, 170},
+	}
+	ix, err := cinct.BuildTemporal(trajs, times, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Who drove B→C between t=100 and t=300? Only T2 (entered B at 150);
+	// T3 entered B at 400.
+	hits, err := ix.FindInInterval([]uint32{1, 2}, 100, 300, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, h := range hits {
+		fmt.Printf("trajectory %d entered at t=%d\n", h.Trajectory, h.EnteredAt)
+	}
+	// Output: trajectory 1 entered at t=150
+}

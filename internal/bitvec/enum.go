@@ -1,0 +1,176 @@
+package bitvec
+
+import "math/bits"
+
+// Enumerative (combinatorial number system) coding of fixed-popcount
+// blocks, used by the RRR offsets. A block of b bits with c ones is
+// identified by an integer in [0, C(b,c)); encoding walks the bit
+// positions from LSB to MSB, counting how many lexicographically
+// smaller same-class blocks exist.
+
+// binomial[n][k] = C(n, k) for n, k <= 63. C(63,31) < 2^63 so every
+// entry fits in a uint64 without overflow.
+var binomial [64][64]uint64
+
+// offsetWidths[b][c] = ceil(lg C(b,c)) precomputed for the three legal
+// block sizes.
+var offsetWidths map[int][]uint
+
+func init() {
+	for n := 0; n < 64; n++ {
+		binomial[n][0] = 1
+		for k := 1; k <= n; k++ {
+			binomial[n][k] = binomial[n-1][k-1]
+			if k < n {
+				binomial[n][k] += binomial[n-1][k]
+			}
+		}
+	}
+	offsetWidths = make(map[int][]uint, 3)
+	for _, b := range []int{15, 31, 63} {
+		ws := make([]uint, b+1)
+		for c := 0; c <= b; c++ {
+			if binomial[b][c] <= 1 {
+				ws[c] = 0
+			} else {
+				ws[c] = uint(bits.Len64(binomial[b][c] - 1))
+			}
+		}
+		offsetWidths[b] = ws
+	}
+}
+
+// offsetWidth returns the number of bits needed to store the offset of
+// a block of size b and class c.
+func offsetWidth(b, c int) uint { return offsetWidths[b][c] }
+
+// encodeOffset maps a b-bit block v with popcount c to its index in
+// [0, C(b,c)). Bit positions are scanned from position 0 (LSB) upward;
+// at each position, blocks with a zero there precede blocks with a one.
+func encodeOffset(v uint64, b, c int) uint64 {
+	var off uint64
+	ones := c
+	for pos := 0; pos < b && ones > 0; pos++ {
+		rem := b - pos - 1 // positions after pos
+		if v>>uint(pos)&1 == 1 {
+			// All same-class blocks with a 0 at pos put their `ones`
+			// ones in the remaining rem positions.
+			off += binomial[rem][ones]
+			ones--
+		}
+	}
+	return off
+}
+
+// rankOffset counts the set bits among the first rem positions of the
+// block encoded by (off, b, c), decoding only as far as needed: it
+// stops at position rem or as soon as all c ones are placed. This is
+// the hot path of RRR.Rank1.
+func rankOffset(off uint64, b, c, rem int) int {
+	if c == 0 {
+		return 0
+	}
+	if c == b {
+		return rem
+	}
+	ones := c
+	rank := 0
+	for pos := 0; pos < rem; pos++ {
+		zc := binomial[b-pos-1][ones]
+		if off >= zc {
+			rank++
+			off -= zc
+			ones--
+			if ones == 0 {
+				break
+			}
+		}
+	}
+	return rank
+}
+
+// accessRankOffset returns (rank of ones before position rem, bit at
+// rem) for the block encoded by (off, b, c), in one decode pass.
+func accessRankOffset(off uint64, b, c, rem int) (int, bool) {
+	if c == 0 {
+		return 0, false
+	}
+	if c == b {
+		return rem, true
+	}
+	ones := c
+	rank := 0
+	for pos := 0; pos <= rem; pos++ {
+		if ones == 0 {
+			return rank, false
+		}
+		zc := binomial[b-pos-1][ones]
+		one := off >= zc
+		if pos == rem {
+			return rank, one
+		}
+		if one {
+			rank++
+			off -= zc
+			ones--
+		}
+	}
+	return rank, false // unreachable
+}
+
+// decodeOffset is the inverse of encodeOffset.
+func decodeOffset(off uint64, b, c int) uint64 {
+	var v uint64
+	ones := c
+	for pos := 0; pos < b && ones > 0; pos++ {
+		rem := b - pos - 1
+		zeroCount := binomial[rem][ones]
+		if off >= zeroCount {
+			v |= 1 << uint(pos)
+			off -= zeroCount
+			ones--
+		}
+	}
+	return v
+}
+
+// packed is an append-only array of variable-width bit fields.
+type packed struct {
+	words   []uint64
+	lenBits int
+}
+
+// grow reserves capacity for at least n more bits.
+func (p *packed) grow(n int) {
+	need := (p.lenBits + n + 63) / 64
+	if cap(p.words) < need {
+		w := make([]uint64, len(p.words), need)
+		copy(w, p.words)
+		p.words = w
+	}
+}
+
+// append writes the low `width` bits of v (width <= 63) at the end.
+func (p *packed) append(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	w := p.lenBits >> 6
+	sh := uint(p.lenBits & 63)
+	for w+1 >= len(p.words) {
+		p.words = append(p.words, 0)
+	}
+	p.words[w] |= v << sh
+	if sh+width > 64 {
+		p.words[w+1] |= v >> (64 - sh)
+	}
+	p.lenBits += int(width)
+}
+
+// read extracts `width` bits starting at bit position pos.
+func (p *packed) read(pos int, width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	return extractBits(p.words, pos, int(width))
+}

@@ -1,0 +1,85 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedIntsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []uint{1, 3, 7, 17, 31, 33, 63, 64} {
+		n := 500
+		vals := make([]uint64, n)
+		for i := range vals {
+			if width == 64 {
+				vals[i] = rng.Uint64()
+			} else {
+				vals[i] = rng.Uint64() & (1<<width - 1)
+			}
+		}
+		p := PackIntsWidth(vals, width)
+		if p.Len() != n || p.Width() != width {
+			t.Fatalf("width %d: bad header", width)
+		}
+		for i, want := range vals {
+			if got := p.Get(i); got != want {
+				t.Fatalf("width %d: Get(%d) = %d, want %d", width, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPackIntsChoosesMinimalWidth(t *testing.T) {
+	p := PackInts([]uint64{0, 5, 7})
+	if p.Width() != 3 {
+		t.Fatalf("width = %d, want 3", p.Width())
+	}
+	p = PackInts([]uint64{0, 0, 0})
+	if p.Width() != 1 {
+		t.Fatalf("all-zero width = %d, want 1", p.Width())
+	}
+}
+
+func TestPackIntsRejectsOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflowing value should panic")
+		}
+	}()
+	PackIntsWidth([]uint64{8}, 3)
+}
+
+func TestPackedGetPanicsOutOfRange(t *testing.T) {
+	p := PackInts([]uint64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(2) should panic")
+		}
+	}()
+	p.Get(2)
+}
+
+func TestZigZagQuick(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Small magnitudes map to small codes.
+	for _, c := range []struct {
+		v int64
+		u uint64
+	}{{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}} {
+		if ZigZag(c.v) != c.u {
+			t.Fatalf("ZigZag(%d) = %d, want %d", c.v, ZigZag(c.v), c.u)
+		}
+	}
+}
+
+func TestPackedSizeBits(t *testing.T) {
+	p := PackIntsWidth(make([]uint64, 1000), 7)
+	// 7000 bits of payload → 110 words → 7040 bits + header.
+	if p.SizeBits() < 7000 || p.SizeBits() > 7300 {
+		t.Fatalf("SizeBits = %d", p.SizeBits())
+	}
+}

@@ -1,0 +1,186 @@
+package bwzip
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(2000)
+		sigma := 2 + rng.Intn(50)
+		seq := make([]uint32, n)
+		for i := range seq {
+			seq[i] = uint32(rng.Intn(sigma))
+		}
+		c := Compress(seq, sigma)
+		back := c.Decompress()
+		if len(back) != len(seq) {
+			t.Fatalf("trial %d: length %d != %d", trial, len(back), len(seq))
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				t.Fatalf("trial %d: differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripEdgeCases(t *testing.T) {
+	cases := [][]uint32{
+		{0},
+		{0, 0, 0, 0, 0},
+		{7, 7, 7, 7, 7, 7},
+		{1, 0, 1, 0, 1, 0},
+	}
+	for _, seq := range cases {
+		c := Compress(seq, 8)
+		back := c.Decompress()
+		if len(back) != len(seq) {
+			t.Fatalf("%v: bad length", seq)
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				t.Fatalf("%v: differs at %d: %v", seq, i, back)
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		seq := make([]uint32, len(raw))
+		for i, b := range raw {
+			seq[i] = uint32(b % 16)
+		}
+		c := Compress(seq, 16)
+		back := c.Decompress()
+		if len(back) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressesStructuredData(t *testing.T) {
+	// Markovian data (what BWT exploits) must compress well below raw.
+	rng := rand.New(rand.NewSource(2))
+	seq := make([]uint32, 20000)
+	cur := uint32(0)
+	for i := range seq {
+		if rng.Float64() < 0.1 {
+			cur = uint32(rng.Intn(64))
+		}
+		seq[i] = cur
+	}
+	c := Compress(seq, 64)
+	raw := int64(len(seq)) * 6 // 6 bits/symbol plain
+	if c.SizeBits() >= raw/2 {
+		t.Fatalf("structured data: %d bits, want < %d", c.SizeBits(), raw/2)
+	}
+}
+
+func TestMTFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := make([]uint32, 500)
+	for i := range seq {
+		seq[i] = uint32(rng.Intn(20))
+	}
+	enc := mtfEncode(seq, 20)
+	dec := mtfDecode(enc, 20)
+	for i := range seq {
+		if dec[i] != seq[i] {
+			t.Fatalf("MTF round trip differs at %d", i)
+		}
+	}
+}
+
+func TestRLE0RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		seq := make([]uint32, 300)
+		for i := range seq {
+			if rng.Float64() < 0.7 {
+				seq[i] = 0 // plenty of zero runs
+			} else {
+				seq[i] = uint32(1 + rng.Intn(9))
+			}
+		}
+		enc := rle0Encode(seq)
+		dec := rle0Decode(enc)
+		if len(dec) != len(seq) {
+			t.Fatalf("trial %d: RLE0 length %d != %d", trial, len(dec), len(seq))
+		}
+		for i := range seq {
+			if dec[i] != seq[i] {
+				t.Fatalf("trial %d: RLE0 differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestCompressBytesRoundTripPerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 5000)
+	for i := range data {
+		data[i] = byte(rng.Intn(64))
+	}
+	// One block: compress + decompress must round-trip.
+	block := make([]uint32, len(data))
+	for i, b := range data {
+		block[i] = uint32(b)
+	}
+	c := Compress(block, 256)
+	back := DecompressBytes(c)
+	if len(back) != len(data) {
+		t.Fatalf("length %d != %d", len(back), len(data))
+	}
+	for i := range data {
+		if back[i] != data[i] {
+			t.Fatalf("differs at %d", i)
+		}
+	}
+}
+
+func TestCompressBytesBlocking(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(rng.Intn(8)) // compressible
+	}
+	whole := CompressBytes(data, 0)
+	blocked := CompressBytes(data, 1000)
+	if whole <= 0 || blocked <= 0 {
+		t.Fatal("sizes must be positive")
+	}
+	// Small blocks lose context and pay per-block codebooks: they must
+	// not beat the single-block result by any meaningful margin.
+	if float64(blocked) < 0.95*float64(whole) {
+		t.Fatalf("blocked (%d bits) implausibly beats whole (%d bits)", blocked, whole)
+	}
+}
+
+func TestRLE0LongRun(t *testing.T) {
+	seq := make([]uint32, 100000) // one huge zero run
+	enc := rle0Encode(seq)
+	if len(enc) > 20 {
+		t.Fatalf("run of 1e5 zeros should encode in ~17 symbols, got %d", len(enc))
+	}
+	dec := rle0Decode(enc)
+	if len(dec) != len(seq) {
+		t.Fatalf("long run decodes to %d", len(dec))
+	}
+}

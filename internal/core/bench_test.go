@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinct/internal/suffix"
+	"cinct/internal/wavelet"
+)
+
+// benchIndex builds a mid-sized index once per benchmark binary.
+func benchIndex(b *testing.B) (*Index, []uint32, int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	text, sigma := markovText(rng, 2000, 50, 400, 4)
+	ix := Build(text, sigma, DefaultOptions())
+	return ix, text, sigma
+}
+
+func BenchmarkSuffixRange20(b *testing.B) {
+	ix, text, _ := benchIndex(b)
+	rng := rand.New(rand.NewSource(1))
+	pats := make([][]uint32, 256)
+	for i := range pats {
+		start := rng.Intn(len(text) - 22)
+		pats[i] = text[start : start+20]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SuffixRange(pats[i%len(pats)])
+	}
+}
+
+func BenchmarkLFStep(b *testing.B) {
+	ix, _, _ := benchIndex(b)
+	j := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, _ = ix.LF(j)
+	}
+}
+
+func BenchmarkExtract64(b *testing.B) {
+	ix, _, _ := benchIndex(b)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Extract(int64(rng.Intn(ix.Len())), 64)
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	ix, _, _ := benchIndex(b)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Locate(int64(rng.Intn(ix.Len())))
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	text, sigma := markovText(rng, 500, 50, 200, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(text, sigma, DefaultOptions())
+	}
+	b.SetBytes(int64(4 * len(text)))
+}
+
+func BenchmarkBuildFromBWT(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	text, sigma := markovText(rng, 500, 50, 200, 4)
+	sa := suffix.Array(text, sigma)
+	bwt := suffix.BWT(text, sa)
+	opt := Options{Spec: wavelet.RRRSpec(63), SASample: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildFromBWT(text, bwt, nil, sigma, opt)
+	}
+	b.SetBytes(int64(4 * len(text)))
+}

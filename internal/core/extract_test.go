@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinct/internal/suffix"
+)
+
+func TestRowOfInvertsSA(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, rate := range []int{1, 3, 8, 64} {
+		text, sigma := markovText(rng, 15, 20, 12, 3)
+		sa := suffix.Array(text, sigma)
+		bwt := suffix.BWT(text, sa)
+		opt := DefaultOptions()
+		opt.SASample = rate
+		ix := BuildFromBWT(text, bwt, sa, sigma, opt)
+		// ISA: invert sa.
+		isa := make([]int64, len(text))
+		for j, p := range sa {
+			isa[p] = int64(j)
+		}
+		for pos := 0; pos < len(text); pos++ {
+			if got := ix.RowOf(int64(pos)); got != isa[pos] {
+				t.Fatalf("rate %d: RowOf(%d) = %d, want %d", rate, pos, got, isa[pos])
+			}
+		}
+	}
+}
+
+func TestExtractRangeMatchesText(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	text, sigma := markovText(rng, 20, 18, 15, 3)
+	ix := Build(text, sigma, DefaultOptions())
+	n := int64(len(text))
+	for trial := 0; trial < 300; trial++ {
+		a := int64(rng.Intn(len(text)))
+		b := a + int64(rng.Intn(len(text)-int(a)+1))
+		got := ix.ExtractRange(a, b)
+		if int64(len(got)) != b-a {
+			t.Fatalf("ExtractRange(%d,%d) length %d", a, b, len(got))
+		}
+		for k := range got {
+			if got[k] != text[a+int64(k)] {
+				t.Fatalf("ExtractRange(%d,%d)[%d] = %d, want %d", a, b, k, got[k], text[a+int64(k)])
+			}
+		}
+	}
+	// Full-text extraction.
+	full := ix.ExtractRange(0, n)
+	for i := range text {
+		if full[i] != text[i] {
+			t.Fatalf("full extraction differs at %d", i)
+		}
+	}
+	if len(ix.ExtractRange(5, 5)) != 0 {
+		t.Fatal("empty range should return nil/empty")
+	}
+}
+
+func TestExtractRangePanicsOnBadRange(t *testing.T) {
+	text, sigma := paperText()
+	ix := Build(text, sigma, DefaultOptions())
+	for _, c := range [][2]int64{{-1, 3}, {3, 2}, {0, int64(len(text)) + 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ExtractRange(%d,%d) should panic", c[0], c[1])
+				}
+			}()
+			ix.ExtractRange(c[0], c[1])
+		}()
+	}
+}

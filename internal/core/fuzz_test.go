@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"cinct/internal/etgraph"
+	"cinct/internal/wavelet"
+)
+
+// FuzzSearchMatchesNaive decodes arbitrary bytes into a corpus-shaped
+// text and a pattern and cross-checks Count against a naive scan. Run
+// with `go test -fuzz FuzzSearchMatchesNaive ./internal/core`; the
+// seeds below execute under plain `go test`.
+func FuzzSearchMatchesNaive(f *testing.F) {
+	f.Add([]byte{3, 4, 5, 3, 4, 1, 3, 4, 5, 1}, []byte{3, 4})
+	f.Add([]byte{2, 2, 2, 2, 1, 2, 2, 1}, []byte{2, 2, 2})
+	f.Add([]byte{7, 6, 5, 4, 3, 2, 1}, []byte{9})
+	f.Add([]byte{2}, []byte{2})
+	f.Fuzz(func(t *testing.T, rawText, rawPat []byte) {
+		if len(rawText) == 0 || len(rawText) > 2000 || len(rawPat) > 8 {
+			t.Skip()
+		}
+		const sigma = 10
+		// Build a valid trajectory string: symbols in [2, sigma), '$'
+		// separators allowed, single '#' terminator appended.
+		text := make([]uint32, 0, len(rawText)+1)
+		for _, b := range rawText {
+			s := uint32(b) % (sigma - 1)
+			if s == 0 {
+				s = 1 // '$'
+			} else {
+				s++ // edges 2..sigma-1
+			}
+			text = append(text, s)
+		}
+		text = append(text, 0)
+		pat := make([]uint32, 0, len(rawPat))
+		for _, b := range rawPat {
+			s := uint32(b) % (sigma - 1)
+			if s == 0 {
+				s = 1
+			} else {
+				s++
+			}
+			pat = append(pat, s)
+		}
+		opt := Options{Spec: wavelet.RRRSpec(15), Strategy: etgraph.BigramSorted, SASample: 4}
+		ix := Build(text, sigma, opt)
+		got := int(ix.Count(pat))
+		want := naiveOccurrences(text, pat)
+		if got != want {
+			t.Fatalf("Count(%v) = %d, want %d (text %v)", pat, got, want, text)
+		}
+		// Locate must invert extraction on every row.
+		for j := int64(0); j < int64(len(text)); j += 7 {
+			pos := ix.Locate(j)
+			if pos < 0 || pos >= int64(len(text)) {
+				t.Fatalf("Locate(%d) = %d out of range", j, pos)
+			}
+		}
+	})
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cinct/internal/bitvec"
+	"cinct/internal/entropy"
+	"cinct/internal/etgraph"
+	"cinct/internal/huffman"
+	"cinct/internal/wavelet"
+)
+
+// Serialization format: the labeled BWT is written Huffman-coded (so a
+// file is close to the in-memory entropy-compressed size) together
+// with the ET-graph, C array and locate samples; the wavelet tree is
+// rebuilt in linear time on load. All integers are little-endian;
+// variable counts use unsigned varints and signed values zig-zag.
+
+const magic = "CiNCTv1\x00"
+
+// ErrBadFormat reports a malformed or truncated index stream.
+var ErrBadFormat = errors.New("core: bad index format")
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (cw *countingWriter) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(buf[:], v)
+	cw.n += int64(k)
+	_, err := cw.w.Write(buf[:k])
+	return err
+}
+
+func (cw *countingWriter) varint(v int64) error {
+	var buf [binary.MaxVarintLen64]byte
+	k := binary.PutVarint(buf[:], v)
+	cw.n += int64(k)
+	_, err := cw.w.Write(buf[:k])
+	return err
+}
+
+func (cw *countingWriter) bytes(b []byte) error {
+	cw.n += int64(len(b))
+	_, err := cw.w.Write(b)
+	return err
+}
+
+// Save writes the index to w and returns the number of bytes written.
+func (ix *Index) Save(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	if err := cw.bytes([]byte(magic)); err != nil {
+		return cw.n, err
+	}
+	hdr := []uint64{
+		uint64(ix.n), uint64(ix.sigma), uint64(ix.maxLabel),
+		uint64(ix.opt.Spec.Kind), uint64(ix.opt.Spec.Block),
+		uint64(ix.opt.Strategy), uint64(ix.opt.Seed),
+		uint64(ix.sampleRate),
+	}
+	for _, v := range hdr {
+		if err := cw.uvarint(v); err != nil {
+			return cw.n, err
+		}
+	}
+	// C array (delta-coded: counts per symbol).
+	for wSym := 0; wSym < ix.sigma; wSym++ {
+		if err := cw.uvarint(ix.c.Get(wSym+1) - ix.c.Get(wSym)); err != nil {
+			return cw.n, err
+		}
+	}
+	// ET-graph: out-degree then (To, Z) per edge in label order. Label
+	// order is positional, so bigram counts need not be stored.
+	for wp := 0; wp < ix.sigma; wp++ {
+		es := ix.graph.Edges(uint32(wp))
+		if err := cw.uvarint(uint64(len(es))); err != nil {
+			return cw.n, err
+		}
+		for _, e := range es {
+			if err := cw.uvarint(uint64(e.To)); err != nil {
+				return cw.n, err
+			}
+			if err := cw.varint(e.Z); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	// Labeled BWT, Huffman-coded.
+	freqs := make([]uint64, ix.maxLabel+1)
+	for j := 0; j < ix.n; j++ {
+		freqs[ix.labeled.Access(j)]++
+	}
+	cb := huffman.Build(freqs)
+	if err := cw.bytes(cb.Lengths()); err != nil {
+		return cw.n, err
+	}
+	enc := huffman.NewEncoder(cb)
+	for j := 0; j < ix.n; j++ {
+		enc.Encode(int(ix.labeled.Access(j)))
+	}
+	words, nbits := enc.Bits()
+	if err := cw.uvarint(uint64(nbits)); err != nil {
+		return cw.n, err
+	}
+	var wb [8]byte
+	for _, word := range words {
+		binary.LittleEndian.PutUint64(wb[:], word)
+		if err := cw.bytes(wb[:]); err != nil {
+			return cw.n, err
+		}
+	}
+	// Locate structures are not stored: Load rebuilds them from one LF
+	// walk over the permutation (the index is a self-index).
+	return cw.n, cw.w.Flush()
+}
+
+// Load reads an index previously written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	readS := func() (int64, error) { return binary.ReadVarint(br) }
+
+	var hdr [8]uint64
+	for i := range hdr {
+		v, err := readU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrBadFormat, err)
+		}
+		hdr[i] = v
+	}
+	n, sigma, maxLabel := int(hdr[0]), int(hdr[1]), int(hdr[2])
+	if n < 0 || sigma < 2 || maxLabel < 0 || maxLabel > sigma {
+		return nil, fmt.Errorf("%w: implausible header (n=%d sigma=%d maxLabel=%d)",
+			ErrBadFormat, n, sigma, maxLabel)
+	}
+	ix := &Index{
+		n: n, sigma: sigma, maxLabel: maxLabel,
+		opt: Options{
+			Spec:     wavelet.BitvecSpec{Kind: wavelet.BitvecKind(hdr[3]), Block: int(hdr[4])},
+			Strategy: etgraph.Strategy(hdr[5]),
+			Seed:     int64(hdr[6]),
+			SASample: int(hdr[7]),
+		},
+		sampleRate: int(hdr[7]),
+	}
+	rawC := make([]uint64, sigma+1)
+	for w := 0; w < sigma; w++ {
+		d, err := readU()
+		if err != nil {
+			return nil, fmt.Errorf("%w: C array: %v", ErrBadFormat, err)
+		}
+		rawC[w+1] = rawC[w] + d
+	}
+	if rawC[sigma] != uint64(n) {
+		return nil, fmt.Errorf("%w: C array sums to %d, want %d", ErrBadFormat, rawC[sigma], n)
+	}
+	ix.c = bitvec.PackInts(rawC)
+	// ET-graph.
+	adj := make([][]etgraph.Edge, sigma)
+	for wp := 0; wp < sigma; wp++ {
+		deg, err := readU()
+		if err != nil || deg > uint64(sigma) {
+			return nil, fmt.Errorf("%w: adjacency of %d", ErrBadFormat, wp)
+		}
+		es := make([]etgraph.Edge, deg)
+		for i := range es {
+			to, err := readU()
+			if err != nil || to >= uint64(sigma) {
+				return nil, fmt.Errorf("%w: edge target", ErrBadFormat)
+			}
+			z, err := readS()
+			if err != nil {
+				return nil, fmt.Errorf("%w: edge Z", ErrBadFormat)
+			}
+			es[i] = etgraph.Edge{To: uint32(to), Z: z}
+		}
+		adj[wp] = es
+	}
+	ix.graph = etgraph.FromAdjacency(adj)
+	if ix.graph.MaxOutDegree() != maxLabel {
+		return nil, fmt.Errorf("%w: max out-degree %d != header maxLabel %d",
+			ErrBadFormat, ix.graph.MaxOutDegree(), maxLabel)
+	}
+	ix.graph.Compact()
+	// Labeled BWT.
+	lengths := make([]uint8, maxLabel+1)
+	if _, err := io.ReadFull(br, lengths); err != nil {
+		return nil, fmt.Errorf("%w: code lengths: %v", ErrBadFormat, err)
+	}
+	cb := huffman.FromLengths(lengths)
+	nbits, err := readU()
+	if err != nil {
+		return nil, fmt.Errorf("%w: bit count: %v", ErrBadFormat, err)
+	}
+	words := make([]uint64, (nbits+63)/64)
+	var wb [8]byte
+	for i := range words {
+		if _, err := io.ReadFull(br, wb[:]); err != nil {
+			return nil, fmt.Errorf("%w: bit stream: %v", ErrBadFormat, err)
+		}
+		words[i] = binary.LittleEndian.Uint64(wb[:])
+	}
+	dec := huffman.NewDecoder(cb)
+	labels := make([]uint32, n)
+	pos := 0
+	for j := 0; j < n; j++ {
+		var sym int
+		sym, pos = dec.Decode(words, pos)
+		if pos > int(nbits) {
+			return nil, fmt.Errorf("%w: bit stream overrun", ErrBadFormat)
+		}
+		labels[j] = uint32(sym)
+	}
+	freqs := make([]uint64, maxLabel+1)
+	for _, l := range labels {
+		freqs[l]++
+	}
+	ix.labeled = wavelet.NewHWTFreqs(labels, freqs, ix.opt.Spec)
+	ix.h0Labeled = entropy.H0Freqs(freqs)
+	// Rebuild locate structures by walking the LF permutation once
+	// (O(n) rank operations): the walk from row 0 (SA[0] = n−1) visits
+	// every row and reveals its suffix position.
+	if ix.sampleRate > 0 {
+		ix.rebuildLocate()
+	}
+	return ix, nil
+}
+
+// rebuildLocate reconstructs the sampled-row bit vector, the SA samples
+// and the ISA samples from the loaded structures alone — the index is a
+// self-index, so the suffix positions are implicit in LF.
+func (ix *Index) rebuildLocate() {
+	rate := ix.sampleRate
+	saOfRow := make([]int32, ix.n) // only filled at sampled rows; -1 elsewhere
+	for i := range saOfRow {
+		saOfRow[i] = -1
+	}
+	ix.isaSamples = make([]int32, (ix.n+rate-1)/rate)
+	j := int64(0)
+	pos := int64(ix.n - 1) // SA[0] = n-1: the terminator suffix
+	wPrime := ix.contextOf(j)
+	for k := 0; k < ix.n; k++ {
+		if pos%int64(rate) == 0 {
+			saOfRow[j] = int32(pos)
+			ix.isaSamples[pos/int64(rate)] = int32(j)
+		}
+		j, wPrime = ix.lfFrom(j, wPrime)
+		pos--
+		if pos < 0 {
+			pos += int64(ix.n)
+		}
+	}
+	bld := bitvec.NewBuilder(ix.n)
+	ix.samples = ix.samples[:0]
+	for _, p := range saOfRow {
+		bld.PushBit(p >= 0)
+		if p >= 0 {
+			ix.samples = append(ix.samples, p)
+		}
+	}
+	ix.mark = bld.Plain()
+}

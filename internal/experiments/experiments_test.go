@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cinct/internal/trajgen"
+)
+
+// tinyPrepared builds one small dataset for fast experiment tests.
+func tinyPrepared(t *testing.T, gen func(trajgen.Config) trajgen.Dataset, seed int64) *Prepared {
+	t.Helper()
+	cfg := trajgen.Config{GridW: 12, GridH: 12, NumTrajs: 250, MeanLen: 30, Seed: seed}
+	p, err := Prepare(gen(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTable3ShowsEntropyGap(t *testing.T) {
+	p := tinyPrepared(t, trajgen.Singapore2, 21)
+	row := Table3(p)
+	if row.TLen != len(p.Corpus.Text) {
+		t.Fatalf("TLen = %d", row.TLen)
+	}
+	// The paper's headline precondition: H0(φ) ≪ H0(T); also H1 ≤ H0.
+	if row.H0Phi >= 0.5*row.H0T {
+		t.Fatalf("H0(φ)=%.2f not ≪ H0(T)=%.2f", row.H0Phi, row.H0T)
+	}
+	if row.H1T > row.H0T+1e-9 {
+		t.Fatalf("H1=%.2f exceeds H0=%.2f", row.H1T, row.H0T)
+	}
+	if row.AvgDeg <= 1 || row.AvgDeg > 10 {
+		t.Fatalf("repaired grid corpus d̄=%.1f implausible", row.AvgDeg)
+	}
+	if !strings.Contains(row.String(), p.Name) {
+		t.Fatal("String() should mention the dataset")
+	}
+}
+
+func TestFig10CiNCTWins(t *testing.T) {
+	// The paper's claims hold "when |T| gets large" (§III-C3): the
+	// ET-graph and per-structure constants amortize. Use n/σ ≈ 300+,
+	// still far below the paper's ~1100 but enough for the orderings.
+	cfg := trajgen.Config{GridW: 10, GridH: 10, NumTrajs: 5000, MeanLen: 40, Seed: 22}
+	p, err := Prepare(trajgen.Singapore2(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Fig10(p, 50, 12)
+	var cinctBits, icbHuffBits, icbWMBits, ufmiBits float64
+	var cinctNS, icbHuffNS, icbWMNS float64
+	for _, r := range rows {
+		switch {
+		case r.Method == "CiNCT" && r.Block == 63:
+			cinctBits, cinctNS = r.BitsSym, r.SearchNS
+		case r.Method == "ICB-Huff" && r.Block == 63:
+			icbHuffBits, icbHuffNS = r.BitsSym, r.SearchNS
+		case r.Method == "ICB-WM" && r.Block == 63:
+			icbWMBits, icbWMNS = r.BitsSym, r.SearchNS
+		case r.Method == "UFMI":
+			ufmiBits = r.BitsSym
+		}
+	}
+	if cinctBits == 0 || icbHuffBits == 0 || icbWMBits == 0 || ufmiBits == 0 {
+		t.Fatalf("missing rows: %v", rows)
+	}
+	// Fig. 10's size claims: CiNCT smallest among all FM variants.
+	if cinctBits >= icbHuffBits {
+		t.Fatalf("CiNCT (%.2f b/s) should be smaller than ICB-Huff (%.2f b/s)",
+			cinctBits, icbHuffBits)
+	}
+	if cinctBits >= icbWMBits {
+		t.Fatalf("CiNCT (%.2f b/s) should be smaller than ICB-WM (%.2f b/s)",
+			cinctBits, icbWMBits)
+	}
+	if cinctBits >= ufmiBits {
+		t.Fatalf("CiNCT (%.2f b/s) should be smaller than UFMI (%.2f b/s)",
+			cinctBits, ufmiBits)
+	}
+	// Speed claims vs the *compressed* competitors (paper: 7x and 25x).
+	// The uncompressed UFMI comparison needs the paper's σ ≈ 2^15.5 and
+	// |T| ≫ cache; Fig. 12's σ-sweep covers that trend instead.
+	if cinctNS >= icbHuffNS {
+		t.Fatalf("CiNCT (%.0f ns) should be faster than ICB-Huff (%.0f ns)",
+			cinctNS, icbHuffNS)
+	}
+	if cinctNS >= icbWMNS {
+		t.Fatalf("CiNCT (%.0f ns) should be faster than ICB-WM (%.0f ns)",
+			cinctNS, icbWMNS)
+	}
+}
+
+func TestFig11TimeGrowsWithPatternLength(t *testing.T) {
+	p := tinyPrepared(t, trajgen.MOGen, 23)
+	rows := Fig11(p, 40, []int{2, 8, 16})
+	byMethod := map[string][]float64{}
+	for _, r := range rows {
+		byMethod[r.Method] = append(byMethod[r.Method], r.SearchNS)
+	}
+	for m, ts := range byMethod {
+		if len(ts) != 3 {
+			t.Fatalf("%s: %d points", m, len(ts))
+		}
+		// Linear growth (Algorithm 1/3 iterate |P| times): the |P|=16
+		// point must exceed the |P|=2 point.
+		if ts[2] <= ts[0] {
+			t.Logf("warning: %s not monotone in |P| (%.0f vs %.0f) — timing noise", m, ts[0], ts[2])
+		}
+	}
+}
+
+func TestFig12And13Shapes(t *testing.T) {
+	rows12, err := Fig12([]int{256, 1024}, 50, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CiNCT size must stay ~flat while UFMI grows with σ.
+	get := func(rows []ScalingRow, method string, sigma int) float64 {
+		for _, r := range rows {
+			if r.Method == method && r.Sigma == sigma {
+				return r.BitsSym
+			}
+		}
+		t.Fatalf("row %s σ=%d missing", method, sigma)
+		return 0
+	}
+	cinctGrowth := get(rows12, "CiNCT", 1024) / get(rows12, "CiNCT", 256)
+	ufmiGrowth := get(rows12, "UFMI", 1024) / get(rows12, "UFMI", 256)
+	if cinctGrowth >= ufmiGrowth {
+		t.Fatalf("CiNCT growth %.2fx should be below UFMI growth %.2fx (σ-independence)",
+			cinctGrowth, ufmiGrowth)
+	}
+
+	rows13, err := Fig13(512, []int{4, 32}, 40000, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CiNCT size must grow with d̄ (Fig. 13's message: sparsity is the
+	// enabling assumption).
+	var c4, c32 float64
+	for _, r := range rows13 {
+		if r.Method == "CiNCT" {
+			if r.AvgDeg == 4 {
+				c4 = r.BitsSym
+			} else if r.AvgDeg == 32 {
+				c32 = r.BitsSym
+			}
+		}
+	}
+	if c32 <= c4 {
+		t.Fatalf("CiNCT should degrade with d̄: %.2f at d=4 vs %.2f at d=32", c4, c32)
+	}
+}
+
+func TestFig14BigramBeatsRandom(t *testing.T) {
+	p := tinyPrepared(t, trajgen.Singapore2, 24)
+	rows := Fig14(p, 50, 12)
+	var bg, rnd float64
+	for _, r := range rows {
+		if r.Block == 63 {
+			if r.Strategy == "bigram" {
+				bg = r.BitsSym
+			} else {
+				rnd = r.BitsSym
+			}
+		}
+	}
+	if bg >= rnd {
+		t.Fatalf("bigram labeling (%.2f b/s) should beat random (%.2f b/s) — Theorem 3",
+			bg, rnd)
+	}
+}
+
+func TestFig15AllMethodsExtract(t *testing.T) {
+	p := tinyPrepared(t, trajgen.MOGen, 25)
+	rows := Fig15(p)
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6 (CiNCT + 5 baselines)", len(rows))
+	}
+	for _, r := range rows {
+		if r.ExtractNS <= 0 {
+			t.Fatalf("%s: non-positive extraction time", r.Method)
+		}
+	}
+}
+
+func TestFig16Breakdown(t *testing.T) {
+	p := tinyPrepared(t, trajgen.Singapore2, 26)
+	rows := Fig16(p)
+	for _, r := range rows {
+		if r.BWTMs <= 0 || r.WTMs < 0 {
+			t.Fatalf("%s: bad breakdown %+v", r.Method, r)
+		}
+		if r.Method == "CiNCT" && r.GraphMs <= 0 {
+			t.Fatal("CiNCT must report ET-graph build time")
+		}
+		if r.Method == "UFMI" && r.GraphMs != 0 {
+			t.Fatal("baselines have no ET-graph stage")
+		}
+	}
+}
+
+func TestTable4CiNCTBestOnNCTData(t *testing.T) {
+	// As with Fig. 10, the ratios need |T| large enough to amortize
+	// CiNCT's fixed structures (paper n/σ ≈ 1100; we use ≈ 600).
+	cfg := trajgen.Config{GridW: 10, GridH: 10, NumTrajs: 5000, MeanLen: 40, Seed: 27}
+	p, err := Prepare(trajgen.Singapore2(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table4(p)
+	ratios := map[string]float64{}
+	for _, r := range rows {
+		ratios[r.Compressor] = r.Ratio
+	}
+	if ratios["CiNCT"] <= 1 {
+		t.Fatalf("CiNCT ratio %.1f must beat raw", ratios["CiNCT"])
+	}
+	for _, c := range []string{"MEL", "Re-Pair", "bwzip", "zip", "PRESS"} {
+		if _, ok := ratios[c]; !ok {
+			t.Fatalf("missing compressor %s", c)
+		}
+	}
+	// Table IV's scale-robust orderings: CiNCT beats the general-
+	// purpose compressors (zip, bzip2-style, Re-Pair). MEL and PRESS
+	// are closer on our synthetic corpora than on real taxi data —
+	// the generators emit more shortest-path-regular trajectories than
+	// real traffic (see EXPERIMENTS.md) — so their rows are reported,
+	// not asserted.
+	if ratios["CiNCT"] <= ratios["zip"] {
+		t.Fatalf("CiNCT (%.1f) should beat zip (%.1f)", ratios["CiNCT"], ratios["zip"])
+	}
+	if ratios["CiNCT"] <= ratios["Re-Pair"] {
+		t.Fatalf("CiNCT (%.1f) should beat Re-Pair (%.1f)", ratios["CiNCT"], ratios["Re-Pair"])
+	}
+	// bwzip (bzip2 stand-in) is reported but not asserted: at quick
+	// scale σ ≈ 340, so 3 of 4 bytes of every 32-bit ID are zero and
+	// byte-level BWT compressors overperform relative to the paper's
+	// σ = 2^15.5 regime (see EXPERIMENTS.md).
+	if ratios["bwzip"] <= 1 {
+		t.Fatalf("bwzip ratio %.1f must at least beat raw", ratios["bwzip"])
+	}
+}
+
+func TestTable5RMLBeatsMEL(t *testing.T) {
+	for _, gen := range []func(trajgen.Config) trajgen.Dataset{trajgen.Singapore2, trajgen.Roma} {
+		p := tinyPrepared(t, gen, 28)
+		row, err := Table5(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.RML >= row.MEL {
+			t.Fatalf("%s: RML=%.3f should be below MEL=%.3f (Theorem 6)",
+				p.Name, row.RML, row.MEL)
+		}
+	}
+}
+
+func TestTable5RequiresNetwork(t *testing.T) {
+	cfg := trajgen.Config{GridW: 4, GridH: 4, NumTrajs: 200, MeanLen: 10, Seed: 30}
+	p, err := Prepare(trajgen.Chess(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Table5(p); err == nil {
+		t.Fatal("Table5 should reject datasets without a network")
+	}
+}
+
+func TestSampleQueriesShapes(t *testing.T) {
+	p := tinyPrepared(t, trajgen.MOGen, 31)
+	qs := p.SampleQueries(20, 10, 1)
+	if len(qs) != 20 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(q) != 10 {
+			t.Fatalf("query length %d", len(q))
+		}
+	}
+	// Degenerate: chess openings are 10 long; asking for 20 must fall
+	// back instead of looping forever.
+	cfg := trajgen.Config{GridW: 4, GridH: 4, NumTrajs: 100, MeanLen: 10, Seed: 32}
+	pc, err := Prepare(trajgen.Chess(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs = pc.SampleQueries(5, 20, 1)
+	if len(qs) != 5 || len(qs[0]) != 10 {
+		t.Fatalf("fallback sampling broken: %d queries of %d", len(qs), len(qs[0]))
+	}
+}
+
+func TestPaperDatasetsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation is slow")
+	}
+	ps, err := PaperDatasets(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 5 {
+		t.Fatalf("%d datasets", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if len(p.Corpus.Text) < 10000 {
+			t.Fatalf("%s: only %d symbols", p.Name, len(p.Corpus.Text))
+		}
+	}
+	for _, want := range []string{"singapore", "singapore2", "roma", "mogen", "chess"} {
+		if !names[want] {
+			t.Fatalf("dataset %s missing", want)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"time"
+
+	"cinct/internal/core"
+	"cinct/internal/etgraph"
+	"cinct/internal/fmindex"
+	"cinct/internal/wavelet"
+)
+
+// Built is one competing index with a uniform query surface, so the
+// experiment loops don't care which method is underneath.
+type Built struct {
+	Name string
+	// BitsPerSymbol is the index footprint per text symbol (CiNCT
+	// includes its ET-graph; the w/o-graph variant is reported
+	// separately in Fig. 10).
+	BitsPerSymbol float64
+	// Search runs one suffix range query (text-order pattern).
+	Search func(pat []uint32) (int64, int64, bool)
+	// Extract decompresses l symbols ending before SA[j].
+	Extract func(j int64, l int) []uint32
+	// Timing breakdown for Fig. 16 (WT = wavelet/sequence build,
+	// Graph = ET-graph build incl. labeling and corrections; zero for
+	// baselines).
+	WTTime    time.Duration
+	GraphTime time.Duration
+}
+
+// BuildCiNCT builds the proposed index from the shared BWT.
+func BuildCiNCT(p *Prepared, block int, strategy etgraph.Strategy, seed int64) (*core.Index, Built) {
+	opt := core.Options{
+		Spec:     wavelet.RRRSpec(block),
+		Strategy: strategy,
+		Seed:     seed,
+		SASample: 0, // the paper's size/speed experiments index count+extract only
+	}
+	ix := core.BuildFromBWT(p.Corpus.Text, p.BWT, nil, p.Corpus.Sigma, opt)
+	name := "CiNCT"
+	if strategy == etgraph.RandomShuffle {
+		name = "CiNCT-rand"
+	}
+	return ix, Built{
+		Name:          name,
+		BitsPerSymbol: ix.BitsPerSymbol(true),
+		Search:        ix.SuffixRange,
+		Extract:       ix.Extract,
+		WTTime:        ix.Stats.WT,
+		GraphTime:     ix.Stats.ETGraph,
+	}
+}
+
+// CiNCTWithoutGraphBits returns the Fig. 10 "CiNCT (w/o ET-graph)"
+// size for an already built index.
+func CiNCTWithoutGraphBits(ix *core.Index) float64 { return ix.BitsPerSymbol(false) }
+
+// BuildBaseline builds one Table II competitor from the shared BWT.
+func BuildBaseline(p *Prepared, m fmindex.Method, block int) Built {
+	ix := fmindex.BuildFromBWT(p.BWT, p.Corpus.Sigma, m, block)
+	return Built{
+		Name:          m.String(),
+		BitsPerSymbol: ix.BitsPerSymbol(),
+		Search:        ix.SuffixRange,
+		Extract:       ix.Extract,
+		WTTime:        ix.Stats.WT,
+	}
+}
+
+// BuildAll builds CiNCT plus every baseline at the given block size.
+func BuildAll(p *Prepared, block int) []Built {
+	_, cinct := BuildCiNCT(p, block, etgraph.BigramSorted, 0)
+	out := []Built{cinct}
+	for _, m := range fmindex.Methods {
+		out = append(out, BuildBaseline(p, m, block))
+	}
+	return out
+}
+
+// TimeSearch measures the average time of one suffix range query over
+// the workload, in nanoseconds.
+func TimeSearch(b Built, queries [][]uint32) float64 {
+	t0 := time.Now()
+	for _, q := range queries {
+		b.Search(q)
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(len(queries))
+}
+
+// TimeExtract measures extraction time per symbol: the whole text is
+// extracted from row 0, as in §VI-F.
+func TimeExtract(b Built, n int) float64 {
+	t0 := time.Now()
+	b.Extract(0, n)
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}

@@ -1,0 +1,151 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI). Each experiment is a function returning printable
+// rows; cmd/experiments renders them and bench_test.go wraps them in
+// testing.B benchmarks. DESIGN.md maps experiment IDs to these
+// functions.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cinct/internal/suffix"
+	"cinct/internal/trajgen"
+	"cinct/internal/trajstr"
+)
+
+// Scale selects corpus sizes. Quick keeps everything CI-friendly
+// (~10^5 symbols per dataset); Full approaches the paper's regime as
+// far as a laptop allows (0.25–4M symbols; the paper used 12–193M).
+type Scale int
+
+const (
+	// Quick is the CI-sized scale.
+	Quick Scale = iota
+	// Full is the large-run scale.
+	Full
+)
+
+// config returns the generator configuration for a dataset at this
+// scale. The corpus must be large relative to the alphabet (the paper:
+// n/σ ≈ 800–1600) or fixed per-structure costs dominate every method,
+// so Quick uses a 16×16 grid (σ ≈ 900) with enough trajectories for
+// n/σ ≈ 200–400, and Full scales both up.
+func (s Scale) config(seed int64, numTrajs, meanLen int) trajgen.Config {
+	if s == Full {
+		return trajgen.Config{
+			GridW: 26, GridH: 26,
+			NumTrajs: numTrajs * 20,
+			MeanLen:  meanLen,
+			Seed:     seed,
+		}
+	}
+	return trajgen.Config{
+		GridW: 16, GridH: 16,
+		NumTrajs: numTrajs,
+		MeanLen:  meanLen,
+		Seed:     seed,
+	}
+}
+
+// Prepared is a dataset with its trajectory string, BWT and suffix
+// array precomputed once and shared across all competing indexes.
+type Prepared struct {
+	Name    string
+	Dataset trajgen.Dataset
+	Corpus  *trajstr.Corpus
+	BWT     []uint32
+	SA      []int32
+	BWTTime time.Duration
+}
+
+// Prepare encodes and transforms a generated dataset.
+func Prepare(d trajgen.Dataset) (*Prepared, error) {
+	corpus, err := trajstr.New(d.Trajs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+	}
+	t0 := time.Now()
+	sa := suffix.Array(corpus.Text, corpus.Sigma)
+	bwt := suffix.BWT(corpus.Text, sa)
+	return &Prepared{
+		Name: d.Name, Dataset: d, Corpus: corpus,
+		BWT: bwt, SA: sa, BWTTime: time.Since(t0),
+	}, nil
+}
+
+// PaperDatasets generates and prepares the five dataset analogs of
+// Table III.
+func PaperDatasets(s Scale) ([]*Prepared, error) {
+	romaTrajs := 1200
+	if s == Full {
+		// Map matching dominates Roma generation; scale it 5x rather
+		// than 20x (the matched corpus is the smallest in Table III
+		// anyway: 12M vs 53-193M).
+		romaTrajs = 300
+	}
+	gens := []func() trajgen.Dataset{
+		func() trajgen.Dataset { return trajgen.Singapore(s.config(101, 4000, 45)) },
+		func() trajgen.Dataset { return trajgen.Singapore2(s.config(101, 4000, 45)) },
+		func() trajgen.Dataset { return trajgen.Roma(s.config(103, romaTrajs, 40)) },
+		func() trajgen.Dataset { return trajgen.MOGen(s.config(104, 5000, 40)) },
+		func() trajgen.Dataset { return trajgen.Chess(s.config(105, 15000, 10)) },
+	}
+	out := make([]*Prepared, 0, len(gens))
+	for _, gen := range gens {
+		p, err := Prepare(gen())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SampleQueries draws n sub-paths of the given length from the corpus
+// (travel order) and returns them as text-order patterns (reversed,
+// internal symbols), exactly the workload of §VI-A3. Trajectories
+// shorter than the length are skipped; if the corpus cannot supply
+// them, shorter patterns are drawn instead.
+func (p *Prepared) SampleQueries(n, length int, seed int64) [][]uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	var eligible []int
+	for k, tr := range p.Dataset.Trajs {
+		if len(tr) >= length {
+			eligible = append(eligible, k)
+		}
+	}
+	useLen := length
+	if len(eligible) == 0 {
+		// Degenerate corpus (e.g. chess openings of 10 moves with
+		// length 20 requested): fall back to the longest available.
+		useLen = 0
+		for k, tr := range p.Dataset.Trajs {
+			if len(tr) > useLen {
+				useLen = len(tr)
+			}
+			_ = k
+		}
+		for k, tr := range p.Dataset.Trajs {
+			if len(tr) >= useLen {
+				eligible = append(eligible, k)
+			}
+		}
+	}
+	out := make([][]uint32, 0, n)
+	for len(out) < n {
+		k := eligible[rng.Intn(len(eligible))]
+		tr := p.Dataset.Trajs[k]
+		start := 0
+		if len(tr) > useLen {
+			start = rng.Intn(len(tr) - useLen)
+		}
+		pat, ok := p.Corpus.ReversedPattern(tr[start : start+useLen])
+		if !ok {
+			continue
+		}
+		out = append(out, pat)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package fmindex
+
+import (
+	"math/bits"
+	"sort"
+
+	"cinct/internal/wavelet"
+)
+
+// apSeq is an alphabet-partitioned sequence (Barbay, Gagie, Navarro,
+// Nekrich — ISAAC 2010), the structure behind the paper's FM-AP-HYB
+// baseline. Symbols are sorted by frequency; the symbol of global
+// frequency rank r is assigned to class floor(lg(r+1)), so class k
+// holds at most 2^k symbols. The per-position class sequence (a small,
+// heavily skewed alphabet) is stored in a Huffman-shaped wavelet tree;
+// for each class, the subsequence of within-class symbol indexes is
+// stored in a wavelet matrix. Rank and access become two-level queries.
+type apSeq struct {
+	n     int
+	sigma int
+
+	classOf    []uint8  // symbol -> class (0xff if absent)
+	idxInClass []uint32 // symbol -> index within its class
+	symbolOf   [][]uint32
+
+	classSeq *wavelet.HWT
+	subs     []*wavelet.WM
+}
+
+func newAPSeq(seq []uint32, sigma, block int) *apSeq {
+	a := &apSeq{n: len(seq), sigma: sigma}
+
+	freqs := make([]uint64, sigma)
+	for _, s := range seq {
+		freqs[s]++
+	}
+	// Frequency-rank the used symbols.
+	order := make([]uint32, 0, sigma)
+	for s := 0; s < sigma; s++ {
+		if freqs[s] > 0 {
+			order = append(order, uint32(s))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if freqs[order[i]] != freqs[order[j]] {
+			return freqs[order[i]] > freqs[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	a.classOf = make([]uint8, sigma)
+	for s := range a.classOf {
+		a.classOf[s] = 0xff
+	}
+	a.idxInClass = make([]uint32, sigma)
+	nClasses := 0
+	for r, s := range order {
+		k := bits.Len(uint(r+1)) - 1 // floor(lg(r+1))
+		if k+1 > nClasses {
+			nClasses = k + 1
+		}
+		a.classOf[s] = uint8(k)
+		for len(a.symbolOf) <= k {
+			a.symbolOf = append(a.symbolOf, nil)
+		}
+		a.idxInClass[s] = uint32(len(a.symbolOf[k]))
+		a.symbolOf[k] = append(a.symbolOf[k], s)
+	}
+
+	// Build the class sequence and per-class subsequences.
+	classes := make([]uint32, len(seq))
+	subSeqs := make([][]uint32, nClasses)
+	for i, s := range seq {
+		k := a.classOf[s]
+		classes[i] = uint32(k)
+		subSeqs[k] = append(subSeqs[k], a.idxInClass[s])
+	}
+	a.classSeq = wavelet.NewHWT(classes, max(nClasses, 1), wavelet.RRRSpec(block))
+	a.subs = make([]*wavelet.WM, nClasses)
+	for k := range a.subs {
+		a.subs[k] = wavelet.NewWM(subSeqs[k], len(a.symbolOf[k]), wavelet.RRRSpec(block))
+	}
+	return a
+}
+
+func (a *apSeq) Len() int   { return a.n }
+func (a *apSeq) Sigma() int { return a.sigma }
+
+func (a *apSeq) Access(i int) uint32 {
+	k := a.classSeq.Access(i)
+	r := a.classSeq.Rank(k, i)
+	idx := a.subs[k].Access(r)
+	return a.symbolOf[k][idx]
+}
+
+func (a *apSeq) Rank(c uint32, i int) int {
+	if int(c) >= a.sigma || a.classOf[c] == 0xff {
+		return 0
+	}
+	k := a.classOf[c]
+	r := a.classSeq.Rank(uint32(k), i)
+	return a.subs[k].Rank(a.idxInClass[c], r)
+}
+
+func (a *apSeq) AccessRank(i int) (uint32, int) {
+	k, kr := a.classSeq.AccessRank(i)
+	idx, r := a.subs[k].AccessRank(kr)
+	return a.symbolOf[k][idx], r
+}
+
+func (a *apSeq) SizeBits() int {
+	total := a.classSeq.SizeBits()
+	for _, s := range a.subs {
+		total += s.SizeBits()
+	}
+	// Symbol maps: classOf (8b) + idxInClass (32b) per symbol, plus the
+	// reverse tables.
+	total += a.sigma * (8 + 32)
+	for _, syms := range a.symbolOf {
+		total += 32 * len(syms)
+	}
+	return total
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+// Package fmindex implements the baseline FM-index variants the paper
+// compares CiNCT against (Table II): backward search (Algorithm 1)
+// over a rank-indexed BWT, with the BWT stored in one of several
+// sequence representations:
+//
+//   - UFMI     — wavelet matrix over plain bit vectors (uncompressed)
+//   - ICB-WM   — wavelet matrix over RRR (implicit compression boosting)
+//   - ICB-Huff — Huffman-shaped wavelet tree over RRR
+//   - FM-AP    — alphabet partitioning (Barbay et al., ISAAC 2010)
+//   - FM-Inv   — per-symbol occurrence lists with binary-search rank;
+//     our stand-in for FM-GMR: uncompressed and fast for huge alphabets
+//     (see DESIGN.md for the substitution rationale)
+//
+// None of these exploit ET-graph sparsity; that is the gap CiNCT fills.
+package fmindex
+
+import (
+	"fmt"
+	"time"
+
+	"cinct/internal/bitvec"
+	"cinct/internal/suffix"
+	"cinct/internal/wavelet"
+)
+
+// Method selects a baseline representation.
+type Method int
+
+const (
+	// UFMI is an uncompressed wavelet matrix.
+	UFMI Method = iota
+	// ICBWM is a wavelet matrix over RRR bit vectors.
+	ICBWM
+	// ICBHuff is a Huffman-shaped wavelet tree over RRR bit vectors.
+	ICBHuff
+	// FMAP is alphabet partitioning.
+	FMAP
+	// FMInv is the inverted-occurrence-list stand-in for FM-GMR.
+	FMInv
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case UFMI:
+		return "UFMI"
+	case ICBWM:
+		return "ICB-WM"
+	case ICBHuff:
+		return "ICB-Huff"
+	case FMAP:
+		return "FM-AP"
+	case FMInv:
+		return "FM-Inv(GMR*)"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists all baselines in presentation order.
+var Methods = []Method{UFMI, ICBWM, ICBHuff, FMAP, FMInv}
+
+// BuildStats mirrors core.BuildStats for Fig. 16.
+type BuildStats struct {
+	BWT   time.Duration
+	WT    time.Duration
+	Total time.Duration
+}
+
+// Index is a baseline FM-index.
+type Index struct {
+	n      int
+	sigma  int
+	method Method
+	c      *bitvec.PackedInts // lg(n+1)-bit packed C array, len sigma+1
+	seq    wavelet.Sequence
+	// Stats describes the construction-time breakdown.
+	Stats BuildStats
+}
+
+// Build constructs a baseline index over text with symbols in
+// [0, sigma); text must end with a unique smallest terminator, as for
+// the core index. block is the RRR block size for the compressed
+// variants (ignored by UFMI and FMInv).
+func Build(text []uint32, sigma int, method Method, block int) *Index {
+	t0 := time.Now()
+	bwt, _ := suffix.Transform(text, sigma)
+	bwtTime := time.Since(t0)
+	ix := BuildFromBWT(bwt, sigma, method, block)
+	ix.Stats.BWT = bwtTime
+	ix.Stats.Total = time.Since(t0)
+	return ix
+}
+
+// BuildFromBWT constructs a baseline index from a precomputed BWT.
+func BuildFromBWT(bwt []uint32, sigma int, method Method, block int) *Index {
+	if block == 0 {
+		block = 63
+	}
+	ix := &Index{n: len(bwt), sigma: sigma, method: method}
+	rawC := make([]uint64, sigma+1)
+	for _, w := range bwt {
+		rawC[w+1]++
+	}
+	for w := 1; w <= sigma; w++ {
+		rawC[w] += rawC[w-1]
+	}
+	ix.c = bitvec.PackInts(rawC)
+	tWT := time.Now()
+	switch method {
+	case UFMI:
+		ix.seq = wavelet.NewWM(bwt, sigma, wavelet.PlainSpec)
+	case ICBWM:
+		ix.seq = wavelet.NewWM(bwt, sigma, wavelet.RRRSpec(block))
+	case ICBHuff:
+		ix.seq = wavelet.NewHWT(bwt, sigma, wavelet.RRRSpec(block))
+	case FMAP:
+		ix.seq = newAPSeq(bwt, sigma, block)
+	case FMInv:
+		ix.seq = newInvSeq(bwt, sigma)
+	default:
+		panic(fmt.Sprintf("fmindex: unknown method %d", method))
+	}
+	ix.Stats.WT = time.Since(tWT)
+	return ix
+}
+
+// Len returns |T|.
+func (ix *Index) Len() int { return ix.n }
+
+// Sigma returns the alphabet size.
+func (ix *Index) Sigma() int { return ix.sigma }
+
+// Method returns the representation in use.
+func (ix *Index) Method() Method { return ix.method }
+
+// SuffixRange runs Algorithm 1 (SearchFM) for a pattern in text order.
+func (ix *Index) SuffixRange(pat []uint32) (sp, ep int64, ok bool) {
+	m := len(pat)
+	if m == 0 {
+		return 0, int64(ix.n), true
+	}
+	w := pat[m-1]
+	if int(w) >= ix.sigma {
+		return 0, 0, false
+	}
+	sp, ep = ix.cAt(int(w)), ix.cAt(int(w)+1)
+	for i := m - 2; i >= 0; i-- {
+		if sp >= ep {
+			return 0, 0, false
+		}
+		w = pat[i]
+		if int(w) >= ix.sigma {
+			return 0, 0, false
+		}
+		sp = ix.cAt(int(w)) + int64(ix.seq.Rank(w, int(sp)))
+		ep = ix.cAt(int(w)) + int64(ix.seq.Rank(w, int(ep)))
+	}
+	if sp >= ep {
+		return 0, 0, false
+	}
+	return sp, ep, true
+}
+
+// Count returns the number of occurrences of the pattern.
+func (ix *Index) Count(pat []uint32) int64 {
+	sp, ep, ok := ix.SuffixRange(pat)
+	if !ok {
+		return 0
+	}
+	return ep - sp
+}
+
+// LF performs one LF-mapping step using direct rank on the BWT.
+func (ix *Index) LF(j int64) (next int64, sym uint32) {
+	sym, r := ix.seq.AccessRank(int(j))
+	return ix.cAt(int(sym)) + int64(r), sym
+}
+
+// Extract returns the l text symbols preceding position SA[j]
+// (cyclically), like core.Index.Extract but via direct rank.
+func (ix *Index) Extract(j int64, l int) []uint32 {
+	out := make([]uint32, l)
+	for k := 1; k <= l; k++ {
+		next, sym := ix.LF(j)
+		out[l-k] = sym
+		j = next
+	}
+	return out
+}
+
+// cAt reads the packed C array.
+func (ix *Index) cAt(w int) int64 { return int64(ix.c.Get(w)) }
+
+// SizeBits returns the index footprint: sequence plus C array.
+func (ix *Index) SizeBits() int {
+	return ix.seq.SizeBits() + ix.c.SizeBits()
+}
+
+// BitsPerSymbol returns SizeBits scaled per text symbol.
+func (ix *Index) BitsPerSymbol() float64 {
+	return float64(ix.SizeBits()) / float64(ix.n)
+}

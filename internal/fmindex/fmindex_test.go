@@ -1,0 +1,186 @@
+package fmindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinct/internal/suffix"
+)
+
+// markovText mirrors the helper in internal/core's tests: reversed
+// random walks with '$' separators and a '#' terminator.
+func markovText(rng *rand.Rand, nWalks, walkLen, nStates, deg int) ([]uint32, int) {
+	succ := make([][]uint32, nStates)
+	for s := range succ {
+		succ[s] = make([]uint32, deg)
+		for d := range succ[s] {
+			succ[s][d] = uint32(rng.Intn(nStates))
+		}
+	}
+	sigma := nStates + 2
+	var text []uint32
+	for w := 0; w < nWalks; w++ {
+		walk := make([]uint32, walkLen)
+		cur := uint32(rng.Intn(nStates))
+		for i := range walk {
+			walk[i] = cur + 2
+			d := 0
+			if rng.Float64() > 0.6 {
+				d = rng.Intn(deg)
+			}
+			cur = succ[cur][d]
+		}
+		for i := walkLen - 1; i >= 0; i-- {
+			text = append(text, walk[i])
+		}
+		text = append(text, 1)
+	}
+	text = append(text, 0)
+	return text, sigma
+}
+
+func naiveOccurrences(text, pat []uint32) int {
+	if len(pat) == 0 {
+		return len(text)
+	}
+	count := 0
+outer:
+	for i := 0; i+len(pat) <= len(text); i++ {
+		for k := range pat {
+			if text[i+k] != pat[k] {
+				continue outer
+			}
+		}
+		count++
+	}
+	return count
+}
+
+func TestAllMethodsAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	text, sigma := markovText(rng, 30, 25, 20, 3)
+	for _, m := range Methods {
+		ix := Build(text, sigma, m, 31)
+		if ix.Method() != m || ix.Len() != len(text) || ix.Sigma() != sigma {
+			t.Fatalf("%v: bad header", m)
+		}
+		for trial := 0; trial < 200; trial++ {
+			// Patterns never contain the '#' terminator: the paper's
+			// queries are paths P ∈ E* (Theorem 5), and '#' patterns can
+			// match the cyclic wraparound rotation.
+			var pat []uint32
+			pl := 1 + rng.Intn(6)
+			if trial%2 == 0 {
+				start := rng.Intn(len(text) - pl - 1)
+				pat = append(pat, text[start:start+pl]...)
+			} else {
+				for k := 0; k < pl; k++ {
+					pat = append(pat, 1+uint32(rng.Intn(sigma-1)))
+				}
+			}
+			if got, want := int(ix.Count(pat)), naiveOccurrences(text, pat); got != want {
+				t.Fatalf("%v trial %d: Count(%v) = %d, want %d", m, trial, pat, got, want)
+			}
+		}
+	}
+}
+
+func TestMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	text, sigma := markovText(rng, 25, 30, 15, 3)
+	bwt, _ := suffix.Transform(text, sigma)
+	indexes := make([]*Index, len(Methods))
+	for i, m := range Methods {
+		indexes[i] = BuildFromBWT(bwt, sigma, m, 63)
+	}
+	for trial := 0; trial < 100; trial++ {
+		m := 1 + rng.Intn(8)
+		start := rng.Intn(len(text) - m)
+		pat := text[start : start+m]
+		s0, e0, ok0 := indexes[0].SuffixRange(pat)
+		for _, ix := range indexes[1:] {
+			s, e, ok := ix.SuffixRange(pat)
+			if s != s0 || e != e0 || ok != ok0 {
+				t.Fatalf("%v disagrees with %v on %v", ix.Method(), indexes[0].Method(), pat)
+			}
+		}
+	}
+}
+
+func TestExtractAllMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	text, sigma := markovText(rng, 15, 20, 12, 3)
+	sa := suffix.Array(text, sigma)
+	bwt := suffix.BWT(text, sa)
+	n := len(text)
+	for _, m := range Methods {
+		ix := BuildFromBWT(bwt, sigma, m, 63)
+		for trial := 0; trial < 50; trial++ {
+			j := rng.Intn(n)
+			l := 1 + rng.Intn(12)
+			got := ix.Extract(int64(j), l)
+			i := int(sa[j])
+			for k := 0; k < l; k++ {
+				want := text[((i-l+k)%n+n)%n]
+				if got[k] != want {
+					t.Fatalf("%v: Extract(%d,%d)[%d] = %d, want %d", m, j, l, k, got[k], want)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyAndInvalidPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	text, sigma := markovText(rng, 5, 10, 8, 2)
+	for _, m := range Methods {
+		ix := Build(text, sigma, m, 15)
+		if sp, ep, ok := ix.SuffixRange(nil); !ok || sp != 0 || ep != int64(len(text)) {
+			t.Fatalf("%v: empty pattern", m)
+		}
+		if _, _, ok := ix.SuffixRange([]uint32{uint32(sigma + 5)}); ok {
+			t.Fatalf("%v: out-of-alphabet pattern matched", m)
+		}
+	}
+}
+
+func TestSizeOrdering(t *testing.T) {
+	// On skewed data the compressed variants must be smaller than the
+	// uncompressed ones — the qualitative shape of Fig. 10's x-axis.
+	// n/sigma must be large enough (paper: ~800) that per-node RRR
+	// overheads (problem P2, §II-B) amortize.
+	rng := rand.New(rand.NewSource(5))
+	text, sigma := markovText(rng, 2000, 50, 500, 3)
+	bwt, _ := suffix.Transform(text, sigma)
+	sizes := map[Method]float64{}
+	for _, m := range Methods {
+		sizes[m] = BuildFromBWT(bwt, sigma, m, 63).BitsPerSymbol()
+	}
+	if sizes[ICBHuff] >= sizes[UFMI] {
+		t.Fatalf("ICB-Huff (%.2f) should be smaller than UFMI (%.2f)",
+			sizes[ICBHuff], sizes[UFMI])
+	}
+	if sizes[ICBWM] >= sizes[UFMI] {
+		t.Fatalf("ICB-WM (%.2f) should be smaller than UFMI (%.2f)",
+			sizes[ICBWM], sizes[UFMI])
+	}
+	if sizes[FMInv] <= sizes[ICBHuff] {
+		t.Fatalf("FM-Inv (%.2f) should be larger than ICB-Huff (%.2f)",
+			sizes[FMInv], sizes[ICBHuff])
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	names := map[Method]string{
+		UFMI: "UFMI", ICBWM: "ICB-WM", ICBHuff: "ICB-Huff",
+		FMAP: "FM-AP", FMInv: "FM-Inv(GMR*)",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("String(%d) = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method should stringify")
+	}
+}

@@ -1,0 +1,56 @@
+package fmindex
+
+import "sort"
+
+// invSeq stores the raw sequence plus, per symbol, the sorted list of
+// its occurrence positions; Rank is a binary search in that list. It
+// is our documented stand-in for FM-GMR: an *uncompressed* structure
+// whose rank cost is independent of the alphabet size — fast and
+// large, the role FM-GMR plays in the paper's Figs. 10–13.
+type invSeq struct {
+	n     int
+	sigma int
+	raw   []uint32
+	occ   [][]int32
+}
+
+func newInvSeq(seq []uint32, sigma int) *invSeq {
+	s := &invSeq{n: len(seq), sigma: sigma, raw: seq, occ: make([][]int32, sigma)}
+	counts := make([]int32, sigma)
+	for _, c := range seq {
+		counts[c]++
+	}
+	for c, cnt := range counts {
+		if cnt > 0 {
+			s.occ[c] = make([]int32, 0, cnt)
+		}
+	}
+	for i, c := range seq {
+		s.occ[c] = append(s.occ[c], int32(i))
+	}
+	return s
+}
+
+func (s *invSeq) Len() int   { return s.n }
+func (s *invSeq) Sigma() int { return s.sigma }
+
+func (s *invSeq) Access(i int) uint32 { return s.raw[i] }
+
+func (s *invSeq) Rank(c uint32, i int) int {
+	if int(c) >= s.sigma {
+		return 0
+	}
+	list := s.occ[c]
+	return sort.Search(len(list), func(k int) bool { return int(list[k]) >= i })
+}
+
+func (s *invSeq) AccessRank(i int) (uint32, int) {
+	c := s.raw[i]
+	return c, s.Rank(c, i)
+}
+
+func (s *invSeq) SizeBits() int {
+	// Raw sequence (32 bits/symbol) + one 32-bit position per symbol
+	// occurrence + per-symbol slice headers.
+	return 32*s.n + 32*s.n + 64*s.sigma
+}

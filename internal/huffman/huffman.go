@@ -1,0 +1,248 @@
+// Package huffman builds Huffman codes over arbitrary integer alphabets.
+// It serves two roles in the reproduction: it defines the shape of
+// Huffman-shaped wavelet trees (the representation CiNCT and ICB-Huff
+// store the BWT in), and it is the final entropy coder of the MEL and
+// bwzip baseline compressors.
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Code is one symbol's codeword: the low Len bits of Bits, most
+// significant bit first (bit Len-1 of Bits is emitted first).
+type Code struct {
+	Bits uint64
+	Len  uint8
+}
+
+// Codebook maps dense symbols [0, σ) to prefix-free codewords. Symbols
+// with zero frequency get a zero-length code and must never be encoded.
+type Codebook struct {
+	Codes []Code
+	// MaxLen is the longest codeword length in bits.
+	MaxLen int
+}
+
+type hnode struct {
+	weight      uint64
+	symbol      int // -1 for internal nodes
+	left, right *hnode
+	order       int // tie-break for determinism
+}
+
+type hheap []*hnode
+
+func (h hheap) Len() int { return len(h) }
+func (h hheap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h hheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hheap) Push(x interface{}) { *h = append(*h, x.(*hnode)) }
+func (h *hheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Build constructs a canonical Huffman codebook from symbol frequencies.
+// freqs[s] is the weight of symbol s; zero-weight symbols receive no
+// code. If exactly one symbol has nonzero weight it is assigned a
+// one-bit code so that encoded output remains self-delimiting.
+func Build(freqs []uint64) *Codebook {
+	lengths := CodeLengths(freqs)
+	return FromLengths(lengths)
+}
+
+// CodeLengths returns the Huffman code length for each symbol (0 for
+// unused symbols).
+func CodeLengths(freqs []uint64) []uint8 {
+	h := make(hheap, 0, len(freqs))
+	order := 0
+	for s, f := range freqs {
+		if f > 0 {
+			h = append(h, &hnode{weight: f, symbol: s, order: order})
+			order++
+		}
+	}
+	lengths := make([]uint8, len(freqs))
+	switch len(h) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[h[0].symbol] = 1
+		return lengths
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*hnode)
+		b := heap.Pop(&h).(*hnode)
+		heap.Push(&h, &hnode{weight: a.weight + b.weight, symbol: -1, left: a, right: b, order: order})
+		order++
+	}
+	root := h[0]
+	var walk func(n *hnode, depth uint8)
+	walk = func(n *hnode, depth uint8) {
+		if n.symbol >= 0 {
+			lengths[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// FromLengths builds the canonical codebook for the given code lengths:
+// codes are assigned in increasing (length, symbol) order so the book is
+// reproducible from lengths alone (used by serialization).
+func FromLengths(lengths []uint8) *Codebook {
+	type sl struct {
+		sym int
+		ln  uint8
+	}
+	syms := make([]sl, 0, len(lengths))
+	maxLen := 0
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+			if int(l) > maxLen {
+				maxLen = int(l)
+			}
+		}
+	}
+	if maxLen > 63 {
+		panic(fmt.Sprintf("huffman: code length %d exceeds 63 bits", maxLen))
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].ln != syms[j].ln {
+			return syms[i].ln < syms[j].ln
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	cb := &Codebook{Codes: make([]Code, len(lengths)), MaxLen: maxLen}
+	var code uint64
+	var prevLen uint8
+	for _, s := range syms {
+		code <<= s.ln - prevLen
+		cb.Codes[s.sym] = Code{Bits: code, Len: s.ln}
+		code++
+		prevLen = s.ln
+	}
+	return cb
+}
+
+// Lengths returns the per-symbol code lengths (for serialization).
+func (cb *Codebook) Lengths() []uint8 {
+	ls := make([]uint8, len(cb.Codes))
+	for s, c := range cb.Codes {
+		ls[s] = c.Len
+	}
+	return ls
+}
+
+// EncodedBits returns the total number of bits Encode would emit for
+// the given frequency histogram under this codebook.
+func (cb *Codebook) EncodedBits(freqs []uint64) uint64 {
+	var total uint64
+	for s, f := range freqs {
+		if f > 0 {
+			total += f * uint64(cb.Codes[s].Len)
+		}
+	}
+	return total
+}
+
+// Encoder writes codewords into a growing bit buffer (MSB-first within
+// each codeword).
+type Encoder struct {
+	cb    *Codebook
+	words []uint64
+	nbits int
+}
+
+// NewEncoder returns an encoder for the codebook.
+func NewEncoder(cb *Codebook) *Encoder { return &Encoder{cb: cb} }
+
+// Encode appends the codeword for symbol s.
+func (e *Encoder) Encode(s int) {
+	c := e.cb.Codes[s]
+	if c.Len == 0 {
+		panic(fmt.Sprintf("huffman: symbol %d has no code", s))
+	}
+	for i := int(c.Len) - 1; i >= 0; i-- {
+		bit := c.Bits >> uint(i) & 1
+		w := e.nbits >> 6
+		if w == len(e.words) {
+			e.words = append(e.words, 0)
+		}
+		e.words[w] |= bit << uint(e.nbits&63)
+		e.nbits++
+	}
+}
+
+// Bits returns the bit stream written so far and its length in bits.
+func (e *Encoder) Bits() ([]uint64, int) { return e.words, e.nbits }
+
+// Decoder reads canonical codewords from a bit buffer.
+type Decoder struct {
+	root *dnode
+}
+
+type dnode struct {
+	zero, one *dnode
+	symbol    int // -1 for internal
+}
+
+// NewDecoder builds a decoding trie from the codebook.
+func NewDecoder(cb *Codebook) *Decoder {
+	root := &dnode{symbol: -1}
+	for s, c := range cb.Codes {
+		if c.Len == 0 {
+			continue
+		}
+		n := root
+		for i := int(c.Len) - 1; i >= 0; i-- {
+			bit := c.Bits >> uint(i) & 1
+			var next **dnode
+			if bit == 0 {
+				next = &n.zero
+			} else {
+				next = &n.one
+			}
+			if *next == nil {
+				*next = &dnode{symbol: -1}
+			}
+			n = *next
+		}
+		n.symbol = s
+	}
+	return &Decoder{root: root}
+}
+
+// Decode reads one symbol starting at bit position pos and returns the
+// symbol and the position after its codeword.
+func (d *Decoder) Decode(words []uint64, pos int) (symbol, next int) {
+	n := d.root
+	for n.symbol < 0 {
+		bit := words[pos>>6] >> uint(pos&63) & 1
+		if bit == 0 {
+			n = n.zero
+		} else {
+			n = n.one
+		}
+		if n == nil {
+			panic("huffman: invalid bit stream")
+		}
+		pos++
+	}
+	return n.symbol, pos
+}

@@ -1,0 +1,171 @@
+package huffman
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildPrefixFree(t *testing.T) {
+	freqs := []uint64{10, 0, 3, 7, 1, 1, 25}
+	cb := Build(freqs)
+	for i, ci := range cb.Codes {
+		if freqs[i] == 0 {
+			if ci.Len != 0 {
+				t.Fatalf("unused symbol %d got a code", i)
+			}
+			continue
+		}
+		if ci.Len == 0 {
+			t.Fatalf("used symbol %d has no code", i)
+		}
+		for j, cj := range cb.Codes {
+			if i == j || freqs[j] == 0 {
+				continue
+			}
+			// ci must not be a prefix of cj.
+			if ci.Len <= cj.Len && cj.Bits>>(cj.Len-ci.Len) == ci.Bits {
+				t.Fatalf("code of %d is a prefix of code of %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	cb := Build([]uint64{0, 42, 0})
+	if cb.Codes[1].Len != 1 {
+		t.Fatalf("single-symbol code length = %d, want 1", cb.Codes[1].Len)
+	}
+	e := NewEncoder(cb)
+	for i := 0; i < 5; i++ {
+		e.Encode(1)
+	}
+	words, n := e.Bits()
+	if n != 5 {
+		t.Fatalf("encoded bits = %d, want 5", n)
+	}
+	d := NewDecoder(cb)
+	pos := 0
+	for i := 0; i < 5; i++ {
+		var s int
+		s, pos = d.Decode(words, pos)
+		if s != 1 {
+			t.Fatalf("decoded %d, want 1", s)
+		}
+	}
+}
+
+func TestEmptyFreqs(t *testing.T) {
+	cb := Build([]uint64{0, 0, 0})
+	for _, c := range cb.Codes {
+		if c.Len != 0 {
+			t.Fatal("no symbol should have a code")
+		}
+	}
+	cb = Build(nil)
+	if len(cb.Codes) != 0 {
+		t.Fatal("nil freqs should produce empty codebook")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		sigma := 2 + rng.Intn(200)
+		n := 1 + rng.Intn(2000)
+		seq := make([]int, n)
+		freqs := make([]uint64, sigma)
+		for i := range seq {
+			// Zipf-ish skew to get varied code lengths.
+			s := int(math.Floor(math.Pow(rng.Float64(), 3) * float64(sigma)))
+			if s >= sigma {
+				s = sigma - 1
+			}
+			seq[i] = s
+			freqs[s]++
+		}
+		cb := Build(freqs)
+		e := NewEncoder(cb)
+		for _, s := range seq {
+			e.Encode(s)
+		}
+		words, total := e.Bits()
+		if uint64(total) != cb.EncodedBits(freqs) {
+			t.Fatalf("EncodedBits=%d actual=%d", cb.EncodedBits(freqs), total)
+		}
+		d := NewDecoder(cb)
+		pos := 0
+		for i, want := range seq {
+			var got int
+			got, pos = d.Decode(words, pos)
+			if got != want {
+				t.Fatalf("trial %d: symbol %d decoded as %d, want %d", trial, i, got, want)
+			}
+		}
+		if pos != total {
+			t.Fatalf("decoder consumed %d bits, want %d", pos, total)
+		}
+	}
+}
+
+func TestCanonicalFromLengthsStable(t *testing.T) {
+	freqs := []uint64{5, 9, 12, 13, 16, 45}
+	cb1 := Build(freqs)
+	cb2 := FromLengths(cb1.Lengths())
+	for s := range freqs {
+		if cb1.Codes[s] != cb2.Codes[s] {
+			t.Fatalf("symbol %d: %+v != %+v", s, cb1.Codes[s], cb2.Codes[s])
+		}
+	}
+}
+
+func TestOptimalityNearEntropy(t *testing.T) {
+	// Average code length must be within [H0, H0+1).
+	freqs := []uint64{50, 20, 15, 10, 5}
+	var n float64
+	for _, f := range freqs {
+		n += float64(f)
+	}
+	var h0 float64
+	for _, f := range freqs {
+		p := float64(f) / n
+		h0 -= p * math.Log2(p)
+	}
+	cb := Build(freqs)
+	avg := float64(cb.EncodedBits(freqs)) / n
+	if avg < h0 || avg >= h0+1 {
+		t.Fatalf("average code length %.3f outside [H0=%.3f, H0+1)", avg, h0)
+	}
+}
+
+func TestKraftInequalityQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		freqs := make([]uint64, len(raw))
+		used := 0
+		for i, r := range raw {
+			freqs[i] = uint64(r)
+			if r > 0 {
+				used++
+			}
+		}
+		if used < 2 {
+			return true
+		}
+		cb := Build(freqs)
+		// Kraft sum of an optimal prefix code over >=2 symbols is exactly 1.
+		var kraft float64
+		for s, c := range cb.Codes {
+			if freqs[s] > 0 {
+				kraft += math.Pow(2, -float64(c.Len))
+			}
+		}
+		return math.Abs(kraft-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

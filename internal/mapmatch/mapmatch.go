@@ -1,0 +1,205 @@
+// Package mapmatch implements Viterbi-based hidden-Markov-model map
+// matching in the style of Newson and Krumm (GIS 2009): noisy GPS
+// points are snapped to road edges by combining an emission model
+// (Gaussian in point-to-edge distance) with a transition model that
+// penalizes detours (network hop distance between consecutive candidate
+// edges). The paper's Roma dataset is produced by exactly this kind of
+// pipeline; here it turns our synthetic noisy GPS traces back into
+// NCTs.
+package mapmatch
+
+import (
+	"math"
+	"math/rand"
+
+	"cinct/internal/roadnet"
+)
+
+// Point is one GPS observation.
+type Point struct {
+	X, Y float64
+}
+
+// Config tunes the matcher.
+type Config struct {
+	// SigmaGPS is the standard deviation of GPS noise (emission model).
+	SigmaGPS float64
+	// CandidateRadius bounds the candidate edges per point.
+	CandidateRadius float64
+	// MaxHops bounds the network distance (in edges) between the
+	// matched edges of consecutive points.
+	MaxHops int
+	// HopPenalty is the per-hop log-space transition penalty.
+	HopPenalty float64
+}
+
+// DefaultConfig is tuned for unit-length grid edges.
+func DefaultConfig() Config {
+	return Config{SigmaGPS: 0.15, CandidateRadius: 0.8, MaxHops: 4, HopPenalty: 0.6}
+}
+
+// SimulateTrace samples GPS points along a path of edges: one point per
+// edge at a random position, displaced by Gaussian noise. It is the
+// synthetic stand-in for a real GPS trace of the paper's Roma taxis.
+func SimulateTrace(g *roadnet.Graph, path []roadnet.EdgeID, noise float64, rng *rand.Rand) []Point {
+	pts := make([]Point, 0, len(path))
+	for _, e := range path {
+		t := 0.2 + 0.6*rng.Float64()
+		x, y := g.PointAlongEdge(e, t)
+		pts = append(pts, Point{
+			X: x + rng.NormFloat64()*noise,
+			Y: y + rng.NormFloat64()*noise,
+		})
+	}
+	return pts
+}
+
+// spatialIndex buckets edge midpoints on a uniform grid for candidate
+// lookup.
+type spatialIndex struct {
+	g       *roadnet.Graph
+	cell    float64
+	buckets map[[2]int][]roadnet.EdgeID
+}
+
+func newSpatialIndex(g *roadnet.Graph, cell float64) *spatialIndex {
+	si := &spatialIndex{g: g, cell: cell, buckets: make(map[[2]int][]roadnet.EdgeID)}
+	for _, e := range g.Edges {
+		x, y := g.EdgeMidpoint(e.ID)
+		k := [2]int{int(math.Floor(x / cell)), int(math.Floor(y / cell))}
+		si.buckets[k] = append(si.buckets[k], e.ID)
+	}
+	return si
+}
+
+// near returns edges whose segment lies within radius of (x, y).
+func (si *spatialIndex) near(x, y, radius float64) []roadnet.EdgeID {
+	var out []roadnet.EdgeID
+	r := int(math.Ceil(radius/si.cell)) + 1
+	cx, cy := int(math.Floor(x/si.cell)), int(math.Floor(y/si.cell))
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for _, e := range si.buckets[[2]int{cx + dx, cy + dy}] {
+				if si.g.PointToEdgeDistance(x, y, e) <= radius {
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hopDistance returns the number of edge transitions needed to go from
+// edge a to edge b (0 if a == b, 1 if b directly follows a, …), capped
+// at maxHops; ok=false beyond the cap.
+func hopDistance(g *roadnet.Graph, a, b roadnet.EdgeID, maxHops int) (int, bool) {
+	if a == b {
+		return 0, true
+	}
+	frontier := []roadnet.EdgeID{a}
+	seen := map[roadnet.EdgeID]bool{a: true}
+	for hop := 1; hop <= maxHops; hop++ {
+		var next []roadnet.EdgeID
+		for _, e := range frontier {
+			for _, nx := range g.NextEdges(e) {
+				if nx == b {
+					return hop, true
+				}
+				if !seen[nx] {
+					seen[nx] = true
+					next = append(next, nx)
+				}
+			}
+		}
+		frontier = next
+	}
+	return 0, false
+}
+
+// Match runs Viterbi decoding over candidate edges and returns the
+// matched edge path, connected through the network (consecutive
+// distinct matched edges are joined by shortest paths, so the result is
+// a valid NCT). ok is false when some point has no candidates or no
+// connected state sequence exists.
+func Match(g *roadnet.Graph, pts []Point, cfg Config) ([]roadnet.EdgeID, bool) {
+	if len(pts) == 0 {
+		return nil, false
+	}
+	si := newSpatialIndex(g, math.Max(cfg.CandidateRadius, 0.25))
+
+	type state struct {
+		edge roadnet.EdgeID
+		lp   float64 // best log-probability so far
+		prev int     // index into previous layer
+	}
+	var prevLayer []state
+	var layers [][]state
+	emission := func(p Point, e roadnet.EdgeID) float64 {
+		d := g.PointToEdgeDistance(p.X, p.Y, e)
+		return -d * d / (2 * cfg.SigmaGPS * cfg.SigmaGPS)
+	}
+	for i, p := range pts {
+		cands := si.near(p.X, p.Y, cfg.CandidateRadius)
+		if len(cands) == 0 {
+			return nil, false
+		}
+		layer := make([]state, 0, len(cands))
+		for _, e := range cands {
+			em := emission(p, e)
+			if i == 0 {
+				layer = append(layer, state{edge: e, lp: em, prev: -1})
+				continue
+			}
+			best := math.Inf(-1)
+			bestPrev := -1
+			for pi, ps := range prevLayer {
+				hops, ok := hopDistance(g, ps.edge, e, cfg.MaxHops)
+				if !ok {
+					continue
+				}
+				lp := ps.lp + em - cfg.HopPenalty*float64(hops)
+				if lp > best {
+					best = lp
+					bestPrev = pi
+				}
+			}
+			if bestPrev >= 0 {
+				layer = append(layer, state{edge: e, lp: best, prev: bestPrev})
+			}
+		}
+		if len(layer) == 0 {
+			return nil, false
+		}
+		layers = append(layers, layer)
+		prevLayer = layer
+	}
+	// Backtrack the best final state.
+	bestIdx, best := 0, math.Inf(-1)
+	last := layers[len(layers)-1]
+	for i, s := range last {
+		if s.lp > best {
+			best, bestIdx = s.lp, i
+		}
+	}
+	matched := make([]roadnet.EdgeID, len(layers))
+	for i, idx := len(layers)-1, bestIdx; i >= 0; i-- {
+		matched[i] = layers[i][idx].edge
+		idx = layers[i][idx].prev
+	}
+	// Stitch into a connected NCT.
+	path := []roadnet.EdgeID{matched[0]}
+	for i := 1; i < len(matched); i++ {
+		cur := path[len(path)-1]
+		nxt := matched[i]
+		if nxt == cur {
+			continue
+		}
+		mid, ok := g.ConnectEdges(cur, nxt)
+		if !ok {
+			return nil, false
+		}
+		path = append(path, mid...)
+		path = append(path, nxt)
+	}
+	return path, true
+}

@@ -1,0 +1,152 @@
+package mapmatch
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinct/internal/roadnet"
+)
+
+// truePath builds a connected random walk of the given length,
+// avoiding immediate U-turns: the two directions of one street are
+// geometrically identical, so a U-turn is unrecoverable for any
+// position-only map matcher (including Newson–Krumm).
+func truePath(g *roadnet.Graph, rng *rand.Rand, length int) []roadnet.EdgeID {
+	cur := roadnet.EdgeID(rng.Intn(g.NumEdges()))
+	path := []roadnet.EdgeID{cur}
+	for len(path) < length {
+		rev, hasRev := g.Reverse(cur)
+		var choices []roadnet.EdgeID
+		for _, nx := range g.NextEdges(cur) {
+			if hasRev && nx == rev {
+				continue
+			}
+			choices = append(choices, nx)
+		}
+		if len(choices) == 0 {
+			choices = g.NextEdges(cur)
+			if len(choices) == 0 {
+				break
+			}
+		}
+		cur = choices[rng.Intn(len(choices))]
+		path = append(path, cur)
+	}
+	return path
+}
+
+func connected(g *roadnet.Graph, path []roadnet.EdgeID) bool {
+	for i := 1; i < len(path); i++ {
+		ok := false
+		for _, nx := range g.NextEdges(path[i-1]) {
+			if nx == path[i] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatchRecoversCleanTrace(t *testing.T) {
+	g := roadnet.Grid(8, 8, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		path := truePath(g, rng, 12)
+		pts := SimulateTrace(g, path, 0.01, rng) // nearly noise-free
+		got, ok := Match(g, pts, DefaultConfig())
+		if !ok {
+			t.Fatalf("trial %d: match failed", trial)
+		}
+		if !connected(g, got) {
+			t.Fatalf("trial %d: matched path is not connected", trial)
+		}
+		// With negligible noise, the match must recover the exact path.
+		if len(got) != len(path) {
+			t.Fatalf("trial %d: matched %d edges, want %d (%v vs %v)",
+				trial, len(got), len(path), got, path)
+		}
+		for i := range path {
+			if got[i] != path[i] {
+				t.Fatalf("trial %d: edge %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestMatchNoisyTraceIsConnectedAndClose(t *testing.T) {
+	g := roadnet.Grid(10, 10, 3)
+	rng := rand.New(rand.NewSource(4))
+	okCount, totalEdges, correctEdges := 0, 0, 0
+	for trial := 0; trial < 15; trial++ {
+		path := truePath(g, rng, 15)
+		pts := SimulateTrace(g, path, 0.12, rng)
+		got, ok := Match(g, pts, DefaultConfig())
+		if !ok {
+			continue
+		}
+		okCount++
+		if !connected(g, got) {
+			t.Fatalf("trial %d: matched path is not connected", trial)
+		}
+		// Count how many true edges appear in the match (recall proxy).
+		inGot := map[roadnet.EdgeID]bool{}
+		for _, e := range got {
+			inGot[e] = true
+		}
+		for _, e := range path {
+			totalEdges++
+			if inGot[e] {
+				correctEdges++
+			}
+		}
+	}
+	if okCount < 10 {
+		t.Fatalf("only %d/15 traces matched", okCount)
+	}
+	if recall := float64(correctEdges) / float64(totalEdges); recall < 0.7 {
+		t.Fatalf("recall %.2f too low for moderate noise", recall)
+	}
+}
+
+func TestMatchFailsFarFromNetwork(t *testing.T) {
+	g := roadnet.Grid(4, 4, 5)
+	pts := []Point{{100, 100}, {101, 101}}
+	if _, ok := Match(g, pts, DefaultConfig()); ok {
+		t.Fatal("points far from any edge should not match")
+	}
+	if _, ok := Match(g, nil, DefaultConfig()); ok {
+		t.Fatal("empty trace should not match")
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := roadnet.Grid(5, 5, 6)
+	e := roadnet.EdgeID(0)
+	if d, ok := hopDistance(g, e, e, 3); !ok || d != 0 {
+		t.Fatalf("hopDistance(e,e) = %d,%v", d, ok)
+	}
+	for _, nx := range g.NextEdges(e) {
+		if d, ok := hopDistance(g, e, nx, 3); !ok || d != 1 {
+			t.Fatalf("hopDistance to direct successor = %d,%v", d, ok)
+		}
+	}
+}
+
+func TestSimulateTraceNearPath(t *testing.T) {
+	g := roadnet.Grid(6, 6, 7)
+	rng := rand.New(rand.NewSource(8))
+	path := truePath(g, rng, 10)
+	pts := SimulateTrace(g, path, 0.05, rng)
+	if len(pts) != len(path) {
+		t.Fatalf("%d points for %d edges", len(pts), len(path))
+	}
+	for i, p := range pts {
+		if d := g.PointToEdgeDistance(p.X, p.Y, path[i]); d > 0.5 {
+			t.Fatalf("point %d is %.2f away from its edge", i, d)
+		}
+	}
+}

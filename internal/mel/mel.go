@@ -1,0 +1,118 @@
+// Package mel implements minimum entropy labeling (MEL, Han et al.,
+// "COMPRESS", TODS 2017), the labeling baseline the paper compares RML
+// against (§V-D, Tables IV and V). MEL relabels each road segment by
+// its frequency rank *among the segments sharing its head node*: a
+// position-independent map ψ: E → N (Eq. 13), in contrast to RML's
+// context-dependent φ(w|w′) (Eq. 14). The labeled sequence is then
+// entropy-coded (Huffman, as in the original evaluation).
+package mel
+
+import (
+	"sort"
+
+	"cinct/internal/entropy"
+	"cinct/internal/huffman"
+	"cinct/internal/roadnet"
+)
+
+// Labeling is a MEL function ψ.
+type Labeling struct {
+	psi      map[uint32]uint32 // edge -> label (1-based within head group)
+	maxLabel uint32
+}
+
+// Build derives ψ from unigram frequencies: edges that share a head
+// node are ranked by corpus frequency; the most frequent gets label 1.
+// Edges absent from the corpus get the next labels in ID order, so ψ is
+// total on the network.
+func Build(g *roadnet.Graph, trajs [][]uint32) *Labeling {
+	freq := make(map[uint32]int64)
+	for _, tr := range trajs {
+		for _, e := range tr {
+			freq[e]++
+		}
+	}
+	l := &Labeling{psi: make(map[uint32]uint32, g.NumEdges())}
+	for n := 0; n < g.NumNodes(); n++ {
+		// Edges whose head (To) is n share labels: a vehicle entering n
+		// came via one of them, which is what MEL disambiguates.
+		in := g.InEdgesOf(roadnet.NodeID(n))
+		es := make([]uint32, len(in))
+		for i, e := range in {
+			es[i] = uint32(e)
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if freq[es[i]] != freq[es[j]] {
+				return freq[es[i]] > freq[es[j]]
+			}
+			return es[i] < es[j]
+		})
+		for i, e := range es {
+			label := uint32(i) + 1
+			l.psi[e] = label
+			if label > l.maxLabel {
+				l.maxLabel = label
+			}
+		}
+	}
+	return l
+}
+
+// Label returns ψ(e); ok is false for edges not on the network.
+func (l *Labeling) Label(e uint32) (uint32, bool) {
+	v, ok := l.psi[e]
+	return v, ok
+}
+
+// MaxLabel returns the largest label in use.
+func (l *Labeling) MaxLabel() uint32 { return l.maxLabel }
+
+// Apply converts a corpus to its MEL label sequences.
+func (l *Labeling) Apply(trajs [][]uint32) [][]uint32 {
+	out := make([][]uint32, len(trajs))
+	for k, tr := range trajs {
+		lt := make([]uint32, len(tr))
+		for i, e := range tr {
+			v, ok := l.psi[e]
+			if !ok {
+				// Off-network edge (gapped data): give it label 0, which
+				// the entropy accounting treats as its own symbol.
+				v = 0
+			}
+			lt[i] = v
+		}
+		out[k] = lt
+	}
+	return out
+}
+
+// Entropy returns H0 of the MEL-labeled corpus (Table V's MEL column).
+func (l *Labeling) Entropy(trajs [][]uint32) float64 {
+	labeled := l.Apply(trajs)
+	var flat []uint32
+	for _, tr := range labeled {
+		flat = append(flat, tr...)
+	}
+	return entropy.H0(flat)
+}
+
+// CompressedSizeBits returns the size of the Huffman-coded MEL label
+// stream plus its codebook — the MEL entry of Table IV. Trajectory
+// boundaries add one separator label per trajectory, mirroring the
+// trajectory-string accounting used for the other compressors.
+func (l *Labeling) CompressedSizeBits(trajs [][]uint32) int64 {
+	labeled := l.Apply(trajs)
+	sep := l.maxLabel + 1
+	freqs := make([]uint64, sep+1)
+	for _, tr := range labeled {
+		for _, v := range tr {
+			freqs[v]++
+		}
+		freqs[sep]++
+	}
+	cb := huffman.Build(freqs)
+	bits := int64(cb.EncodedBits(freqs))
+	// Codebook: 8 bits of code length per symbol.
+	bits += int64(len(freqs)) * 8
+	return bits
+}

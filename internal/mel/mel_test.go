@@ -1,0 +1,94 @@
+package mel
+
+import (
+	"testing"
+
+	"cinct/internal/roadnet"
+	"cinct/internal/trajgen"
+)
+
+func corpus(t *testing.T) trajgen.Dataset {
+	t.Helper()
+	cfg := trajgen.Config{GridW: 10, GridH: 10, NumTrajs: 150, MeanLen: 30, Seed: 3}
+	return trajgen.Singapore2(cfg)
+}
+
+func TestLabelsDistinctPerHeadNode(t *testing.T) {
+	d := corpus(t)
+	l := Build(d.Graph, d.Trajs)
+	// Edges sharing a head node must have distinct labels.
+	for n := 0; n < d.Graph.NumNodes(); n++ {
+		seen := map[uint32]bool{}
+		for _, e := range d.Graph.InEdgesOf(roadnet.NodeID(n)) {
+			lab, ok := l.Label(uint32(e))
+			if !ok {
+				t.Fatalf("network edge %d unlabeled", e)
+			}
+			if lab == 0 {
+				t.Fatalf("labels must be 1-based, edge %d got 0", e)
+			}
+			if seen[lab] {
+				t.Fatalf("duplicate label %d at node %d", lab, n)
+			}
+			seen[lab] = true
+		}
+	}
+	if l.MaxLabel() == 0 {
+		t.Fatal("no labels assigned")
+	}
+}
+
+func TestApplyShape(t *testing.T) {
+	d := corpus(t)
+	l := Build(d.Graph, d.Trajs)
+	labeled := l.Apply(d.Trajs)
+	if len(labeled) != len(d.Trajs) {
+		t.Fatal("trajectory count changed")
+	}
+	for k := range labeled {
+		if len(labeled[k]) != len(d.Trajs[k]) {
+			t.Fatalf("trajectory %d length changed", k)
+		}
+	}
+}
+
+func TestEntropyBelowRaw(t *testing.T) {
+	d := corpus(t)
+	l := Build(d.Graph, d.Trajs)
+	hMEL := l.Entropy(d.Trajs)
+	// Raw H0 over edge IDs is ~lg(distinct edges); MEL must be far
+	// below it.
+	if hMEL > 6 {
+		t.Fatalf("MEL entropy %.2f implausibly high", hMEL)
+	}
+	if hMEL <= 0 {
+		t.Fatalf("MEL entropy %.2f must be positive on varied data", hMEL)
+	}
+}
+
+func TestCompressedSizeBeatsRaw(t *testing.T) {
+	d := corpus(t)
+	l := Build(d.Graph, d.Trajs)
+	bits := l.CompressedSizeBits(d.Trajs)
+	var symbols int64
+	for _, tr := range d.Trajs {
+		symbols += int64(len(tr))
+	}
+	raw := symbols * 32
+	if bits >= raw/4 {
+		t.Fatalf("MEL compression too weak: %d bits vs %d raw", bits, raw)
+	}
+}
+
+func TestUnknownEdge(t *testing.T) {
+	d := corpus(t)
+	l := Build(d.Graph, d.Trajs)
+	if _, ok := l.Label(99999999); ok {
+		t.Fatal("off-network edge should not be labeled")
+	}
+	// Apply must tolerate it (label 0).
+	out := l.Apply([][]uint32{{99999999}})
+	if out[0][0] != 0 {
+		t.Fatal("off-network edge should map to 0")
+	}
+}

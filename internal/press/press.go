@@ -1,0 +1,122 @@
+// Package press implements a PRESS-style spatial-path compressor (Song
+// et al., PVLDB 2014): subpaths that coincide with network shortest
+// paths are replaced by their endpoints, and the surviving "anchor"
+// edges are entropy-coded. The original PRESS has no public
+// implementation (the paper itself could only evaluate it on one
+// dataset); this reconstruction follows its shortest-path-coding
+// principle and is evaluated the same way. Decode reverses the process
+// exactly, so compression is lossless.
+package press
+
+import (
+	"cinct/internal/huffman"
+	"cinct/internal/roadnet"
+)
+
+// Compressed is one corpus compressed by shortest-path coding.
+type Compressed struct {
+	g       *roadnet.Graph
+	Anchors [][]uint32 // per trajectory: the surviving anchor edges
+}
+
+// Compress greedily covers each trajectory with maximal shortest-path
+// segments: an anchor is emitted whenever extending the current
+// segment by one more edge would deviate from the shortest path
+// between the segment's endpoints.
+func Compress(g *roadnet.Graph, trajs [][]uint32) *Compressed {
+	c := &Compressed{g: g, Anchors: make([][]uint32, len(trajs))}
+	for k, tr := range trajs {
+		c.Anchors[k] = compressOne(g, tr)
+	}
+	return c
+}
+
+// compressOne returns the anchor subsequence of one trajectory.
+func compressOne(g *roadnet.Graph, tr []uint32) []uint32 {
+	if len(tr) <= 2 {
+		out := make([]uint32, len(tr))
+		copy(out, tr)
+		return out
+	}
+	anchors := []uint32{tr[0]}
+	segStart := 0
+	for i := segStart + 1; i < len(tr); i++ {
+		if !isShortestSegment(g, tr[segStart:i+1]) {
+			// tr[segStart..i-1] was a shortest path; close it at i-1.
+			anchors = append(anchors, tr[i-1])
+			segStart = i - 1
+		}
+	}
+	anchors = append(anchors, tr[len(tr)-1])
+	return anchors
+}
+
+// isShortestSegment reports whether the edge sequence seg coincides
+// with *the* shortest path its endpoints select (the deterministic
+// Dijkstra of roadnet), so encode/decode agree.
+func isShortestSegment(g *roadnet.Graph, seg []uint32) bool {
+	if len(seg) <= 1 {
+		return true
+	}
+	first := roadnet.EdgeID(seg[0])
+	last := roadnet.EdgeID(seg[len(seg)-1])
+	mid, ok := g.ConnectEdges(first, last)
+	if !ok || len(mid) != len(seg)-2 {
+		return false
+	}
+	for i, e := range mid {
+		if uint32(e) != seg[i+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Decompress reconstructs every trajectory from its anchors.
+func (c *Compressed) Decompress() [][]uint32 {
+	out := make([][]uint32, len(c.Anchors))
+	for k, anchors := range c.Anchors {
+		if len(anchors) == 0 {
+			continue
+		}
+		tr := []uint32{anchors[0]}
+		for i := 1; i < len(anchors); i++ {
+			prev := roadnet.EdgeID(tr[len(tr)-1])
+			next := roadnet.EdgeID(anchors[i])
+			mid, ok := c.g.ConnectEdges(prev, next)
+			if ok {
+				for _, e := range mid {
+					tr = append(tr, uint32(e))
+				}
+			}
+			tr = append(tr, anchors[i])
+		}
+		out[k] = tr
+	}
+	return out
+}
+
+// SizeBits returns the compressed footprint: Huffman-coded anchors
+// (plus per-trajectory separators) and the codebook. The road network
+// itself is not counted, matching the paper's treatment of PRESS.
+func (c *Compressed) SizeBits() int64 {
+	maxSym := uint32(c.g.NumEdges()) // separator symbol
+	freqs := make([]uint64, maxSym+1)
+	for _, anchors := range c.Anchors {
+		for _, a := range anchors {
+			freqs[a]++
+		}
+		freqs[maxSym]++
+	}
+	cb := huffman.Build(freqs)
+	return int64(cb.EncodedBits(freqs)) + int64(len(freqs))*8
+}
+
+// AnchorCount returns the total number of anchors kept.
+func (c *Compressed) AnchorCount() int {
+	total := 0
+	for _, a := range c.Anchors {
+		total += len(a)
+	}
+	return total
+}

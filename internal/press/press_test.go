@@ -1,0 +1,91 @@
+package press
+
+import (
+	"testing"
+
+	"cinct/internal/roadnet"
+	"cinct/internal/trajgen"
+)
+
+func TestRoundTripOnShortestPathTrips(t *testing.T) {
+	cfg := trajgen.Config{GridW: 8, GridH: 8, NumTrajs: 60, MeanLen: 20, Seed: 2}
+	d := trajgen.MOGen(cfg)
+	c := Compress(d.Graph, d.Trajs)
+	back := c.Decompress()
+	if len(back) != len(d.Trajs) {
+		t.Fatal("trajectory count changed")
+	}
+	for k := range d.Trajs {
+		if len(back[k]) != len(d.Trajs[k]) {
+			t.Fatalf("trajectory %d: %d edges, want %d", k, len(back[k]), len(d.Trajs[k]))
+		}
+		for i := range d.Trajs[k] {
+			if back[k][i] != d.Trajs[k][i] {
+				t.Fatalf("trajectory %d differs at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestShortestPathTripsCompressHard(t *testing.T) {
+	// MO-gen trips are (mostly) shortest paths: PRESS should keep very
+	// few anchors.
+	cfg := trajgen.Config{GridW: 10, GridH: 10, NumTrajs: 80, MeanLen: 25, Seed: 3}
+	d := trajgen.MOGen(cfg)
+	c := Compress(d.Graph, d.Trajs)
+	total := 0
+	for _, tr := range d.Trajs {
+		total += len(tr)
+	}
+	if c.AnchorCount() > total/2 {
+		t.Fatalf("kept %d anchors of %d edges; SP trips should compress much harder",
+			c.AnchorCount(), total)
+	}
+}
+
+func TestRandomWalksRoundTrip(t *testing.T) {
+	// Turn-biased walks are not shortest paths; compression is weaker
+	// but must stay lossless.
+	cfg := trajgen.Config{GridW: 8, GridH: 8, NumTrajs: 50, MeanLen: 20, Seed: 4}
+	d := trajgen.Roma(cfg)
+	c := Compress(d.Graph, d.Trajs)
+	back := c.Decompress()
+	for k := range d.Trajs {
+		if len(back[k]) != len(d.Trajs[k]) {
+			t.Fatalf("trajectory %d length changed: %d vs %d", k, len(back[k]), len(d.Trajs[k]))
+		}
+		for i := range d.Trajs[k] {
+			if back[k][i] != d.Trajs[k][i] {
+				t.Fatalf("trajectory %d differs at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestTinyTrajectories(t *testing.T) {
+	g := roadnet.Grid(4, 4, 5)
+	trajs := [][]uint32{{0}, {0, uint32(g.NextEdges(0)[0])}}
+	c := Compress(g, trajs)
+	back := c.Decompress()
+	for k := range trajs {
+		if len(back[k]) != len(trajs[k]) {
+			t.Fatalf("tiny trajectory %d changed", k)
+		}
+	}
+}
+
+func TestSizeBitsSane(t *testing.T) {
+	cfg := trajgen.Config{GridW: 8, GridH: 8, NumTrajs: 40, MeanLen: 15, Seed: 6}
+	d := trajgen.MOGen(cfg)
+	c := Compress(d.Graph, d.Trajs)
+	if c.SizeBits() <= 0 {
+		t.Fatal("SizeBits must be positive")
+	}
+	var raw int64
+	for _, tr := range d.Trajs {
+		raw += int64(len(tr)) * 32
+	}
+	if c.SizeBits() >= raw {
+		t.Fatalf("PRESS must beat raw 32-bit storage: %d vs %d", c.SizeBits(), raw)
+	}
+}

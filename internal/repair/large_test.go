@@ -1,0 +1,33 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestLargeInputFinishesQuickly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 2_000_000
+	seq := make([]uint32, n)
+	cur := uint32(0)
+	for i := range seq {
+		if rng.Float64() < 0.2 {
+			cur = uint32(rng.Intn(500))
+		}
+		seq[i] = cur
+	}
+	t0 := time.Now()
+	g := Compress(seq, 500)
+	dt := time.Since(t0)
+	t.Logf("2M symbols: %d rules, %d residual, %v", len(g.Rules), len(g.Seq), dt)
+	if dt > 60*time.Second {
+		t.Fatalf("Re-Pair too slow: %v", dt)
+	}
+	back := g.Decompress()
+	for i := range seq {
+		if back[i] != seq[i] {
+			t.Fatalf("round trip differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package repair implements the Re-Pair grammar compressor (Larsson &
+// Moffat, DCC 1999), the stringology benchmark of the paper's Table IV:
+// the most frequent adjacent symbol pair is repeatedly replaced by a
+// fresh nonterminal until no pair repeats; the output is the rule table
+// plus the residual sequence. Decompression expands rules recursively.
+package repair
+
+import (
+	"container/heap"
+	"math/bits"
+)
+
+// Grammar is a compressed sequence: Rules[i] is the pair that
+// nonterminal (firstNT + i) expands to; Seq is the residual sequence
+// over terminals and nonterminals.
+type Grammar struct {
+	FirstNT uint32 // first nonterminal symbol value (= input alphabet bound)
+	Rules   [][2]uint32
+	Seq     []uint32
+}
+
+// pairEntry tracks one pair's occurrences during compression.
+// positions is a lazily-maintained candidate list: entries may be
+// stale (the symbols at that position have since changed) and are
+// re-validated before use, which is what makes each replacement pass
+// proportional to the pair's own occurrence count rather than to the
+// sequence length (Larsson & Moffat's key property).
+type pairEntry struct {
+	pair      [2]uint32
+	count     int
+	positions []int32
+	index     int // heap index; -1 when popped
+}
+
+type pairHeap []*pairEntry
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].count > h[j].count }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *pairHeap) Push(x interface{}) { e := x.(*pairEntry); e.index = len(*h); *h = append(*h, e) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Compress grammar-compresses seq (symbols in [0, sigma)). It stops
+// when no adjacent pair occurs twice.
+func Compress(seq []uint32, sigma int) *Grammar {
+	g := &Grammar{FirstNT: uint32(sigma)}
+	n := len(seq)
+	if n == 0 {
+		return g
+	}
+	// Doubly linked list over a copy of the sequence; holes are marked
+	// with ^uint32(0).
+	const hole = ^uint32(0)
+	cur := make([]uint32, n)
+	copy(cur, seq)
+	next := make([]int32, n)
+	prev := make([]int32, n)
+	for i := range cur {
+		next[i] = int32(i + 1)
+		prev[i] = int32(i - 1)
+	}
+	next[n-1] = -1
+
+	counts := make(map[[2]uint32]*pairEntry, n/2)
+	var h pairHeap
+	bump := func(p [2]uint32, d int, pos int32) {
+		e := counts[p]
+		if e == nil {
+			if d <= 0 {
+				return
+			}
+			e = &pairEntry{pair: p, count: d, index: -1}
+			if pos >= 0 {
+				e.positions = append(e.positions, pos)
+			}
+			counts[p] = e
+			heap.Push(&h, e)
+			return
+		}
+		e.count += d
+		if d > 0 && pos >= 0 {
+			e.positions = append(e.positions, pos)
+		}
+		if e.index >= 0 {
+			heap.Fix(&h, e.index)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		bump([2]uint32{cur[i], cur[i+1]}, 1, int32(i))
+	}
+
+	nextSym := uint32(sigma)
+	for h.Len() > 0 {
+		top := heap.Pop(&h).(*pairEntry)
+		if top.count < 2 {
+			delete(counts, top.pair)
+			continue // singleton pairs are never worth a rule
+		}
+		p := top.pair
+		newSym := nextSym
+		replaced := 0
+		for _, i := range top.positions {
+			// Validate: the candidate may be stale (symbols replaced
+			// since it was recorded, or consumed by an overlapping
+			// occurrence of this very pair).
+			if cur[i] != p[0] {
+				continue
+			}
+			j := next[i]
+			if j < 0 || cur[j] != p[1] {
+				continue
+			}
+			// Replace (i, j) by newSym at i.
+			pi, nj := prev[i], next[j]
+			if pi >= 0 {
+				bump([2]uint32{cur[pi], cur[i]}, -1, -1)
+			}
+			if nj >= 0 {
+				bump([2]uint32{cur[j], cur[nj]}, -1, -1)
+			}
+			cur[i] = newSym
+			cur[j] = hole
+			next[i] = nj
+			if nj >= 0 {
+				prev[nj] = i
+			}
+			if pi >= 0 {
+				bump([2]uint32{cur[pi], newSym}, 1, pi)
+			}
+			if nj >= 0 {
+				bump([2]uint32{newSym, cur[nj]}, 1, i)
+			}
+			replaced++
+		}
+		delete(counts, p)
+		if replaced >= 1 {
+			// A lone surviving replacement still yields a correct (if
+			// marginally suboptimal) grammar; keep the rule.
+			g.Rules = append(g.Rules, p)
+			nextSym++
+		}
+	}
+	// Collect the residual sequence.
+	for i := int32(0); i >= 0; i = next[i] {
+		g.Seq = append(g.Seq, cur[i])
+	}
+	return g
+}
+
+// Decompress expands the grammar back to the original sequence.
+func (g *Grammar) Decompress() []uint32 {
+	var out []uint32
+	// Iterative expansion with an explicit stack.
+	var stack []uint32
+	for _, s := range g.Seq {
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if top < g.FirstNT {
+				out = append(out, top)
+				continue
+			}
+			r := g.Rules[top-g.FirstNT]
+			stack = append(stack, r[1], r[0])
+		}
+	}
+	return out
+}
+
+// SizeBits returns the compressed footprint: every rule is two symbols
+// and every residual element one symbol, each of ceil(lg(maxSym)) bits
+// — the standard Re-Pair size accounting.
+func (g *Grammar) SizeBits() int64 {
+	maxSym := g.FirstNT + uint32(len(g.Rules))
+	if maxSym < 2 {
+		maxSym = 2
+	}
+	w := int64(bits.Len32(maxSym - 1))
+	return w * int64(2*len(g.Rules)+len(g.Seq))
+}

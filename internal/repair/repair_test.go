@@ -1,0 +1,114 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	cases := [][]uint32{
+		{},
+		{5},
+		{1, 2, 1, 2, 1, 2, 1, 2},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{3, 1, 4, 1, 5, 9, 2, 6},
+		{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3},
+	}
+	for _, seq := range cases {
+		g := Compress(seq, 10)
+		back := g.Decompress()
+		if len(back) != len(seq) {
+			t.Fatalf("seq %v: length %d after round trip", seq, len(back))
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				t.Fatalf("seq %v: differs at %d: %v", seq, i, back)
+			}
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(3000)
+		sigma := 2 + rng.Intn(30)
+		seq := make([]uint32, n)
+		for i := range seq {
+			seq[i] = uint32(rng.Intn(sigma))
+		}
+		g := Compress(seq, sigma)
+		back := g.Decompress()
+		if len(back) != len(seq) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				t.Fatalf("trial %d: differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		seq := make([]uint32, len(raw))
+		for i, b := range raw {
+			seq[i] = uint32(b % 8)
+		}
+		g := Compress(seq, 8)
+		back := g.Decompress()
+		if len(back) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if back[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressesRepetitiveData(t *testing.T) {
+	// Highly repetitive input must shrink dramatically.
+	seq := make([]uint32, 0, 4096)
+	pattern := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	for len(seq) < 4096 {
+		seq = append(seq, pattern...)
+	}
+	g := Compress(seq, 16)
+	if g.SizeBits() >= int64(len(seq))*4 {
+		t.Fatalf("repetitive data compressed to %d bits (raw entropy 3n = %d)",
+			g.SizeBits(), len(seq)*3)
+	}
+	if len(g.Seq) >= len(seq)/8 {
+		t.Fatalf("residual sequence %d not much shorter than input %d", len(g.Seq), len(seq))
+	}
+}
+
+func TestNoRulesForIncompressible(t *testing.T) {
+	// A strictly increasing sequence has no repeated pair.
+	seq := make([]uint32, 100)
+	for i := range seq {
+		seq[i] = uint32(i)
+	}
+	g := Compress(seq, 100)
+	if len(g.Rules) != 0 {
+		t.Fatalf("expected no rules, got %d", len(g.Rules))
+	}
+	if len(g.Seq) != 100 {
+		t.Fatalf("residual length %d", len(g.Seq))
+	}
+}
+
+func TestSizeBitsPositive(t *testing.T) {
+	g := Compress([]uint32{1, 1, 1, 1}, 2)
+	if g.SizeBits() <= 0 {
+		t.Fatal("SizeBits must be positive for non-empty input")
+	}
+}

@@ -1,0 +1,266 @@
+// Package roadnet models the road networks that network-constrained
+// trajectories live on: a directed graph with embedded node
+// coordinates, plus the shortest-path machinery (Dijkstra) that the
+// dataset generators, the Singapore-2 gap interpolation, the PRESS
+// baseline and the map matcher all rely on.
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NodeID identifies an intersection.
+type NodeID int32
+
+// EdgeID identifies a directed road segment — the symbols of an NCT.
+type EdgeID uint32
+
+// Node is an intersection with planar coordinates (used by the GPS
+// simulation and map matching).
+type Node struct {
+	X, Y float64
+}
+
+// Edge is a directed road segment.
+type Edge struct {
+	ID     EdgeID
+	From   NodeID
+	To     NodeID
+	Length float64
+}
+
+// Graph is a directed road network.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+
+	outNode [][]EdgeID // outgoing edge IDs per node
+	inNode  [][]EdgeID // incoming edge IDs per node
+}
+
+// New assembles a graph from nodes and edge endpoints; lengths are
+// Euclidean distances between the endpoint nodes.
+func New(nodes []Node, arcs [][2]NodeID) *Graph {
+	g := &Graph{
+		Nodes:   nodes,
+		outNode: make([][]EdgeID, len(nodes)),
+		inNode:  make([][]EdgeID, len(nodes)),
+	}
+	for _, a := range arcs {
+		g.addEdge(a[0], a[1])
+	}
+	return g
+}
+
+func (g *Graph) addEdge(from, to NodeID) EdgeID {
+	id := EdgeID(len(g.Edges))
+	dx := g.Nodes[from].X - g.Nodes[to].X
+	dy := g.Nodes[from].Y - g.Nodes[to].Y
+	g.Edges = append(g.Edges, Edge{
+		ID: id, From: from, To: to, Length: math.Hypot(dx, dy),
+	})
+	g.outNode[from] = append(g.outNode[from], id)
+	g.inNode[to] = append(g.inNode[to], id)
+	return id
+}
+
+// Grid builds a w×h Manhattan-style city grid with bidirectional
+// streets between orthogonal neighbors. Node coordinates are jittered
+// slightly (seeded) so edge geometry is not degenerate for the GPS
+// simulation. A small fraction of streets is removed (seeded) so the
+// network is not perfectly regular, while connectivity is preserved by
+// never removing both directions of a street on the grid's spanning
+// rows/columns.
+func Grid(w, h int, seed int64) *Graph {
+	if w < 2 || h < 2 {
+		panic(fmt.Sprintf("roadnet: grid must be at least 2x2, got %dx%d", w, h))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]Node, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			nodes[y*w+x] = Node{
+				X: float64(x) + 0.2*(rng.Float64()-0.5),
+				Y: float64(y) + 0.2*(rng.Float64()-0.5),
+			}
+		}
+	}
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	var arcs [][2]NodeID
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				// Drop ~7% of interior horizontal streets.
+				if y == 0 || rng.Float64() >= 0.07 {
+					arcs = append(arcs, [2]NodeID{id(x, y), id(x+1, y)})
+					arcs = append(arcs, [2]NodeID{id(x+1, y), id(x, y)})
+				}
+			}
+			if y+1 < h {
+				if x == 0 || rng.Float64() >= 0.07 {
+					arcs = append(arcs, [2]NodeID{id(x, y), id(x, y+1)})
+					arcs = append(arcs, [2]NodeID{id(x, y+1), id(x, y)})
+				}
+			}
+		}
+	}
+	return New(nodes, arcs)
+}
+
+// NumNodes returns the intersection count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the road segment count (the NCT alphabet size).
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// OutEdgesOf returns the edges leaving node n.
+func (g *Graph) OutEdgesOf(n NodeID) []EdgeID { return g.outNode[n] }
+
+// InEdgesOf returns the edges entering node n.
+func (g *Graph) InEdgesOf(n NodeID) []EdgeID { return g.inNode[n] }
+
+// NextEdges returns the edges a vehicle on e can move to next: the
+// out-edges of e's head node.
+func (g *Graph) NextEdges(e EdgeID) []EdgeID {
+	return g.outNode[g.Edges[e].To]
+}
+
+// Reverse returns the opposite-direction edge of e, or (0, false) if
+// the street is one-way.
+func (g *Graph) Reverse(e EdgeID) (EdgeID, bool) {
+	ed := g.Edges[e]
+	for _, r := range g.outNode[ed.To] {
+		if g.Edges[r].To == ed.From {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// ShortestPath returns the node-to-node shortest path as a sequence of
+// edges, or ok=false if to is unreachable from from. An empty path with
+// ok=true means from == to.
+func (g *Graph) ShortestPath(from, to NodeID) (path []EdgeID, dist float64, ok bool) {
+	if from == to {
+		return nil, 0, true
+	}
+	distv := make(map[NodeID]float64, 64)
+	prevEdge := make(map[NodeID]EdgeID, 64)
+	distv[from] = 0
+	q := pq{{from, 0}}
+	for len(q) > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > distv[it.node] {
+			continue
+		}
+		if it.node == to {
+			break
+		}
+		for _, eid := range g.outNode[it.node] {
+			e := g.Edges[eid]
+			nd := it.dist + e.Length
+			if cur, seen := distv[e.To]; !seen || nd < cur {
+				distv[e.To] = nd
+				prevEdge[e.To] = eid
+				heap.Push(&q, pqItem{e.To, nd})
+			}
+		}
+	}
+	d, reached := distv[to]
+	if !reached {
+		return nil, 0, false
+	}
+	// Reconstruct backward.
+	for at := to; at != from; {
+		e := prevEdge[at]
+		path = append(path, e)
+		at = g.Edges[e].From
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, d, true
+}
+
+// ConnectEdges returns the edges needed between two road segments: the
+// shortest path from a's head to b's tail, excluding a and b. ok=false
+// if no connection exists. An empty path with ok=true means b directly
+// follows a.
+func (g *Graph) ConnectEdges(a, b EdgeID) ([]EdgeID, bool) {
+	path, _, ok := g.ShortestPath(g.Edges[a].To, g.Edges[b].From)
+	if !ok {
+		return nil, false
+	}
+	return path, true
+}
+
+// EdgeMidpoint returns the planar midpoint of an edge (used by the
+// spatial index of the map matcher).
+func (g *Graph) EdgeMidpoint(e EdgeID) (x, y float64) {
+	ed := g.Edges[e]
+	a, b := g.Nodes[ed.From], g.Nodes[ed.To]
+	return (a.X + b.X) / 2, (a.Y + b.Y) / 2
+}
+
+// PointToEdgeDistance returns the distance from point (x, y) to the
+// segment of edge e.
+func (g *Graph) PointToEdgeDistance(x, y float64, e EdgeID) float64 {
+	ed := g.Edges[e]
+	a, b := g.Nodes[ed.From], g.Nodes[ed.To]
+	abx, aby := b.X-a.X, b.Y-a.Y
+	apx, apy := x-a.X, y-a.Y
+	den := abx*abx + aby*aby
+	t := 0.0
+	if den > 0 {
+		t = (apx*abx + apy*aby) / den
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	px, py := a.X+t*abx, a.Y+t*aby
+	return math.Hypot(x-px, y-py)
+}
+
+// PointAlongEdge returns the point at fraction t ∈ [0,1] along edge e.
+func (g *Graph) PointAlongEdge(e EdgeID, t float64) (x, y float64) {
+	ed := g.Edges[e]
+	a, b := g.Nodes[ed.From], g.Nodes[ed.To]
+	return a.X + t*(b.X-a.X), a.Y + t*(b.Y-a.Y)
+}
+
+// Direction returns the unit direction vector of edge e.
+func (g *Graph) Direction(e EdgeID) (dx, dy float64) {
+	ed := g.Edges[e]
+	a, b := g.Nodes[ed.From], g.Nodes[ed.To]
+	dx, dy = b.X-a.X, b.Y-a.Y
+	l := math.Hypot(dx, dy)
+	if l == 0 {
+		return 0, 0
+	}
+	return dx / l, dy / l
+}

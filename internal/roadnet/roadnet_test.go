@@ -1,0 +1,182 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGridBasicShape(t *testing.T) {
+	g := Grid(5, 4, 1)
+	if g.NumNodes() != 20 {
+		t.Fatalf("NumNodes = %d, want 20", g.NumNodes())
+	}
+	// Full grid would have 2*(4*4 + 5*3) = 62 directed edges; ~7% of
+	// interior streets are dropped so expect a bit fewer.
+	if g.NumEdges() < 40 || g.NumEdges() > 62 {
+		t.Fatalf("NumEdges = %d, want within [40,62]", g.NumEdges())
+	}
+	for _, e := range g.Edges {
+		if e.Length <= 0 {
+			t.Fatalf("edge %d has non-positive length", e.ID)
+		}
+		if e.From == e.To {
+			t.Fatalf("edge %d is a self-loop", e.ID)
+		}
+	}
+}
+
+func TestGridDeterministic(t *testing.T) {
+	a := Grid(6, 6, 42)
+	b := Grid(6, 6, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should give identical graphs")
+	}
+	c := Grid(6, 6, 43)
+	_ = c // different seed may coincide in edge count; just ensure no panic
+}
+
+func TestOutInConsistency(t *testing.T) {
+	g := Grid(5, 5, 2)
+	outTotal, inTotal := 0, 0
+	for n := NodeID(0); int(n) < g.NumNodes(); n++ {
+		outTotal += len(g.OutEdgesOf(n))
+		inTotal += len(g.InEdgesOf(n))
+		for _, e := range g.OutEdgesOf(n) {
+			if g.Edges[e].From != n {
+				t.Fatalf("edge %d in out-list of %d but From=%d", e, n, g.Edges[e].From)
+			}
+		}
+		for _, e := range g.InEdgesOf(n) {
+			if g.Edges[e].To != n {
+				t.Fatalf("edge %d in in-list of %d but To=%d", e, n, g.Edges[e].To)
+			}
+		}
+	}
+	if outTotal != g.NumEdges() || inTotal != g.NumEdges() {
+		t.Fatalf("out/in totals %d/%d, want %d", outTotal, inTotal, g.NumEdges())
+	}
+}
+
+func TestNextEdgesAndReverse(t *testing.T) {
+	g := Grid(4, 4, 3)
+	for _, e := range g.Edges {
+		for _, nx := range g.NextEdges(e.ID) {
+			if g.Edges[nx].From != e.To {
+				t.Fatalf("NextEdges(%d) includes disconnected edge %d", e.ID, nx)
+			}
+		}
+		if r, ok := g.Reverse(e.ID); ok {
+			if g.Edges[r].From != e.To || g.Edges[r].To != e.From {
+				t.Fatalf("Reverse(%d) = %d is not the reverse", e.ID, r)
+			}
+		}
+	}
+}
+
+func TestShortestPathProperties(t *testing.T) {
+	g := Grid(8, 8, 4)
+	// Path from corner to corner must exist and be connected.
+	from, to := NodeID(0), NodeID(63)
+	path, dist, ok := g.ShortestPath(from, to)
+	if !ok || len(path) == 0 {
+		t.Fatal("corner-to-corner path should exist")
+	}
+	if g.Edges[path[0]].From != from || g.Edges[path[len(path)-1]].To != to {
+		t.Fatal("path endpoints wrong")
+	}
+	sum := 0.0
+	for i, e := range path {
+		sum += g.Edges[e].Length
+		if i > 0 && g.Edges[path[i-1]].To != g.Edges[e].From {
+			t.Fatalf("path disconnected at %d", i)
+		}
+	}
+	if math.Abs(sum-dist) > 1e-9 {
+		t.Fatalf("reported dist %v != edge sum %v", dist, sum)
+	}
+	// Triangle inequality against any single-hop neighbors.
+	if dist <= 0 {
+		t.Fatal("non-trivial path must have positive length")
+	}
+	// Self path.
+	p, d, ok := g.ShortestPath(from, from)
+	if !ok || len(p) != 0 || d != 0 {
+		t.Fatal("self path should be empty with zero distance")
+	}
+}
+
+func TestShortestPathIsOptimalOnSmallGraph(t *testing.T) {
+	// Hand-built diamond: 0->1->3 (lengths 1+1), 0->2->3 (1+10 by
+	// coordinates). The short branch must win.
+	nodes := []Node{{0, 0}, {1, 0}, {0, 5}, {2, 0}}
+	arcs := [][2]NodeID{{0, 1}, {1, 3}, {0, 2}, {2, 3}}
+	g := New(nodes, arcs)
+	path, dist, ok := g.ShortestPath(0, 3)
+	if !ok || len(path) != 2 {
+		t.Fatalf("path = %v, ok=%v", path, ok)
+	}
+	if g.Edges[path[0]].To != 1 {
+		t.Fatal("Dijkstra picked the long branch")
+	}
+	if dist >= 5 {
+		t.Fatalf("dist = %v, want ~2", dist)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	nodes := []Node{{0, 0}, {1, 0}, {5, 5}}
+	arcs := [][2]NodeID{{0, 1}} // node 2 isolated
+	g := New(nodes, arcs)
+	if _, _, ok := g.ShortestPath(0, 2); ok {
+		t.Fatal("unreachable node reported reachable")
+	}
+	// ConnectEdges(0,0) needs a path from edge 0's head back to its
+	// tail; the one-way graph has none.
+	if _, ok := g.ConnectEdges(0, 0); ok {
+		t.Fatal("one-way edge should not connect to itself")
+	}
+}
+
+func TestConnectEdges(t *testing.T) {
+	g := Grid(6, 6, 5)
+	a := g.Edges[0]
+	// Find an edge whose tail is a's head: directly connected.
+	for _, b := range g.NextEdges(a.ID) {
+		mid, ok := g.ConnectEdges(a.ID, b)
+		if !ok || len(mid) != 0 {
+			t.Fatalf("directly connected edges need no interpolation, got %v", mid)
+		}
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	nodes := []Node{{0, 0}, {2, 0}}
+	g := New(nodes, [][2]NodeID{{0, 1}})
+	if d := g.PointToEdgeDistance(1, 1, 0); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("distance to midpoint-above = %v, want 1", d)
+	}
+	if d := g.PointToEdgeDistance(-1, 0, 0); math.Abs(d-1) > 1e-9 {
+		t.Fatalf("distance beyond endpoint = %v, want 1", d)
+	}
+	x, y := g.PointAlongEdge(0, 0.5)
+	if math.Abs(x-1) > 1e-9 || math.Abs(y) > 1e-9 {
+		t.Fatalf("PointAlongEdge = (%v,%v), want (1,0)", x, y)
+	}
+	mx, my := g.EdgeMidpoint(0)
+	if math.Abs(mx-1) > 1e-9 || math.Abs(my) > 1e-9 {
+		t.Fatalf("EdgeMidpoint = (%v,%v)", mx, my)
+	}
+	dx, dy := g.Direction(0)
+	if math.Abs(dx-1) > 1e-9 || math.Abs(dy) > 1e-9 {
+		t.Fatalf("Direction = (%v,%v)", dx, dy)
+	}
+}
+
+func TestGridPanicsOnTinyDimensions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grid(1,5) should panic")
+		}
+	}()
+	Grid(1, 5, 0)
+}

@@ -1,0 +1,71 @@
+package suffix
+
+import "fmt"
+
+// BWT computes the Burrows–Wheeler transform of s from its suffix
+// array: bwt[i] = s[(sa[i]+n−1) mod n]. The paper defines the BWT via
+// sorted rotations (Fig. 2); rotation order coincides with suffix order
+// exactly when s ends with a unique smallest terminator, which the
+// trajectory string of Def. 2 guarantees with its final '#'. Callers
+// must uphold that precondition.
+func BWT(s []uint32, sa []int32) []uint32 {
+	n := len(s)
+	if len(sa) != n {
+		panic(fmt.Sprintf("suffix: BWT length mismatch: |s|=%d |sa|=%d", n, len(sa)))
+	}
+	bwt := make([]uint32, n)
+	for i, p := range sa {
+		if p == 0 {
+			bwt[i] = s[n-1]
+		} else {
+			bwt[i] = s[p-1]
+		}
+	}
+	return bwt
+}
+
+// Transform is a convenience that computes SA and BWT in one call.
+func Transform(s []uint32, sigma int) (bwt []uint32, sa []int32) {
+	sa = Array(s, sigma)
+	return BWT(s, sa), sa
+}
+
+// Inverse reconstructs the original string from its BWT using
+// LF-mapping. It requires the same precondition as BWT: the original
+// string ended with a unique smallest terminator, whose BWT row is the
+// first row (index 0) of the sorted rotation matrix. sigma bounds the
+// symbol values.
+func Inverse(bwt []uint32, sigma int) []uint32 {
+	n := len(bwt)
+	if n == 0 {
+		return nil
+	}
+	// C[c] = number of symbols < c; occ[i] = rank of bwt[i] among equal
+	// symbols in bwt[0..i].
+	counts := make([]int32, sigma+1)
+	for _, c := range bwt {
+		counts[c+1]++
+	}
+	for c := 1; c <= sigma; c++ {
+		counts[c] += counts[c-1]
+	}
+	occ := make([]int32, n)
+	running := make([]int32, sigma)
+	for i, c := range bwt {
+		occ[i] = running[c]
+		running[c]++
+	}
+	// Walk LF from row 0, the rotation starting with the terminator: its
+	// BWT symbol is T[n−2], so the text is recovered right to left with
+	// the terminator itself emitted by the final step (the row whose
+	// rotation starts at text position 0).
+	out := make([]uint32, n)
+	row := int32(0)
+	for k := n - 2; k >= 0; k-- {
+		c := bwt[row]
+		out[k] = c
+		row = counts[c] + occ[row]
+	}
+	out[n-1] = bwt[row]
+	return out
+}

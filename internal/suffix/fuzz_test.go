@@ -1,0 +1,46 @@
+package suffix
+
+import "testing"
+
+// FuzzBWTRoundTrip checks Inverse(BWT(s)) == s for arbitrary
+// terminated strings, and that Array always emits a permutation.
+func FuzzBWTRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0})
+	f.Add([]byte{5, 5, 5, 5, 5})
+	f.Add([]byte{1, 0, 1, 0, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 5000 {
+			t.Skip()
+		}
+		s := make([]uint32, len(raw)+1)
+		maxSym := uint32(0)
+		for i, b := range raw {
+			s[i] = uint32(b) + 1
+			if s[i] > maxSym {
+				maxSym = s[i]
+			}
+		}
+		s[len(raw)] = 0
+		sigma := int(maxSym) + 1
+
+		sa := Array(s, sigma)
+		seen := make([]bool, len(s))
+		for _, p := range sa {
+			if p < 0 || int(p) >= len(s) || seen[p] {
+				t.Fatalf("SA not a permutation at %d", p)
+			}
+			seen[p] = true
+		}
+		bwt := BWT(s, sa)
+		back := Inverse(bwt, sigma)
+		if len(back) != len(s) {
+			t.Fatalf("round trip length %d != %d", len(back), len(s))
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("round trip differs at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+// Package suffix provides linear-time suffix array construction (the
+// SA-IS algorithm of Nong, Zhang and Chan) for integer alphabets, and
+// the Burrows–Wheeler transform built on top of it. These replace the
+// sais.hxx / sdsl-lite components the paper's C++ implementation used.
+package suffix
+
+// Array computes the suffix array of s, whose symbols must lie in
+// [0, sigma). A virtual sentinel smaller than every symbol is appended
+// internally, so s itself needs no terminator. The result sa satisfies:
+// the suffixes s[sa[0]:] < s[sa[1]:] < … in lexicographic order (with
+// the shorter-is-smaller rule the virtual sentinel induces).
+func Array(s []uint32, sigma int) []int32 {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	// Shift symbols by +1 so 0 can serve as the unique sentinel.
+	work := make([]int32, n+1)
+	for i, c := range s {
+		work[i] = int32(c) + 1
+	}
+	work[n] = 0
+	sa := make([]int32, n+1)
+	sais(work, sa, sigma+1)
+	// sa[0] is the sentinel suffix; drop it.
+	out := make([]int32, n)
+	copy(out, sa[1:])
+	return out
+}
+
+// sais computes the suffix array of s into sa. s must end with a unique
+// smallest symbol (the sentinel) and have symbols in [0, sigma).
+func sais(s []int32, sa []int32, sigma int) {
+	n := len(s)
+	if n == 1 {
+		sa[0] = 0
+		return
+	}
+	if n == 2 {
+		// Sentinel is last and smallest.
+		sa[0], sa[1] = 1, 0
+		return
+	}
+
+	// Classify suffix types: isS[i] == true means suffix i is S-type.
+	isS := make([]bool, n)
+	isS[n-1] = true
+	for i := n - 2; i >= 0; i-- {
+		isS[i] = s[i] < s[i+1] || (s[i] == s[i+1] && isS[i+1])
+	}
+	isLMS := func(i int) bool { return i > 0 && isS[i] && !isS[i-1] }
+
+	counts := make([]int32, sigma)
+	for _, c := range s {
+		counts[c]++
+	}
+	heads := make([]int32, sigma)
+	tails := make([]int32, sigma)
+	resetHeads := func() {
+		var sum int32
+		for c := 0; c < sigma; c++ {
+			heads[c] = sum
+			sum += counts[c]
+		}
+	}
+	resetTails := func() {
+		var sum int32
+		for c := 0; c < sigma; c++ {
+			sum += counts[c]
+			tails[c] = sum
+		}
+	}
+
+	// induce completes sa from the LMS suffixes already placed at their
+	// bucket tails (all other entries must be -1).
+	induce := func() {
+		resetHeads()
+		for i := 0; i < n; i++ {
+			j := sa[i]
+			if j > 0 && !isS[j-1] {
+				c := s[j-1]
+				sa[heads[c]] = j - 1
+				heads[c]++
+			}
+		}
+		resetTails()
+		for i := n - 1; i >= 0; i-- {
+			j := sa[i]
+			if j > 0 && isS[j-1] {
+				c := s[j-1]
+				tails[c]--
+				sa[tails[c]] = j - 1
+			}
+		}
+	}
+
+	// Pass 1: sort LMS substrings by placing LMS positions at bucket
+	// tails in text order, then inducing.
+	for i := range sa {
+		sa[i] = -1
+	}
+	resetTails()
+	nLMS := 0
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			c := s[i]
+			tails[c]--
+			sa[tails[c]] = int32(i)
+			nLMS++
+		}
+	}
+	induce()
+
+	// Compact the sorted LMS positions into the front of sa.
+	sorted := make([]int32, 0, nLMS)
+	for i := 0; i < n; i++ {
+		if isLMS(int(sa[i])) {
+			sorted = append(sorted, sa[i])
+		}
+	}
+
+	// Name LMS substrings; equal adjacent substrings share a name.
+	names := make([]int32, n) // names[i] valid only at LMS positions
+	name := int32(0)
+	var prev int32 = -1
+	for _, cur := range sorted {
+		if prev >= 0 && !lmsEqual(s, isS, int(prev), int(cur)) {
+			name++
+		}
+		names[cur] = name
+		prev = cur
+	}
+	numNames := int(name) + 1
+
+	// Build the reduced problem: LMS positions in text order.
+	lmsPos := make([]int32, 0, nLMS)
+	for i := 1; i < n; i++ {
+		if isLMS(i) {
+			lmsPos = append(lmsPos, int32(i))
+		}
+	}
+	reduced := make([]int32, nLMS)
+	for i, p := range lmsPos {
+		reduced[i] = names[p]
+	}
+
+	var lmsOrder []int32
+	if numNames == nLMS {
+		// All names distinct: order is determined directly.
+		lmsOrder = make([]int32, nLMS)
+		for i, r := range reduced {
+			lmsOrder[r] = int32(i)
+		}
+	} else {
+		// Recurse. reduced ends with the sentinel's LMS (position n-1),
+		// whose name is 0 and unique, so it is a valid sentinel.
+		sub := make([]int32, nLMS)
+		sais(reduced, sub, numNames)
+		lmsOrder = sub
+	}
+
+	// Pass 2: place LMS suffixes in their final relative order, induce.
+	for i := range sa {
+		sa[i] = -1
+	}
+	resetTails()
+	for i := nLMS - 1; i >= 0; i-- {
+		p := lmsPos[lmsOrder[i]]
+		c := s[p]
+		tails[c]--
+		sa[tails[c]] = p
+	}
+	induce()
+}
+
+// lmsEqual reports whether the LMS substrings starting at i and j are
+// identical (same symbols and same types up to and including the next
+// LMS position).
+func lmsEqual(s []int32, isS []bool, i, j int) bool {
+	n := len(s)
+	if i == n-1 || j == n-1 {
+		return i == j
+	}
+	for k := 0; ; k++ {
+		iLMS := i+k > 0 && isS[i+k] && !isS[i+k-1]
+		jLMS := j+k > 0 && isS[j+k] && !isS[j+k-1]
+		if k > 0 && iLMS && jLMS {
+			return true
+		}
+		if iLMS != jLMS || s[i+k] != s[j+k] {
+			return false
+		}
+		if i+k == n-1 || j+k == n-1 {
+			return (i + k) == (j + k)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package suffix
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// naiveSA builds a suffix array by comparison sort, with the same
+// shorter-is-smaller tie rule a virtual sentinel induces.
+func naiveSA(s []uint32) []int32 {
+	n := len(s)
+	sa := make([]int32, n)
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		i, j := int(sa[a]), int(sa[b])
+		for i < n && j < n {
+			if s[i] != s[j] {
+				return s[i] < s[j]
+			}
+			i++
+			j++
+		}
+		return i == n && j < n
+	})
+	return sa
+}
+
+func randSeq(rng *rand.Rand, n, sigma int) []uint32 {
+	s := make([]uint32, n)
+	for i := range s {
+		s[i] = uint32(rng.Intn(sigma))
+	}
+	return s
+}
+
+func eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestArrayAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]uint32{
+		{},
+		{0},
+		{5},
+		{1, 1, 1, 1},
+		{3, 2, 1, 0},
+		{0, 1, 0, 1, 0},
+		{1, 0, 1, 0, 0, 1, 0},
+	}
+	for _, s := range cases {
+		got := Array(s, 8)
+		want := naiveSA(s)
+		if !eq(got, want) {
+			t.Fatalf("s=%v: got %v want %v", s, got, want)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		sigma := 1 + rng.Intn(10)
+		s := randSeq(rng, n, sigma)
+		got := Array(s, sigma)
+		want := naiveSA(s)
+		if !eq(got, want) {
+			t.Fatalf("trial %d (n=%d sigma=%d): SA mismatch\ns=%v\ngot  %v\nwant %v",
+				trial, n, sigma, s, got, want)
+		}
+	}
+}
+
+func TestArrayLargeAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(500)
+		sigma := 1000 + rng.Intn(100000)
+		s := randSeq(rng, n, sigma)
+		if !eq(Array(s, sigma), naiveSA(s)) {
+			t.Fatalf("trial %d: SA mismatch for large alphabet", trial)
+		}
+	}
+}
+
+func TestArrayQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := make([]uint32, len(raw))
+		for i, b := range raw {
+			s[i] = uint32(b % 4) // small alphabet stresses recursion
+		}
+		return eq(Array(s, 4), naiveSA(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrayIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randSeq(rng, 10000, 5)
+	sa := Array(s, 5)
+	seen := make([]bool, len(s))
+	for _, p := range sa {
+		if p < 0 || int(p) >= len(s) || seen[p] {
+			t.Fatalf("SA is not a permutation at %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+// terminated returns s with a unique smallest terminator appended and
+// all symbols shifted up by one, mimicking the trajectory string's '#'.
+func terminated(s []uint32) ([]uint32, int) {
+	out := make([]uint32, len(s)+1)
+	maxSym := uint32(0)
+	for i, c := range s {
+		out[i] = c + 1
+		if c+1 > maxSym {
+			maxSym = c + 1
+		}
+	}
+	out[len(s)] = 0
+	return out, int(maxSym) + 1
+}
+
+func TestBWTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		raw := randSeq(rng, 1+rng.Intn(400), 1+rng.Intn(20))
+		s, sigma := terminated(raw)
+		bwt, _ := Transform(s, sigma)
+		back := Inverse(bwt, sigma)
+		if len(back) != len(s) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for i := range s {
+			if back[i] != s[i] {
+				t.Fatalf("trial %d: Inverse(BWT(s)) differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestBWTMatchesRotationSort(t *testing.T) {
+	// Verify against an explicit sorted-rotations BWT (the paper's
+	// Fig. 2 definition) for terminated strings.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		raw := randSeq(rng, 1+rng.Intn(100), 1+rng.Intn(6))
+		s, sigma := terminated(raw)
+		n := len(s)
+		rot := make([]int, n)
+		for i := range rot {
+			rot[i] = i
+		}
+		sort.Slice(rot, func(a, b int) bool {
+			i, j := rot[a], rot[b]
+			for k := 0; k < n; k++ {
+				ci, cj := s[(i+k)%n], s[(j+k)%n]
+				if ci != cj {
+					return ci < cj
+				}
+			}
+			return false
+		})
+		want := make([]uint32, n)
+		for k, r := range rot {
+			want[k] = s[(r+n-1)%n]
+		}
+		got, _ := Transform(s, sigma)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: BWT differs from rotation-sort at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// The running example of the paper: T = FEBA$CBA$CB$DA$# with
+	// # < $ < A < … < F must produce Tbwt = $AAABDBBCCE$$$F#  (Eq. 2).
+	sym := map[byte]uint32{'#': 0, '$': 1, 'A': 2, 'B': 3, 'C': 4, 'D': 5, 'E': 6, 'F': 7}
+	text := "FEBA$CBA$CB$DA$#"
+	s := make([]uint32, len(text))
+	for i := range text {
+		s[i] = sym[text[i]]
+	}
+	bwt, sa := Transform(s, 8)
+	wantBWT := "$AAABDBBCCE$$$F#"
+	rev := map[uint32]byte{}
+	for k, v := range sym {
+		rev[v] = k
+	}
+	got := make([]byte, len(bwt))
+	for i, c := range bwt {
+		got[i] = rev[c]
+	}
+	if string(got) != wantBWT {
+		t.Fatalf("BWT = %q, want %q", got, wantBWT)
+	}
+	// Suffix range of "BA" must be [9, 11) per Fig. 2.
+	// Check directly on the SA: suffixes starting with B,A.
+	lo, hi := -1, -1
+	for i, p := range sa {
+		if int(p)+1 < len(s) && s[p] == sym['B'] && s[p+1] == sym['A'] {
+			if lo == -1 {
+				lo = i
+			}
+			hi = i + 1
+		}
+	}
+	if lo != 9 || hi != 11 {
+		t.Fatalf("R(BA) = [%d,%d), want [9,11)", lo, hi)
+	}
+}
+
+func BenchmarkArray1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	s := randSeq(rng, 1<<20, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Array(s, 1<<14)
+	}
+}

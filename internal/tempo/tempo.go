@@ -1,0 +1,170 @@
+// Package tempo stores per-edge timestamps for trajectory corpora in
+// delta-compressed form. The paper deliberately leaves timestamp
+// compression orthogonal (§I, §VII) but positions CiNCT as the spatial
+// half of systems like SNT-index [6] and CTR [3] that answer *strict
+// path queries* — "find trajectories that traveled path P within time
+// interval I". This package supplies the temporal half: lossless
+// delta+varint columns (the choice of [3]) with O(len) random access.
+package tempo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Store holds one timestamp column per trajectory, delta-compressed.
+type Store struct {
+	// blob holds zig-zag varint deltas, all trajectories back to back.
+	blob []byte
+	// starts[k] is the byte offset of trajectory k's column; lens[k]
+	// its entry count.
+	starts []int32
+	lens   []int32
+}
+
+// ErrMismatch reports timestamp columns inconsistent with trajectories.
+var ErrMismatch = errors.New("tempo: timestamp/trajectory shape mismatch")
+
+// New builds a store. times[k][i] is the entry time (any int64 clock)
+// of trajectory k's i-th edge; len(times[k]) must equal the trajectory
+// length. Timestamps need not be monotone (zig-zag coding), though
+// they almost always are, which is what makes deltas small.
+func New(times [][]int64) *Store {
+	s := &Store{
+		starts: make([]int32, len(times)),
+		lens:   make([]int32, len(times)),
+	}
+	var buf [binary.MaxVarintLen64]byte
+	for k, col := range times {
+		s.starts[k] = int32(len(s.blob))
+		s.lens[k] = int32(len(col))
+		prev := int64(0)
+		for _, t := range col {
+			n := binary.PutVarint(buf[:], t-prev)
+			s.blob = append(s.blob, buf[:n]...)
+			prev = t
+		}
+	}
+	return s
+}
+
+// NumTrajectories returns the number of columns.
+func (s *Store) NumTrajectories() int { return len(s.starts) }
+
+// Len returns the entry count of trajectory k.
+func (s *Store) Len(k int) int { return int(s.lens[k]) }
+
+// Column decodes the full timestamp column of trajectory k.
+func (s *Store) Column(k int) []int64 {
+	out := make([]int64, s.lens[k])
+	pos := int(s.starts[k])
+	prev := int64(0)
+	for i := range out {
+		d, n := binary.Varint(s.blob[pos:])
+		if n <= 0 {
+			panic(fmt.Sprintf("tempo: corrupt column %d", k))
+		}
+		pos += n
+		prev += d
+		out[i] = prev
+	}
+	return out
+}
+
+// At returns the timestamp of trajectory k's edge i, decoding only the
+// column prefix.
+func (s *Store) At(k, i int) int64 {
+	if i < 0 || i >= int(s.lens[k]) {
+		panic(fmt.Sprintf("tempo: At(%d,%d) out of range [0,%d)", k, i, s.lens[k]))
+	}
+	pos := int(s.starts[k])
+	prev := int64(0)
+	for j := 0; j <= i; j++ {
+		d, n := binary.Varint(s.blob[pos:])
+		if n <= 0 {
+			panic(fmt.Sprintf("tempo: corrupt column %d", k))
+		}
+		pos += n
+		prev += d
+	}
+	return prev
+}
+
+// SizeBits returns the compressed footprint.
+func (s *Store) SizeBits() int {
+	return len(s.blob)*8 + len(s.starts)*32 + len(s.lens)*32
+}
+
+// Save writes the store.
+func (s *Store) Save(w io.Writer) (int64, error) {
+	var n int64
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		n += int64(k)
+		_, err := w.Write(buf[:k])
+		return err
+	}
+	if err := put(uint64(len(s.starts))); err != nil {
+		return n, err
+	}
+	for k := range s.starts {
+		if err := put(uint64(s.lens[k])); err != nil {
+			return n, err
+		}
+	}
+	if err := put(uint64(len(s.blob))); err != nil {
+		return n, err
+	}
+	m, err := w.Write(s.blob)
+	return n + int64(m), err
+}
+
+// Load reads a store written by Save.
+func Load(r io.ByteReader) (*Store, error) {
+	nTraj, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("tempo: %w", err)
+	}
+	s := &Store{
+		starts: make([]int32, nTraj),
+		lens:   make([]int32, nTraj),
+	}
+	for k := range s.lens {
+		l, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("tempo: %w", err)
+		}
+		s.lens[k] = int32(l)
+	}
+	blobLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("tempo: %w", err)
+	}
+	s.blob = make([]byte, blobLen)
+	for i := range s.blob {
+		b, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("tempo: %w", err)
+		}
+		s.blob[i] = b
+	}
+	// Recompute starts by walking the varints.
+	pos := 0
+	for k := range s.starts {
+		s.starts[k] = int32(pos)
+		for j := int32(0); j < s.lens[k]; j++ {
+			_, n := binary.Varint(s.blob[pos:])
+			if n <= 0 {
+				return nil, errors.New("tempo: corrupt blob")
+			}
+			pos += n
+		}
+	}
+	if pos != len(s.blob) {
+		return nil, errors.New("tempo: trailing bytes in blob")
+	}
+	return s, nil
+}

@@ -1,0 +1,119 @@
+package tempo
+
+import (
+	"bufio"
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomColumns(rng *rand.Rand, n int) [][]int64 {
+	out := make([][]int64, n)
+	for k := range out {
+		l := 1 + rng.Intn(40)
+		col := make([]int64, l)
+		t := int64(1600000000) + rng.Int63n(1e6)
+		for i := range col {
+			t += rng.Int63n(120) // seconds between edges
+			col[i] = t
+		}
+		out[k] = col
+	}
+	return out
+}
+
+func TestColumnRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	times := randomColumns(rng, 50)
+	s := New(times)
+	if s.NumTrajectories() != 50 {
+		t.Fatalf("NumTrajectories = %d", s.NumTrajectories())
+	}
+	for k, want := range times {
+		if s.Len(k) != len(want) {
+			t.Fatalf("Len(%d) = %d", k, s.Len(k))
+		}
+		got := s.Column(k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Column(%d)[%d] = %d, want %d", k, i, got[i], want[i])
+			}
+		}
+		for i := range want {
+			if at := s.At(k, i); at != want[i] {
+				t.Fatalf("At(%d,%d) = %d, want %d", k, i, at, want[i])
+			}
+		}
+	}
+}
+
+func TestNonMonotoneTimestamps(t *testing.T) {
+	times := [][]int64{{100, 50, -3, 50, 100}}
+	s := New(times)
+	got := s.Column(0)
+	for i, want := range times[0] {
+		if got[i] != want {
+			t.Fatalf("non-monotone column broken at %d", i)
+		}
+	}
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	times := randomColumns(rng, 500)
+	s := New(times)
+	var entries int
+	for _, c := range times {
+		entries += len(c)
+	}
+	raw := entries * 64
+	if s.SizeBits() >= raw/2 {
+		t.Fatalf("delta coding too weak: %d bits vs %d raw", s.SizeBits(), raw)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	times := randomColumns(rng, 30)
+	s := New(times)
+	var buf bytes.Buffer
+	if _, err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range times {
+		got := loaded.Column(k)
+		for i := range times[k] {
+			if got[i] != times[k][i] {
+				t.Fatalf("reloaded column %d differs at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	s := New([][]int64{{1, 2, 3}})
+	var buf bytes.Buffer
+	if _, err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Load(bufio.NewReader(bytes.NewReader(full[:cut]))); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	s := New([][]int64{{5}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range should panic")
+		}
+	}()
+	s.At(0, 1)
+}

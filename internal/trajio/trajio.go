@@ -1,0 +1,146 @@
+// Package trajio reads and writes trajectory corpora as text files:
+// one trajectory per line, space-separated edge IDs. The format is
+// deliberately trivial so corpora can be produced by any tool.
+package trajio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Write renders the corpus.
+func Write(w io.Writer, trajs [][]uint32) error {
+	bw := bufio.NewWriter(w)
+	for _, tr := range trajs {
+		for i, e := range tr {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(e), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteTimes renders timestamp columns in the same line-per-trajectory
+// format (int64 values).
+func WriteTimes(w io.Writer, times [][]int64) error {
+	bw := bufio.NewWriter(w)
+	for _, col := range times {
+		for i, t := range col {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatInt(t, 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTimes parses timestamp columns. Unlike Read, blank lines are NOT
+// skipped: row k must align with trajectory k, and an empty trajectory
+// is invalid anyway.
+func ReadTimes(r io.Reader) ([][]int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out [][]int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := splitFields(sc.Text())
+		col := make([]int64, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trajio: line %d: %w", lineNo, err)
+			}
+			col = append(col, v)
+		}
+		out = append(out, col)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trajio: %w", err)
+	}
+	return out, nil
+}
+
+func splitFields(line string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' || line[i] == '\t' {
+			if start >= 0 {
+				out = append(out, line[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, line[start:])
+	}
+	return out
+}
+
+// Read parses a corpus. Blank lines are skipped; malformed tokens are
+// reported with their line number.
+func Read(r io.Reader) ([][]uint32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out [][]uint32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		var tr []uint32
+		start := -1
+		flush := func(end int) error {
+			if start < 0 {
+				return nil
+			}
+			v, err := strconv.ParseUint(line[start:end], 10, 32)
+			if err != nil {
+				return fmt.Errorf("trajio: line %d: %w", lineNo, err)
+			}
+			tr = append(tr, uint32(v))
+			start = -1
+			return nil
+		}
+		for i := 0; i < len(line); i++ {
+			if line[i] == ' ' || line[i] == '\t' {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+			} else if start < 0 {
+				start = i
+			}
+		}
+		if err := flush(len(line)); err != nil {
+			return nil, err
+		}
+		if len(tr) > 0 {
+			out = append(out, tr)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trajio: %w", err)
+	}
+	return out, nil
+}

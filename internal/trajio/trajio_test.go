@@ -1,0 +1,85 @@
+package trajio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	trajs := [][]uint32{
+		{1, 2, 3},
+		{4294967295},
+		{7, 7, 7, 7},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, trajs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(trajs) {
+		t.Fatalf("%d trajectories, want %d", len(back), len(trajs))
+	}
+	for k := range trajs {
+		for i := range trajs[k] {
+			if back[k][i] != trajs[k][i] {
+				t.Fatalf("trajectory %d differs at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestReadSkipsBlanksAndHandlesWhitespace(t *testing.T) {
+	in := "1 2  3\n\n\t\n4\t5\n"
+	trajs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajs) != 2 || len(trajs[0]) != 3 || len(trajs[1]) != 2 {
+		t.Fatalf("parsed %v", trajs)
+	}
+}
+
+func TestTimesRoundTrip(t *testing.T) {
+	times := [][]int64{
+		{100, 200, 300},
+		{-5, 0, 9223372036854775807},
+		{42},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimes(&buf, times); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTimes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(times) {
+		t.Fatalf("%d columns, want %d", len(back), len(times))
+	}
+	for k := range times {
+		for i := range times[k] {
+			if back[k][i] != times[k][i] {
+				t.Fatalf("column %d differs at %d", k, i)
+			}
+		}
+	}
+}
+
+func TestReadTimesRejectsGarbage(t *testing.T) {
+	if _, err := ReadTimes(strings.NewReader("1 2 zzz\n")); err == nil {
+		t.Fatal("non-numeric timestamp should error")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 2 x\n")); err == nil {
+		t.Fatal("non-numeric token should error")
+	}
+	if _, err := Read(strings.NewReader("99999999999999999999\n")); err == nil {
+		t.Fatal("overflow token should error")
+	}
+}

@@ -1,0 +1,115 @@
+package trajstr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Corpus metadata serialization: the edge map and document tables are
+// enough to interpret a core index (the text itself is recoverable from
+// the self-index and is not stored).
+
+const metaMagic = "CNCTmeta"
+
+// ErrBadMeta reports a malformed corpus metadata stream.
+var ErrBadMeta = errors.New("trajstr: bad corpus metadata")
+
+// SaveMeta writes the corpus metadata (not the text) to w.
+func (c *Corpus) SaveMeta(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v uint64) error {
+		var buf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(buf[:], v)
+		n += int64(k)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	if _, err := bw.WriteString(metaMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(metaMagic))
+	if err := write(uint64(c.Sigma)); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(c.symToEdge))); err != nil {
+		return n, err
+	}
+	// Edge IDs ascend (dense mapping is built sorted): delta-code them.
+	prev := uint64(0)
+	for _, e := range c.symToEdge {
+		if err := write(uint64(e) - prev); err != nil {
+			return n, err
+		}
+		prev = uint64(e)
+	}
+	if err := write(uint64(len(c.docStarts))); err != nil {
+		return n, err
+	}
+	for _, l := range c.docLens {
+		if err := write(uint64(l)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// LoadMeta reads corpus metadata written by SaveMeta. The returned
+// corpus has no Text; only table-based operations work.
+func LoadMeta(r io.Reader) (*Corpus, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(metaMagic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMeta, err)
+	}
+	if string(got) != metaMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadMeta)
+	}
+	read := func() (uint64, error) { return binary.ReadUvarint(br) }
+	sigma, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: sigma", ErrBadMeta)
+	}
+	nEdges, err := read()
+	if err != nil || nEdges+uint64(FirstEdgeSym) != sigma {
+		return nil, fmt.Errorf("%w: edge count %d vs sigma %d", ErrBadMeta, nEdges, sigma)
+	}
+	c := &Corpus{
+		Sigma:     int(sigma),
+		edgeToSym: make(map[uint32]uint32, nEdges),
+		symToEdge: make([]uint32, nEdges),
+	}
+	prev := uint64(0)
+	for i := range c.symToEdge {
+		d, err := read()
+		if err != nil {
+			return nil, fmt.Errorf("%w: edge table", ErrBadMeta)
+		}
+		prev += d
+		if prev > 1<<32-1 {
+			return nil, fmt.Errorf("%w: edge ID overflow", ErrBadMeta)
+		}
+		c.symToEdge[i] = uint32(prev)
+		c.edgeToSym[uint32(prev)] = uint32(i) + FirstEdgeSym
+	}
+	nDocs, err := read()
+	if err != nil {
+		return nil, fmt.Errorf("%w: doc count", ErrBadMeta)
+	}
+	c.docStarts = make([]int32, nDocs)
+	c.docLens = make([]int32, nDocs)
+	pos := int32(0)
+	for k := range c.docLens {
+		l, err := read()
+		if err != nil || l == 0 || l > 1<<31-1 {
+			return nil, fmt.Errorf("%w: doc length", ErrBadMeta)
+		}
+		c.docStarts[k] = pos
+		c.docLens[k] = int32(l)
+		pos += int32(l) + 1 // the '$'
+	}
+	return c, nil
+}

@@ -1,0 +1,265 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveRank counts c in seq[0:i].
+func naiveRank(seq []uint32, c uint32, i int) int {
+	r := 0
+	for _, s := range seq[:i] {
+		if s == c {
+			r++
+		}
+	}
+	return r
+}
+
+func randomSeq(rng *rand.Rand, n, sigma int, skew float64) []uint32 {
+	seq := make([]uint32, n)
+	for i := range seq {
+		s := int(math.Pow(rng.Float64(), skew) * float64(sigma))
+		if s >= sigma {
+			s = sigma - 1
+		}
+		seq[i] = uint32(s)
+	}
+	return seq
+}
+
+func specs() map[string]BitvecSpec {
+	return map[string]BitvecSpec{
+		"plain": PlainSpec,
+		"rrr15": RRRSpec(15),
+		"rrr63": RRRSpec(63),
+	}
+}
+
+func TestHWTAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, spec := range specs() {
+		for _, sigma := range []int{2, 3, 7, 40, 256} {
+			seq := randomSeq(rng, 800, sigma, 2.5)
+			h := NewHWT(seq, sigma, spec)
+			if h.Len() != len(seq) || h.Sigma() != sigma {
+				t.Fatalf("%s sigma=%d: bad Len/Sigma", name, sigma)
+			}
+			for i, want := range seq {
+				if got := h.Access(i); got != want {
+					t.Fatalf("%s sigma=%d: Access(%d)=%d want %d", name, sigma, i, got, want)
+				}
+			}
+			for trial := 0; trial < 200; trial++ {
+				c := uint32(rng.Intn(sigma))
+				i := rng.Intn(len(seq) + 1)
+				if got, want := h.Rank(c, i), naiveRank(seq, c, i); got != want {
+					t.Fatalf("%s sigma=%d: Rank(%d,%d)=%d want %d", name, sigma, c, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestWMAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for name, spec := range specs() {
+		for _, sigma := range []int{2, 3, 7, 40, 256, 1000} {
+			seq := randomSeq(rng, 800, sigma, 1.0)
+			w := NewWM(seq, sigma, spec)
+			for i, want := range seq {
+				if got := w.Access(i); got != want {
+					t.Fatalf("%s sigma=%d: Access(%d)=%d want %d", name, sigma, i, got, want)
+				}
+			}
+			for trial := 0; trial < 200; trial++ {
+				c := uint32(rng.Intn(sigma))
+				i := rng.Intn(len(seq) + 1)
+				if got, want := w.Rank(c, i), naiveRank(seq, c, i); got != want {
+					t.Fatalf("%s sigma=%d: Rank(%d,%d)=%d want %d", name, sigma, c, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAccessRankAgainstSeparateCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for name, spec := range specs() {
+		for _, sigma := range []int{2, 9, 70} {
+			seq := randomSeq(rng, 600, sigma, 2)
+			h := NewHWT(seq, sigma, spec)
+			w := NewWM(seq, sigma, spec)
+			for _, s := range []Sequence{h, w} {
+				for i := range seq {
+					sym, r := s.AccessRank(i)
+					if sym != seq[i] {
+						t.Fatalf("%s sigma=%d: AccessRank(%d) symbol %d want %d",
+							name, sigma, i, sym, seq[i])
+					}
+					if want := naiveRank(seq, sym, i); r != want {
+						t.Fatalf("%s sigma=%d: AccessRank(%d) rank %d want %d",
+							name, sigma, i, r, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSingleSymbolSequences(t *testing.T) {
+	seq := make([]uint32, 100)
+	for i := range seq {
+		seq[i] = 5
+	}
+	h := NewHWT(seq, 10, PlainSpec)
+	w := NewWM(seq, 10, PlainSpec)
+	for _, s := range []Sequence{h, w} {
+		if s.Access(42) != 5 {
+			t.Fatal("Access on constant sequence")
+		}
+		if s.Rank(5, 100) != 100 || s.Rank(5, 17) != 17 {
+			t.Fatal("Rank of sole symbol")
+		}
+		if s.Rank(3, 100) != 0 {
+			t.Fatal("Rank of absent symbol should be 0")
+		}
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	h := NewHWT(nil, 4, PlainSpec)
+	w := NewWM(nil, 4, PlainSpec)
+	for _, s := range []Sequence{h, w} {
+		if s.Len() != 0 {
+			t.Fatal("empty sequence should have Len 0")
+		}
+		if s.Rank(1, 0) != 0 {
+			t.Fatal("Rank on empty sequence")
+		}
+	}
+}
+
+func TestRankOfAbsentAndOutOfAlphabetSymbols(t *testing.T) {
+	seq := []uint32{0, 2, 0, 2, 2} // symbol 1 unused
+	h := NewHWT(seq, 3, PlainSpec)
+	w := NewWM(seq, 3, PlainSpec)
+	for _, s := range []Sequence{h, w} {
+		if s.Rank(1, 5) != 0 {
+			t.Fatal("Rank of unused symbol should be 0")
+		}
+		if s.Rank(99, 5) != 0 {
+			t.Fatal("Rank of out-of-alphabet symbol should be 0")
+		}
+	}
+}
+
+func TestHWTDepthMatchesHuffman(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seq := randomSeq(rng, 5000, 50, 3)
+	h := NewHWT(seq, 50, PlainSpec)
+	freq := make([]int, 50)
+	for _, s := range seq {
+		freq[s]++
+	}
+	// The most frequent symbol must sit no deeper than any other symbol.
+	best, bestF := uint32(0), -1
+	for s, f := range freq {
+		if f > bestF {
+			best, bestF = uint32(s), f
+		}
+	}
+	for s, f := range freq {
+		if f > 0 && h.Depth(uint32(s)) < h.Depth(best) {
+			t.Fatalf("symbol %d (freq %d) shallower than most frequent", s, f)
+		}
+	}
+}
+
+// Skewed sequences must make the HWT smaller than the WM when both use
+// RRR — the effect the paper's §V-B analysis relies on.
+func TestHWTBeatsWMOnSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, sigma := 50000, 64
+	seq := make([]uint32, n)
+	for i := range seq {
+		// ~90% of mass on symbol 0.
+		if rng.Float64() < 0.9 {
+			seq[i] = 0
+		} else {
+			seq[i] = uint32(1 + rng.Intn(sigma-1))
+		}
+	}
+	h := NewHWT(seq, sigma, RRRSpec(63))
+	w := NewWM(seq, sigma, RRRSpec(63))
+	if h.SizeBits() >= w.SizeBits() {
+		t.Fatalf("HWT (%d bits) should beat WM (%d bits) on skewed data",
+			h.SizeBits(), w.SizeBits())
+	}
+}
+
+func TestRankConsistencyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sigma := 20
+	seq := randomSeq(rng, 2000, sigma, 2)
+	h := NewHWT(seq, sigma, RRRSpec(31))
+	w := NewWM(seq, sigma, RRRSpec(31))
+	f := func(c uint8, iRaw uint16) bool {
+		cc := uint32(c) % uint32(sigma)
+		i := int(iRaw) % (len(seq) + 1)
+		want := naiveRank(seq, cc, i)
+		return h.Rank(cc, i) == want && w.Rank(cc, i) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sum over all symbols of Rank(c, n) must equal n.
+func TestRankPartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sigma := 30
+	seq := randomSeq(rng, 1500, sigma, 1.5)
+	h := NewHWT(seq, sigma, RRRSpec(15))
+	w := NewWM(seq, sigma, PlainSpec)
+	for _, s := range []Sequence{h, w} {
+		total := 0
+		for c := 0; c < sigma; c++ {
+			total += s.Rank(uint32(c), s.Len())
+		}
+		if total != s.Len() {
+			t.Fatalf("ranks sum to %d, want %d", total, s.Len())
+		}
+	}
+}
+
+func BenchmarkHWTRankSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n, sigma := 1<<18, 8
+	seq := make([]uint32, n)
+	for i := range seq {
+		if rng.Float64() < 0.85 {
+			seq[i] = 0
+		} else {
+			seq[i] = uint32(1 + rng.Intn(sigma-1))
+		}
+	}
+	h := NewHWT(seq, sigma, RRRSpec(63))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Rank(seq[(i*7919)%n], (i*104729)%n)
+	}
+}
+
+func BenchmarkWMRankLargeAlphabet(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	n, sigma := 1<<18, 1<<15
+	seq := randomSeq(rng, n, sigma, 1)
+	w := NewWM(seq, sigma, RRRSpec(63))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Rank(seq[(i*7919)%n], (i*104729)%n)
+	}
+}

@@ -1,0 +1,156 @@
+package cinct
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cinct/internal/trajgen"
+)
+
+// timedCorpus generates trajectories with plausible entry times.
+func timedCorpus(seed int64) ([][]uint32, [][]int64) {
+	cfg := trajgen.Config{GridW: 8, GridH: 8, NumTrajs: 120, MeanLen: 20, Seed: seed}
+	d := trajgen.MOGen(cfg)
+	rng := rand.New(rand.NewSource(seed))
+	times := make([][]int64, len(d.Trajs))
+	for k, tr := range d.Trajs {
+		col := make([]int64, len(tr))
+		t := int64(1_700_000_000) + rng.Int63n(86400) // within one day
+		for i := range col {
+			col[i] = t
+			t += 20 + rng.Int63n(60)
+		}
+		times[k] = col
+	}
+	return d.Trajs, times
+}
+
+func TestTemporalStrictPathQuery(t *testing.T) {
+	trajs, times := timedCorpus(1)
+	ix, err := BuildTemporal(trajs, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a path known to occur and query exactly its entry window.
+	k := 7
+	path := trajs[k][2:5]
+	entered := times[k][2]
+
+	all, err := ix.FindInInterval(path, entered, entered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range all {
+		if m.Trajectory == k && m.Offset == 2 {
+			found = true
+			if m.EnteredAt != entered {
+				t.Fatalf("EnteredAt = %d, want %d", m.EnteredAt, entered)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("planted temporal occurrence not reported")
+	}
+
+	// The interval filter must agree with a brute-force check.
+	spatial, err := ix.Find(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := entered-3600, entered+3600
+	want := 0
+	for _, h := range spatial {
+		at := times[h.Trajectory][h.Offset]
+		if at >= lo && at <= hi {
+			want++
+		}
+	}
+	got, err := ix.FindInInterval(path, lo, hi, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("interval query returned %d, brute force %d", len(got), want)
+	}
+	// Empty interval.
+	none, err := ix.FindInInterval(path, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatal("far-past interval should match nothing")
+	}
+}
+
+func TestTemporalTimestampsRoundTrip(t *testing.T) {
+	trajs, times := timedCorpus(2)
+	ix, err := BuildTemporal(trajs, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 10, len(trajs) - 1} {
+		got := ix.Timestamps(k)
+		for i := range times[k] {
+			if got[i] != times[k][i] {
+				t.Fatalf("trajectory %d timestamps differ at %d", k, i)
+			}
+		}
+	}
+	if ix.TimestampBits() <= 0 {
+		t.Fatal("TimestampBits must be positive")
+	}
+}
+
+func TestTemporalSaveLoad(t *testing.T) {
+	trajs, times := timedCorpus(3)
+	ix, err := BuildTemporal(trajs, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTemporal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var path []uint32
+	for _, tr := range trajs {
+		if len(tr) >= 3 {
+			path = tr[:3]
+			break
+		}
+	}
+	a, err := ix.FindInInterval(path, 0, 1<<62, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.FindInInterval(path, 0, 1<<62, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("reloaded temporal index disagrees: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestTemporalBuildValidation(t *testing.T) {
+	trajs, times := timedCorpus(4)
+	if _, err := BuildTemporal(trajs, times[:len(times)-1], nil); err == nil {
+		t.Fatal("column count mismatch should error")
+	}
+	bad := make([][]int64, len(times))
+	copy(bad, times)
+	bad[0] = bad[0][:1]
+	if _, err := BuildTemporal(trajs, bad, nil); err == nil {
+		t.Fatal("column length mismatch should error")
+	}
+	opts := DefaultOptions()
+	opts.SampleRate = 0
+	if _, err := BuildTemporal(trajs, times, opts); err == nil {
+		t.Fatal("SampleRate=0 should be rejected for temporal indexes")
+	}
+}
