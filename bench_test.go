@@ -291,6 +291,48 @@ func BenchmarkTable5Entropy(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildSharded measures full index construction as the shard
+// count grows; on a multi-core machine the K-shard build should
+// approach K× the monolithic throughput (the per-shard SA-IS + BWT +
+// wavelet builds dominate and run concurrently).
+func BenchmarkBuildSharded(b *testing.B) {
+	p := benchData(b, "randwalk")
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.Shards = shards
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(p.Dataset.Trajs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCountSharded measures the fan-out count query against the
+// monolithic path on the same corpus.
+func BenchmarkCountSharded(b *testing.B) {
+	p := benchData(b, "randwalk")
+	path := p.Dataset.Trajs[0][:10]
+	for _, shards := range []int{1, 4, 8} {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		ix, err := Build(p.Dataset.Trajs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := ix.Count(path)
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := ix.Count(path); got != want {
+					b.Fatalf("Count = %d, want %d", got, want)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPublicAPI covers the library surface a user touches.
 func BenchmarkPublicAPI(b *testing.B) {
 	p := benchData(b, "singapore2")

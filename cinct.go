@@ -24,6 +24,19 @@
 //	n := ix.Count([]uint32{e1, e2, e3})  // trajectories passing e1→e2→e3
 //	hits := ix.Find([]uint32{e1, e2, e3}, 10)
 //	full := ix.Trajectory(hits[0].Trajectory)
+//
+// # Sharding
+//
+// For massive corpora the index can be partitioned into K independent
+// shards (Options.Shards, or BuildSharded): trajectories are split
+// into K contiguous ranges balanced by edge count, each range gets its
+// own complete CiNCT index, the K indexes are built concurrently, and
+// every query fans out over the shards in parallel with results merged
+// under global trajectory IDs. Query answers are identical to the
+// unsharded index over the same corpus; build time on a multi-core
+// machine approaches 1/K of the monolithic build. Save/Load handle
+// both the single-index and the sharded container format
+// transparently.
 package cinct
 
 import (
@@ -58,6 +71,12 @@ type Options struct {
 	// SubPath (locate support). 0 disables locate: the index only
 	// counts. Default 64.
 	SampleRate int
+	// Shards partitions the corpus into this many independently built
+	// and queried sub-indexes (see the package-level Sharding section).
+	// 0 or 1 builds the classic monolithic index; values above the
+	// trajectory count are clamped. BuildSharded treats 0 as
+	// runtime.GOMAXPROCS(0).
+	Shards int
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -66,10 +85,13 @@ func DefaultOptions() *Options {
 }
 
 func (o *Options) coreOptions() core.Options {
-	spec := wavelet.RRRSpec(o.Block)
-	if o.Block == 0 {
-		spec = wavelet.RRRSpec(63)
+	// Normalize the Block default in one place so the zero value never
+	// reaches the spec constructor.
+	block := o.Block
+	if block == 0 {
+		block = 63
 	}
+	spec := wavelet.RRRSpec(block)
 	if o.Uncompressed {
 		spec = wavelet.PlainSpec
 	}
@@ -83,7 +105,13 @@ func (o *Options) coreOptions() core.Options {
 // Index is a compressed, searchable trajectory corpus. An Index is
 // immutable after Build/Load and safe for concurrent use by multiple
 // goroutines.
+//
+// An Index is either monolithic (one core self-index over the whole
+// corpus) or a facade over a ShardedIndex; the query API behaves
+// identically in both cases.
 type Index struct {
+	sharded *ShardedIndex // non-nil iff built with Shards > 1
+
 	corpus *trajstr.Corpus
 	core   *core.Index
 	hasLoc bool
@@ -105,23 +133,48 @@ var ErrNoLocate = errors.New("cinct: index built without locate support (SampleR
 
 // Build indexes a corpus. Each trajectory is a non-empty sequence of
 // road edge IDs in travel order; IDs need not be dense. opts may be
-// nil for defaults.
+// nil for defaults. With Options.Shards > 1 the returned Index is
+// transparently backed by a ShardedIndex (see Sharded).
 func Build(trajs [][]uint32, opts *Options) (*Index, error) {
 	if opts == nil {
 		opts = DefaultOptions()
 	}
-	switch opts.Block {
-	case 0, 15, 31, 63:
-	default:
-		return nil, fmt.Errorf("cinct: Block must be 15, 31 or 63; got %d", opts.Block)
+	if err := validateOptions(opts); err != nil {
+		return nil, err
 	}
-	if opts.SampleRate < 0 {
-		return nil, fmt.Errorf("cinct: SampleRate must be >= 0; got %d", opts.SampleRate)
+	if opts.Shards > 1 {
+		si, err := buildSharded(trajs, opts, opts.Shards)
+		if err != nil {
+			return nil, err
+		}
+		return &Index{sharded: si, hasLoc: si.hasLoc}, nil
 	}
 	corpus, err := trajstr.New(trajs)
 	if err != nil {
 		return nil, err
 	}
+	return buildOne(corpus, opts), nil
+}
+
+func validateOptions(opts *Options) error {
+	switch opts.Block {
+	case 0, 15, 31, 63:
+	default:
+		return fmt.Errorf("cinct: Block must be 15, 31 or 63; got %d", opts.Block)
+	}
+	if opts.SampleRate < 0 {
+		return fmt.Errorf("cinct: SampleRate must be >= 0; got %d", opts.SampleRate)
+	}
+	if opts.Shards < 0 {
+		return fmt.Errorf("cinct: Shards must be >= 0; got %d", opts.Shards)
+	}
+	return nil
+}
+
+// buildOne builds a monolithic index over one (already encoded)
+// corpus. It is the unit of work of the sharded build: each shard is a
+// buildOne over its partition.
+func buildOne(corpus *trajstr.Corpus, opts *Options) *Index {
 	co := opts.coreOptions()
 	ix := &Index{
 		corpus: corpus,
@@ -133,23 +186,56 @@ func Build(trajs [][]uint32, opts *Options) (*Index, error) {
 	if ix.hasLoc {
 		ix.corpus.Text = nil
 	}
-	return ix, nil
+	return ix
+}
+
+// Sharded returns the backing ShardedIndex when the index was built or
+// loaded with more than one shard, and nil for a monolithic index.
+func (ix *Index) Sharded() *ShardedIndex { return ix.sharded }
+
+// Shards returns the number of corpus partitions (1 for a monolithic
+// index).
+func (ix *Index) Shards() int {
+	if ix.sharded != nil {
+		return len(ix.sharded.shards)
+	}
+	return 1
 }
 
 // NumTrajectories returns the number of indexed trajectories.
-func (ix *Index) NumTrajectories() int { return ix.corpus.NumTrajectories() }
+func (ix *Index) NumTrajectories() int {
+	if ix.sharded != nil {
+		return ix.sharded.NumTrajectories()
+	}
+	return ix.corpus.NumTrajectories()
+}
 
 // NumEdges returns the number of distinct road edges in the corpus.
-func (ix *Index) NumEdges() int { return ix.corpus.NumEdges() }
+func (ix *Index) NumEdges() int {
+	if ix.sharded != nil {
+		return ix.sharded.NumEdges()
+	}
+	return ix.corpus.NumEdges()
+}
 
 // Len returns the total symbol count |T| of the underlying trajectory
-// string (edges + separators).
-func (ix *Index) Len() int { return ix.core.Len() }
+// string (edges + separators). A sharded index has one terminator per
+// shard, so its Len exceeds the monolithic index of the same corpus by
+// Shards()-1.
+func (ix *Index) Len() int {
+	if ix.sharded != nil {
+		return ix.sharded.Len()
+	}
+	return ix.core.Len()
+}
 
 // Count returns the number of occurrences of the path (edge IDs in
 // travel order) across the corpus. A trajectory that traverses the
 // path twice contributes two. An empty path returns 0.
 func (ix *Index) Count(path []uint32) int {
+	if ix.sharded != nil {
+		return ix.sharded.Count(path)
+	}
 	if len(path) == 0 {
 		return 0
 	}
@@ -161,9 +247,16 @@ func (ix *Index) Count(path []uint32) int {
 }
 
 // Find returns up to limit occurrences of the path (limit <= 0 means
-// all). The same trajectory appears once per occurrence. Requires
-// locate support.
+// all). The same trajectory appears once per occurrence. Matches are
+// sorted by (Trajectory, Offset), and a positive limit keeps the
+// first limit matches in that order — so answers are identical
+// whether the index is sharded or not. Every occurrence in the suffix
+// range is located before truncation; a small limit does not reduce
+// the locate work. Requires locate support.
 func (ix *Index) Find(path []uint32, limit int) ([]Match, error) {
+	if ix.sharded != nil {
+		return ix.sharded.Find(path, limit)
+	}
 	if !ix.hasLoc {
 		return nil, ErrNoLocate
 	}
@@ -180,9 +273,6 @@ func (ix *Index) Find(path []uint32, limit int) ([]Match, error) {
 	}
 	var out []Match
 	for j := sp; j < ep; j++ {
-		if limit > 0 && len(out) >= limit {
-			break
-		}
 		pos := ix.core.Locate(j)
 		doc, endOff, inDoc := ix.docAt(pos)
 		if !inDoc {
@@ -192,7 +282,23 @@ func (ix *Index) Find(path []uint32, limit int) ([]Match, error) {
 		// in travel order.
 		out = append(out, Match{Trajectory: doc, Offset: endOff - (len(path) - 1)})
 	}
+	sortMatches(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
 	return out, nil
+}
+
+// sortMatches orders matches by (Trajectory, Offset) — the canonical
+// order Find promises, and the one that lets sharded results merge by
+// concatenation (shards hold contiguous global ID ranges).
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Trajectory != ms[j].Trajectory {
+			return ms[i].Trajectory < ms[j].Trajectory
+		}
+		return ms[i].Offset < ms[j].Offset
+	})
 }
 
 // docAt maps a text position to (trajectory, travel-order offset)
@@ -207,6 +313,9 @@ func (ix *Index) docAt(pos int64) (doc, offset int, ok bool) {
 // ascending order. Unlike Find, a trajectory traversing the path
 // several times appears once. Requires locate support.
 func (ix *Index) FindTrajectories(path []uint32, limit int) ([]int, error) {
+	if ix.sharded != nil {
+		return ix.sharded.FindTrajectories(path, limit)
+	}
 	hits, err := ix.Find(path, 0)
 	if err != nil {
 		return nil, err
@@ -235,12 +344,20 @@ func (ix *Index) Trajectory(id int) ([]uint32, error) {
 }
 
 // TrajectoryLen returns the length (edge count) of trajectory id.
-func (ix *Index) TrajectoryLen(id int) int { return ix.corpus.TrajectoryLen(id) }
+func (ix *Index) TrajectoryLen(id int) int {
+	if ix.sharded != nil {
+		return ix.sharded.TrajectoryLen(id)
+	}
+	return ix.corpus.TrajectoryLen(id)
+}
 
 // SubPath extracts edges [from, to) of trajectory id in travel order —
 // the paper's sub-path extraction query (§IV-C) lifted to trajectory
 // coordinates. Requires locate support.
 func (ix *Index) SubPath(id, from, to int) ([]uint32, error) {
+	if ix.sharded != nil {
+		return ix.sharded.SubPath(id, from, to)
+	}
 	if !ix.hasLoc {
 		return nil, ErrNoLocate
 	}
@@ -267,6 +384,8 @@ func (ix *Index) SubPath(id, from, to int) ([]uint32, error) {
 
 // Stats summarizes the index.
 type Stats struct {
+	// Shards is the number of corpus partitions (1 when monolithic).
+	Shards int
 	// Trajectories and Edges describe the corpus.
 	Trajectories int
 	Edges        int
@@ -289,11 +408,17 @@ type Stats struct {
 	BitsPerSymbol float64
 }
 
-// Stats reports size and shape statistics.
+// Stats reports size and shape statistics. On a sharded index the
+// breakdown aggregates over shards: sizes and counts sum, MaxLabel is
+// the max, LabelEntropy and AvgOutDegree are corpus-weighted averages.
 func (ix *Index) Stats() Stats {
+	if ix.sharded != nil {
+		return ix.sharded.Stats()
+	}
 	s := ix.core.Sizes()
 	g := ix.core.Graph()
 	return Stats{
+		Shards:        1,
 		Trajectories:  ix.corpus.NumTrajectories(),
 		Edges:         ix.corpus.NumEdges(),
 		TextLen:       ix.core.Len(),
@@ -309,10 +434,19 @@ func (ix *Index) Stats() Stats {
 	}
 }
 
-// Save writes the index to w; Load reads it back. The format embeds
-// the corpus metadata (edge map, document table) and the compressed
-// core index.
+// Save writes the index to w; Load reads it back. A monolithic index
+// writes the corpus metadata (edge map, document table) followed by
+// the compressed core index; a sharded index writes the shard
+// container format (see ShardedIndex.Save).
 func (ix *Index) Save(w io.Writer) (int64, error) {
+	if ix.sharded != nil {
+		return ix.sharded.Save(w)
+	}
+	return ix.saveOne(w)
+}
+
+// saveOne writes the single-index (seed v1) format.
+func (ix *Index) saveOne(w io.Writer) (int64, error) {
 	n1, err := ix.corpus.SaveMeta(w)
 	if err != nil {
 		return n1, err
@@ -321,12 +455,26 @@ func (ix *Index) Save(w io.Writer) (int64, error) {
 	return n1 + n2, err
 }
 
-// Load reads an index written by Save.
+// Load reads an index written by Save — either format: the sharded
+// container is recognized by its magic, anything else is parsed as the
+// original single-index layout.
 func Load(r io.Reader) (*Index, error) {
-	// One shared buffered reader: the two loaders each call
+	// One shared buffered reader: the sub-loaders each call
 	// bufio.NewReader, which returns this same object rather than
 	// wrapping again — so no bytes are lost to read-ahead.
 	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(shardMagic)); err == nil && string(magic) == shardMagic {
+		si, err := LoadSharded(br)
+		if err != nil {
+			return nil, err
+		}
+		return &Index{sharded: si, hasLoc: si.hasLoc}, nil
+	}
+	return loadOne(br)
+}
+
+// loadOne reads the single-index (seed v1) format.
+func loadOne(br *bufio.Reader) (*Index, error) {
 	corpus, err := trajstr.LoadMeta(br)
 	if err != nil {
 		return nil, err

@@ -1,7 +1,7 @@
 // Command cinct builds, inspects and queries CiNCT indexes from the
 // command line.
 //
-//	cinct build  -in corpus.txt -index corpus.cinct [-block 63] [-sample 64]
+//	cinct build  -in corpus.txt -index corpus.cinct [-block 63] [-sample 64] [-shards N]
 //	cinct stats  -index corpus.cinct
 //	cinct count  -index corpus.cinct -path "17 42 99"
 //	cinct find   -index corpus.cinct -path "17 42 99" [-limit 10]
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -74,6 +75,8 @@ func cmdBuildTemporal(args []string) error {
 	out := fs.String("index", "", "output index file")
 	block := fs.Int("block", 63, "RRR block size (15, 31 or 63)")
 	sample := fs.Int("sample", 64, "SA sample rate (must be > 0)")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
+		"corpus partitions built and queried in parallel (1 = monolithic)")
 	fs.Parse(args)
 	if *in == "" || *timesPath == "" || *out == "" {
 		return fmt.Errorf("-in, -times and -index are required")
@@ -99,6 +102,7 @@ func cmdBuildTemporal(args []string) error {
 	opts := cinct.DefaultOptions()
 	opts.Block = *block
 	opts.SampleRate = *sample
+	opts.Shards = *shards
 	ix, err := cinct.BuildTemporal(trajs, times, opts)
 	if err != nil {
 		return err
@@ -244,6 +248,8 @@ func cmdBuild(args []string) error {
 	out := fs.String("index", "", "output index file")
 	block := fs.Int("block", 63, "RRR block size (15, 31 or 63)")
 	sample := fs.Int("sample", 64, "SA sample rate (0 = count-only index)")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
+		"corpus partitions built and queried in parallel (1 = monolithic)")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
 		return fmt.Errorf("-in and -index are required")
@@ -260,6 +266,7 @@ func cmdBuild(args []string) error {
 	opts := cinct.DefaultOptions()
 	opts.Block = *block
 	opts.SampleRate = *sample
+	opts.Shards = *shards
 	t0 := time.Now()
 	ix, err := cinct.Build(trajs, opts)
 	if err != nil {
@@ -276,8 +283,8 @@ func cmdBuild(args []string) error {
 		return err
 	}
 	s := ix.Stats()
-	fmt.Printf("indexed %d trajectories (%d symbols) in %v\n",
-		s.Trajectories, s.TextLen, buildTime.Round(time.Millisecond))
+	fmt.Printf("indexed %d trajectories (%d symbols, %d shard(s)) in %v\n",
+		s.Trajectories, s.TextLen, s.Shards, buildTime.Round(time.Millisecond))
 	fmt.Printf("index: %d bytes on disk, %.2f bits/symbol in memory\n", n, s.BitsPerSymbol)
 	return nil
 }
@@ -319,6 +326,7 @@ func cmdStats(args []string) error {
 		return err
 	}
 	s := ix.Stats()
+	fmt.Printf("shards:           %d\n", s.Shards)
 	fmt.Printf("trajectories:     %d\n", s.Trajectories)
 	fmt.Printf("distinct edges:   %d\n", s.Edges)
 	fmt.Printf("|T|:              %d\n", s.TextLen)

@@ -1,0 +1,3 @@
+module cinct
+
+go 1.24

@@ -142,9 +142,18 @@ func (g *Graph) MaxOutDegree() int { return g.maxDeg }
 // at least one out-edge (Table III's sparsity statistic).
 func (g *Graph) AvgOutDegree() float64 {
 	nz := 0
-	for _, es := range g.out {
-		if len(es) > 0 {
-			nz++
+	if g.starts != nil {
+		// Compact dropped the adjacency slices; count non-empty CSR rows.
+		for wp := 0; wp < g.sigma; wp++ {
+			if g.starts.Get(wp+1) > g.starts.Get(wp) {
+				nz++
+			}
+		}
+	} else {
+		for _, es := range g.out {
+			if len(es) > 0 {
+				nz++
+			}
 		}
 	}
 	if nz == 0 {

@@ -1,0 +1,105 @@
+package trajstr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPartitionBoundsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		k := 1 + rng.Intn(12)
+		lengths := make([]int, n)
+		for i := range lengths {
+			lengths[i] = 1 + rng.Intn(100)
+		}
+		b := PartitionBounds(lengths, k)
+		if b[0] != 0 || b[len(b)-1] != n {
+			t.Fatalf("n=%d k=%d: bounds %v do not cover [0,%d)", n, k, b, n)
+		}
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(b)-1 != want {
+			t.Fatalf("n=%d k=%d: %d chunks, want %d (%v)", n, k, len(b)-1, want, b)
+		}
+		for s := 0; s+1 < len(b); s++ {
+			if b[s] >= b[s+1] {
+				t.Fatalf("n=%d k=%d: empty or reversed chunk in %v", n, k, b)
+			}
+		}
+	}
+}
+
+func TestPartitionBoundsBalance(t *testing.T) {
+	// Uniform lengths must split near-evenly.
+	lengths := make([]int, 1000)
+	for i := range lengths {
+		lengths[i] = 10
+	}
+	b := PartitionBounds(lengths, 4)
+	for s := 0; s+1 < len(b); s++ {
+		if sz := b[s+1] - b[s]; sz < 240 || sz > 260 {
+			t.Fatalf("chunk %d holds %d docs, want ~250 (%v)", s, sz, b)
+		}
+	}
+	// One huge document must not starve the other chunks.
+	lengths = []int{1, 1, 100000, 1, 1, 1}
+	b = PartitionBounds(lengths, 3)
+	if len(b) != 4 {
+		t.Fatalf("bounds %v", b)
+	}
+}
+
+func TestPartitionCorpusRoundTrip(t *testing.T) {
+	trajs := [][]uint32{
+		{10, 20, 30},
+		{20, 40},
+		{50, 10, 20, 60},
+		{70},
+		{10, 70},
+	}
+	bounds := PartitionBounds([]int{3, 2, 4, 1, 2}, 2)
+	shards, err := PartitionCorpus(trajs, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	g := 0
+	for s, c := range shards {
+		for k := 0; k < c.NumTrajectories(); k++ {
+			got := c.Trajectory(k)
+			want := trajs[g]
+			if len(got) != len(want) {
+				t.Fatalf("shard %d traj %d: %v vs %v", s, k, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shard %d traj %d: %v vs %v", s, k, got, want)
+				}
+			}
+			g++
+		}
+	}
+	if g != len(trajs) {
+		t.Fatalf("shards cover %d trajectories, want %d", g, len(trajs))
+	}
+	// 10, 20, 30, 40 in shard 0; 10, 20, 50, 60, 70 in shard 1; 7 distinct.
+	if n := CountDistinctEdges(shards); n != 7 {
+		t.Fatalf("CountDistinctEdges = %d, want 7", n)
+	}
+	if n := CountDistinctEdges(shards[:1]); n != shards[0].NumEdges() {
+		t.Fatalf("single-shard distinct edges = %d, want %d", n, shards[0].NumEdges())
+	}
+}
+
+func TestPartitionCorpusEmptyTrajectory(t *testing.T) {
+	trajs := [][]uint32{{1}, {}}
+	if _, err := PartitionCorpus(trajs, []int{0, 1, 2}); err == nil {
+		t.Fatal("empty trajectory in a shard must error")
+	}
+}

@@ -1,0 +1,275 @@
+package cinct
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"cinct/internal/trajstr"
+)
+
+// ShardedIndex partitions a trajectory corpus into K contiguous ranges
+// and holds one complete CiNCT index per range. Construction runs the
+// K shard builds on a bounded worker pool; Count/Find/FindTrajectories
+// fan out over the shards concurrently and merge results under global
+// trajectory IDs, while Trajectory/SubPath route directly to the
+// owning shard. Like Index, a ShardedIndex is immutable after
+// build/load and safe for concurrent use.
+//
+// Query results are identical to a monolithic Index over the same
+// corpus: an occurrence never spans a trajectory boundary, so
+// partitioning by whole trajectories preserves Count exactly, and the
+// contiguous ID ranges make global (Trajectory, Offset) order the
+// concatenation of per-shard orders.
+type ShardedIndex struct {
+	shards []*Index
+	// bounds[s] is the global ID of shard s's first trajectory;
+	// bounds[len(shards)] is the corpus size. Shard s owns global IDs
+	// [bounds[s], bounds[s+1]).
+	bounds []int
+	edges  int // distinct edge IDs across all shards
+	hasLoc bool
+}
+
+// BuildSharded indexes a corpus as Options.Shards partitions, treating
+// Shards == 0 as runtime.GOMAXPROCS(0). opts may be nil, in which case
+// defaults plus GOMAXPROCS shards are used. Corpora with fewer
+// trajectories than shards get one shard per trajectory.
+func BuildSharded(trajs [][]uint32, opts *Options) (*ShardedIndex, error) {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	k := opts.Shards
+	if k == 0 {
+		k = runtime.GOMAXPROCS(0)
+	}
+	return buildSharded(trajs, opts, k)
+}
+
+func buildSharded(trajs [][]uint32, opts *Options, k int) (*ShardedIndex, error) {
+	if len(trajs) == 0 {
+		return nil, trajstr.ErrEmptyCorpus
+	}
+	lengths := make([]int, len(trajs))
+	for i, tr := range trajs {
+		if len(tr) == 0 {
+			return nil, fmt.Errorf("%w (index %d)", trajstr.ErrEmptyTrajectory, i)
+		}
+		lengths[i] = len(tr)
+	}
+	bounds := trajstr.PartitionBounds(lengths, k)
+	corpora, err := trajstr.PartitionCorpus(trajs, bounds)
+	if err != nil {
+		return nil, err
+	}
+	si := &ShardedIndex{
+		shards: make([]*Index, len(corpora)),
+		bounds: bounds,
+		edges:  trajstr.CountDistinctEdges(corpora),
+		hasLoc: opts.SampleRate > 0,
+	}
+	// Bounded worker pool: up to min(K, GOMAXPROCS) shard builds in
+	// flight (a build is CPU-bound; more workers than cores only adds
+	// peak memory).
+	workers := len(corpora)
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				si.shards[s] = buildOne(corpora[s], opts)
+			}
+		}()
+	}
+	for s := range corpora {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	return si, nil
+}
+
+// shardOf returns the shard owning global trajectory ID g. It panics
+// on out-of-range IDs, matching the monolithic index's behavior.
+func (si *ShardedIndex) shardOf(g int) (shard, local int) {
+	if g < 0 || g >= si.bounds[len(si.shards)] {
+		panic(fmt.Sprintf("cinct: trajectory %d out of range [0,%d)", g, si.bounds[len(si.shards)]))
+	}
+	s := sort.Search(len(si.shards), func(i int) bool { return si.bounds[i+1] > g })
+	return s, g - si.bounds[s]
+}
+
+// fanOut runs fn concurrently for every shard and waits. fn receives
+// the shard number and its index.
+func (si *ShardedIndex) fanOut(fn func(s int, ix *Index)) {
+	var wg sync.WaitGroup
+	wg.Add(len(si.shards))
+	for s, ix := range si.shards {
+		go func(s int, ix *Index) {
+			defer wg.Done()
+			fn(s, ix)
+		}(s, ix)
+	}
+	wg.Wait()
+}
+
+// NumShards returns the number of partitions.
+func (si *ShardedIndex) NumShards() int { return len(si.shards) }
+
+// Shard returns the s-th partition's index (for inspection; its
+// trajectory IDs are local to the shard).
+func (si *ShardedIndex) Shard(s int) *Index { return si.shards[s] }
+
+// ShardStart returns the global ID of shard s's first trajectory.
+func (si *ShardedIndex) ShardStart(s int) int { return si.bounds[s] }
+
+// NumTrajectories returns the number of indexed trajectories.
+func (si *ShardedIndex) NumTrajectories() int { return si.bounds[len(si.shards)] }
+
+// NumEdges returns the number of distinct road edges across shards.
+func (si *ShardedIndex) NumEdges() int { return si.edges }
+
+// Len returns the summed trajectory-string length over shards (each
+// shard carries its own '#' terminator).
+func (si *ShardedIndex) Len() int {
+	n := 0
+	for _, ix := range si.shards {
+		n += ix.Len()
+	}
+	return n
+}
+
+// Count fans the count query out over all shards in parallel and sums.
+// Occurrences cannot span trajectories, so the sum equals the
+// monolithic count.
+func (si *ShardedIndex) Count(path []uint32) int {
+	counts := make([]int, len(si.shards))
+	si.fanOut(func(s int, ix *Index) { counts[s] = ix.Count(path) })
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// Find fans out over shards, rewrites shard-local trajectory IDs to
+// global ones, and concatenates in shard order — which is exactly
+// ascending (Trajectory, Offset) order, as each shard's result is
+// sorted and shards own contiguous ID ranges. With a positive limit,
+// each shard keeps its first limit matches — a superset of the global
+// first limit — so the truncated concatenation equals the monolithic
+// answer. Semantics match Index.Find exactly.
+func (si *ShardedIndex) Find(path []uint32, limit int) ([]Match, error) {
+	if !si.hasLoc {
+		return nil, ErrNoLocate
+	}
+	parts := make([][]Match, len(si.shards))
+	errs := make([]error, len(si.shards))
+	si.fanOut(func(s int, ix *Index) {
+		parts[s], errs[s] = ix.Find(path, limit)
+	})
+	var out []Match
+	for s, part := range parts {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+		for _, m := range part {
+			m.Trajectory += si.bounds[s]
+			out = append(out, m)
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// FindTrajectories fans out, rewrites IDs, concatenates (already
+// globally ascending) and truncates. Semantics match
+// Index.FindTrajectories.
+func (si *ShardedIndex) FindTrajectories(path []uint32, limit int) ([]int, error) {
+	if !si.hasLoc {
+		return nil, ErrNoLocate
+	}
+	parts := make([][]int, len(si.shards))
+	errs := make([]error, len(si.shards))
+	si.fanOut(func(s int, ix *Index) {
+		parts[s], errs[s] = ix.FindTrajectories(path, limit)
+	})
+	out := make([]int, 0) // non-nil like Index.FindTrajectories
+	for s, part := range parts {
+		if errs[s] != nil {
+			return nil, errs[s]
+		}
+		for _, id := range part {
+			out = append(out, id+si.bounds[s])
+		}
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// Trajectory reconstructs trajectory id (global ID) in travel order.
+func (si *ShardedIndex) Trajectory(id int) ([]uint32, error) {
+	s, local := si.shardOf(id)
+	return si.shards[s].Trajectory(local)
+}
+
+// TrajectoryLen returns the edge count of trajectory id (global ID).
+func (si *ShardedIndex) TrajectoryLen(id int) int {
+	s, local := si.shardOf(id)
+	return si.shards[s].TrajectoryLen(local)
+}
+
+// SubPath extracts edges [from, to) of trajectory id (global ID).
+func (si *ShardedIndex) SubPath(id, from, to int) ([]uint32, error) {
+	s, local := si.shardOf(id)
+	return si.shards[s].SubPath(local, from, to)
+}
+
+// Stats aggregates the per-shard breakdowns: counts and size fields
+// sum, MaxLabel is the maximum, LabelEntropy is weighted by shard text
+// length, and AvgOutDegree is recomputed from the summed ET-graph edge
+// and node counts.
+func (si *ShardedIndex) Stats() Stats {
+	agg := Stats{Shards: len(si.shards), Edges: si.edges}
+	var nodes, entropyBits, indexBits float64
+	for _, ix := range si.shards {
+		s := ix.Stats()
+		agg.Trajectories += s.Trajectories
+		agg.TextLen += s.TextLen
+		agg.ETGraphEdges += s.ETGraphEdges
+		agg.WaveletBits += s.WaveletBits
+		agg.GraphBits += s.GraphBits
+		agg.CArrayBits += s.CArrayBits
+		agg.LocateBits += s.LocateBits
+		if s.MaxLabel > agg.MaxLabel {
+			agg.MaxLabel = s.MaxLabel
+		}
+		if s.AvgOutDegree > 0 {
+			nodes += float64(s.ETGraphEdges) / s.AvgOutDegree
+		}
+		entropyBits += s.LabelEntropy * float64(s.TextLen)
+		// BitsPerSymbol excludes locate structures (paper accounting).
+		indexBits += float64(s.WaveletBits + s.GraphBits + s.CArrayBits)
+	}
+	if nodes > 0 {
+		agg.AvgOutDegree = float64(agg.ETGraphEdges) / nodes
+	}
+	if agg.TextLen > 0 {
+		agg.LabelEntropy = entropyBits / float64(agg.TextLen)
+		agg.BitsPerSymbol = indexBits / float64(agg.TextLen)
+	}
+	return agg
+}

@@ -1,0 +1,145 @@
+package cinct
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cinct/internal/trajstr"
+)
+
+// Sharded container format (versioned):
+//
+//	magic   "CNCTshrd"                 8 bytes
+//	version uvarint                    currently 1
+//	K       uvarint                    shard count
+//	routing K × uvarint                trajectories per shard
+//	frames  K × (uvarint len, bytes)   each the single-index format
+//
+// The routing table is redundant with the framed shards (each frame
+// embeds its document table) but lets a reader size the ID space and
+// validate frames without trusting them; the length prefixes make the
+// frames skippable for future selective/lazy shard loading.
+
+const (
+	shardMagic   = "CNCTshrd"
+	shardVersion = 1
+)
+
+// ErrBadShardContainer reports a malformed sharded index stream.
+var ErrBadShardContainer = errors.New("cinct: bad sharded index container")
+
+// Save writes the sharded container format.
+func (si *ShardedIndex) Save(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	writeUvarint := func(v uint64) error {
+		var buf [binary.MaxVarintLen64]byte
+		k := binary.PutUvarint(buf[:], v)
+		n += int64(k)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	if _, err := bw.WriteString(shardMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(shardMagic))
+	if err := writeUvarint(shardVersion); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(si.shards))); err != nil {
+		return n, err
+	}
+	for _, ix := range si.shards {
+		if err := writeUvarint(uint64(ix.NumTrajectories())); err != nil {
+			return n, err
+		}
+	}
+	var frame bytes.Buffer
+	for s, ix := range si.shards {
+		frame.Reset()
+		if _, err := ix.saveOne(&frame); err != nil {
+			return n, fmt.Errorf("cinct: saving shard %d: %w", s, err)
+		}
+		if err := writeUvarint(uint64(frame.Len())); err != nil {
+			return n, err
+		}
+		k, err := bw.Write(frame.Bytes())
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// LoadSharded reads a sharded index written by ShardedIndex.Save. Most
+// callers want Load, which dispatches on the container magic and
+// accepts either format.
+func LoadSharded(r io.Reader) (*ShardedIndex, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(shardMagic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadShardContainer, err)
+	}
+	if string(got) != shardMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadShardContainer)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil || version != shardVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadShardContainer, version)
+	}
+	k, err := binary.ReadUvarint(br)
+	if err != nil || k == 0 || k > 1<<20 {
+		return nil, fmt.Errorf("%w: shard count %d", ErrBadShardContainer, k)
+	}
+	routing := make([]uint64, k)
+	bounds := make([]int, 1, k+1)
+	total := 0
+	for s := range routing {
+		routing[s], err = binary.ReadUvarint(br)
+		if err != nil || routing[s] == 0 {
+			return nil, fmt.Errorf("%w: routing table", ErrBadShardContainer)
+		}
+		total += int(routing[s])
+		bounds = append(bounds, total)
+	}
+	si := &ShardedIndex{
+		shards: make([]*Index, k),
+		bounds: bounds,
+	}
+	corpora := make([]*trajstr.Corpus, k)
+	for s := range si.shards {
+		frameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: shard %d frame length", ErrBadShardContainer, s)
+		}
+		// LimitReader confines each shard loader to its frame so a
+		// short or overlong frame is an error here, not a corrupt read
+		// of the next shard; the drain repositions br at the next
+		// frame even if the loader under-consumed.
+		lr := io.LimitReader(br, int64(frameLen))
+		ix, err := loadOne(bufio.NewReader(lr))
+		if err != nil {
+			return nil, fmt.Errorf("cinct: loading shard %d: %w", s, err)
+		}
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("%w: shard %d frame", ErrBadShardContainer, s)
+		}
+		if ix.NumTrajectories() != int(routing[s]) {
+			return nil, fmt.Errorf("%w: shard %d holds %d trajectories, routing table says %d",
+				ErrBadShardContainer, s, ix.NumTrajectories(), routing[s])
+		}
+		if s > 0 && ix.hasLoc != si.hasLoc {
+			return nil, fmt.Errorf("%w: shards disagree on locate support", ErrBadShardContainer)
+		}
+		si.hasLoc = ix.hasLoc
+		si.shards[s] = ix
+		corpora[s] = ix.corpus
+	}
+	si.edges = trajstr.CountDistinctEdges(corpora)
+	return si, nil
+}
