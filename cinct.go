@@ -382,30 +382,34 @@ func (ix *Index) SubPath(id, from, to int) ([]uint32, error) {
 	return out, nil
 }
 
-// Stats summarizes the index.
+// Stats summarizes the index. The JSON tags define the wire form the
+// cinctd daemon serves under /v1/indexes.
 type Stats struct {
 	// Shards is the number of corpus partitions (1 when monolithic).
-	Shards int
+	Shards int `json:"shards"`
 	// Trajectories and Edges describe the corpus.
-	Trajectories int
-	Edges        int
+	Trajectories int `json:"trajectories"`
+	Edges        int `json:"edges"`
 	// TextLen is |T|.
-	TextLen int
+	TextLen int `json:"textLen"`
 	// MaxLabel is the labeled-BWT alphabet size (max ET-graph
 	// out-degree).
-	MaxLabel int
+	MaxLabel int `json:"maxLabel"`
 	// ETGraphEdges is |E_T|.
-	ETGraphEdges int
+	ETGraphEdges int `json:"etGraphEdges"`
 	// AvgOutDegree is d̄ of the ET-graph (Table III).
-	AvgOutDegree float64
+	AvgOutDegree float64 `json:"avgOutDegree"`
 	// LabelEntropy is H0 of the RML-labeled BWT in bits per symbol —
 	// the paper's headline statistic (Table III's H0(φ) column).
-	LabelEntropy float64
+	LabelEntropy float64 `json:"labelEntropy"`
 	// SizeBits breaks down the footprint.
-	WaveletBits, GraphBits, CArrayBits, LocateBits int
+	WaveletBits int `json:"waveletBits"`
+	GraphBits   int `json:"graphBits"`
+	CArrayBits  int `json:"cArrayBits"`
+	LocateBits  int `json:"locateBits"`
 	// BitsPerSymbol is the paper's headline size metric (with
 	// ET-graph, without locate structures).
-	BitsPerSymbol float64
+	BitsPerSymbol float64 `json:"bitsPerSymbol"`
 }
 
 // Stats reports size and shape statistics. On a sharded index the

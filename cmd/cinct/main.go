@@ -1,20 +1,34 @@
 // Command cinct builds, inspects and queries CiNCT indexes from the
-// command line.
+// command line. Every query subcommand goes through the same
+// internal/engine API the cinctd daemon serves, and can target either
+// a local index file or a running daemon:
 //
 //	cinct build  -in corpus.txt -index corpus.cinct [-block 63] [-sample 64] [-shards N]
+//	cinct build-temporal -in corpus.txt -times times.txt -index corpus.tcinct
 //	cinct stats  -index corpus.cinct
 //	cinct count  -index corpus.cinct -path "17 42 99"
 //	cinct find   -index corpus.cinct -path "17 42 99" [-limit 10]
 //	cinct show   -index corpus.cinct -traj 5
+//	cinct subpath -index corpus.cinct -traj 5 -from 2 -to 9
+//	cinct verify -in corpus.txt -index corpus.cinct
+//	cinct find-interval -index corpus.tcinct -path "17 42" -from 0 -to 999
+//
+// Any query subcommand accepts -remote URL -name INDEX instead of
+// -index FILE to run against a cinctd daemon:
+//
+//	cinct count -remote http://localhost:8132 -name corpus -path "17 42 99"
 //
 // Corpus files hold one trajectory per line as space-separated road
-// edge IDs (the format cmd/trajgen emits).
+// edge IDs (the format cmd/trajgen emits). Temporal index files
+// conventionally use the .tcinct extension, which cinctd and the
+// engine recognize; find-interval loads its -index as temporal
+// regardless of extension.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
 	"strconv"
@@ -22,11 +36,11 @@ import (
 	"time"
 
 	"cinct"
+	"cinct/internal/engine"
+	"cinct/internal/querygen"
 	"cinct/internal/trajio"
+	"cinct/server"
 )
-
-// newDeterministicRand gives verify reproducible sampling.
-func newDeterministicRand() *rand.Rand { return rand.New(rand.NewSource(1)) }
 
 func main() {
 	if len(os.Args) < 2 {
@@ -37,6 +51,8 @@ func main() {
 	switch cmd {
 	case "build":
 		err = cmdBuild(args)
+	case "build-temporal":
+		err = cmdBuildTemporal(args)
 	case "stats":
 		err = cmdStats(args)
 	case "count":
@@ -45,10 +61,10 @@ func main() {
 		err = cmdFind(args)
 	case "show":
 		err = cmdShow(args)
+	case "subpath":
+		err = cmdSubPath(args)
 	case "verify":
 		err = cmdVerify(args)
-	case "build-temporal":
-		err = cmdBuildTemporal(args)
 	case "find-interval":
 		err = cmdFindInterval(args)
 	default:
@@ -62,8 +78,176 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cinct {build|stats|count|find|show|verify|build-temporal|find-interval} [flags]")
+		"usage: cinct {build|build-temporal|stats|count|find|show|subpath|verify|find-interval} [flags]")
 	os.Exit(2)
+}
+
+// querier is the transport-independent query surface the subcommands
+// run against: a local engine over an index file, or a server.Client
+// speaking to a daemon. Both satisfy it with identical semantics —
+// that equivalence is what server's differential tests pin down.
+type querier interface {
+	Info(ctx context.Context) (engine.Info, error)
+	Count(ctx context.Context, path []uint32) (int, error)
+	Find(ctx context.Context, path []uint32, limit int) ([]cinct.Match, error)
+	Trajectory(ctx context.Context, id int) ([]uint32, error)
+	SubPath(ctx context.Context, id, from, to int) ([]uint32, error)
+	FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error)
+}
+
+// target holds the shared flags selecting what a query subcommand
+// talks to.
+type target struct {
+	index  *string // local index file
+	remote *string // daemon base URL
+	name   *string // index name at the daemon
+	// temporal forces temporal loading for local files regardless of
+	// extension (find-interval).
+	temporal bool
+}
+
+func addTargetFlags(fs *flag.FlagSet) *target {
+	return &target{
+		index:  fs.String("index", "", "local index file"),
+		remote: fs.String("remote", "", "cinctd base URL (e.g. http://localhost:8132)"),
+		name:   fs.String("name", "", "index name at the daemon (with -remote)"),
+	}
+}
+
+func (t *target) open() (querier, error) {
+	switch {
+	case *t.remote != "" && *t.index != "":
+		return nil, fmt.Errorf("-index and -remote are mutually exclusive")
+	case *t.remote != "":
+		if *t.name == "" {
+			return nil, fmt.Errorf("-name is required with -remote")
+		}
+		return &remoteQuerier{c: server.NewClient(*t.remote, nil), name: *t.name}, nil
+	case *t.index != "":
+		eng := engine.New(engine.Options{})
+		const name = "local"
+		var err error
+		if t.temporal {
+			err = eng.LoadTemporal(name, *t.index)
+		} else {
+			err = eng.Load(name, *t.index)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &localQuerier{eng: eng, name: name}, nil
+	}
+	return nil, fmt.Errorf("-index (local file) or -remote (daemon URL) is required")
+}
+
+// localQuerier serves queries from an engine in this process.
+type localQuerier struct {
+	eng  *engine.Engine
+	name string
+}
+
+func (q *localQuerier) Info(ctx context.Context) (engine.Info, error) {
+	return q.eng.Info(q.name)
+}
+func (q *localQuerier) Count(ctx context.Context, path []uint32) (int, error) {
+	return q.eng.Count(ctx, q.name, path)
+}
+func (q *localQuerier) Find(ctx context.Context, path []uint32, limit int) ([]cinct.Match, error) {
+	return q.eng.Find(ctx, q.name, path, limit)
+}
+func (q *localQuerier) Trajectory(ctx context.Context, id int) ([]uint32, error) {
+	return q.eng.Trajectory(ctx, q.name, id)
+}
+func (q *localQuerier) SubPath(ctx context.Context, id, from, to int) ([]uint32, error) {
+	return q.eng.SubPath(ctx, q.name, id, from, to)
+}
+func (q *localQuerier) FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
+	return q.eng.FindInInterval(ctx, q.name, path, from, to, limit)
+}
+
+// remoteQuerier serves queries from a cinctd daemon.
+type remoteQuerier struct {
+	c    *server.Client
+	name string
+}
+
+func (q *remoteQuerier) Info(ctx context.Context) (engine.Info, error) {
+	infos, err := q.c.Indexes(ctx)
+	if err != nil {
+		return engine.Info{}, err
+	}
+	for _, info := range infos {
+		if info.Name == q.name {
+			return info, nil
+		}
+	}
+	return engine.Info{}, fmt.Errorf("%w: %q", engine.ErrNotFound, q.name)
+}
+func (q *remoteQuerier) Count(ctx context.Context, path []uint32) (int, error) {
+	return q.c.Count(ctx, q.name, path)
+}
+func (q *remoteQuerier) Find(ctx context.Context, path []uint32, limit int) ([]cinct.Match, error) {
+	return q.c.Find(ctx, q.name, path, limit)
+}
+func (q *remoteQuerier) Trajectory(ctx context.Context, id int) ([]uint32, error) {
+	return q.c.Trajectory(ctx, q.name, id)
+}
+func (q *remoteQuerier) SubPath(ctx context.Context, id, from, to int) ([]uint32, error) {
+	return q.c.SubPath(ctx, q.name, id, from, to)
+}
+func (q *remoteQuerier) FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
+	return q.c.FindInInterval(ctx, q.name, path, from, to, limit)
+}
+
+func readCorpus(path string) ([][]uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trajio.Read(f)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input corpus file")
+	out := fs.String("index", "", "output index file")
+	block := fs.Int("block", 63, "RRR block size (15, 31 or 63)")
+	sample := fs.Int("sample", 64, "SA sample rate (0 = count-only index)")
+	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
+		"corpus partitions built and queried in parallel (1 = monolithic)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -index are required")
+	}
+	trajs, err := readCorpus(*in)
+	if err != nil {
+		return err
+	}
+	opts := cinct.DefaultOptions()
+	opts.Block = *block
+	opts.SampleRate = *sample
+	opts.Shards = *shards
+	t0 := time.Now()
+	ix, err := cinct.Build(trajs, opts)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(t0)
+	of, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	n, err := ix.Save(of)
+	if err != nil {
+		return err
+	}
+	s := ix.Stats()
+	fmt.Printf("indexed %d trajectories (%d symbols, %d shard(s)) in %v\n",
+		s.Trajectories, s.TextLen, s.Shards, buildTime.Round(time.Millisecond))
+	fmt.Printf("index: %d bytes on disk, %.2f bits/symbol in memory\n", n, s.BitsPerSymbol)
+	return nil
 }
 
 // cmdBuildTemporal indexes a corpus together with a timestamps file
@@ -72,7 +256,7 @@ func cmdBuildTemporal(args []string) error {
 	fs := flag.NewFlagSet("build-temporal", flag.ExitOnError)
 	in := fs.String("in", "", "input corpus file")
 	timesPath := fs.String("times", "", "timestamps file (aligned with -in)")
-	out := fs.String("index", "", "output index file")
+	out := fs.String("index", "", "output index file (use the .tcinct extension so cinctd recognizes it)")
 	block := fs.Int("block", 63, "RRR block size (15, 31 or 63)")
 	sample := fs.Int("sample", 64, "SA sample rate (must be > 0)")
 	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
@@ -81,12 +265,7 @@ func cmdBuildTemporal(args []string) error {
 	if *in == "" || *timesPath == "" || *out == "" {
 		return fmt.Errorf("-in, -times and -index are required")
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	trajs, err := trajio.Read(f)
-	f.Close()
+	trajs, err := readCorpus(*in)
 	if err != nil {
 		return err
 	}
@@ -121,24 +300,43 @@ func cmdBuildTemporal(args []string) error {
 	return nil
 }
 
-// cmdFindInterval runs a strict path query.
-func cmdFindInterval(args []string) error {
-	fs := flag.NewFlagSet("find-interval", flag.ExitOnError)
-	index := fs.String("index", "", "temporal index file")
-	path := fs.String("path", "", "space-separated edge IDs in travel order")
-	from := fs.Int64("from", 0, "interval start (inclusive)")
-	to := fs.Int64("to", 1<<62, "interval end (inclusive)")
-	limit := fs.Int("limit", 20, "max matches (0 = all)")
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	t := addTargetFlags(fs)
 	fs.Parse(args)
-	if *index == "" {
-		return fmt.Errorf("-index is required")
-	}
-	f, err := os.Open(*index)
+	q, err := t.open()
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	ix, err := cinct.LoadTemporal(f)
+	info, err := q.Info(context.Background())
+	if err != nil {
+		return err
+	}
+	s := info.Stats
+	fmt.Printf("shards:           %d\n", s.Shards)
+	fmt.Printf("trajectories:     %d\n", s.Trajectories)
+	fmt.Printf("distinct edges:   %d\n", s.Edges)
+	fmt.Printf("|T|:              %d\n", s.TextLen)
+	fmt.Printf("ET-graph edges:   %d (d̄ = %.2f, max out-degree %d)\n",
+		s.ETGraphEdges, s.AvgOutDegree, s.MaxLabel)
+	fmt.Printf("H0(φ(Tbwt)):      %.2f bits/symbol\n", s.LabelEntropy)
+	fmt.Printf("wavelet tree:     %.2f bits/symbol\n", float64(s.WaveletBits)/float64(s.TextLen))
+	fmt.Printf("ET-graph:         %.2f bits/symbol\n", float64(s.GraphBits)/float64(s.TextLen))
+	fmt.Printf("C array:          %.2f bits/symbol\n", float64(s.CArrayBits)/float64(s.TextLen))
+	fmt.Printf("locate samples:   %.2f bits/symbol\n", float64(s.LocateBits)/float64(s.TextLen))
+	fmt.Printf("total (index):    %.2f bits/symbol\n", s.BitsPerSymbol)
+	if info.Temporal {
+		fmt.Printf("timestamps:       %.2f bits/entry\n", float64(info.TimestampBits)/float64(s.TextLen))
+	}
+	return nil
+}
+
+func cmdCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	path := fs.String("path", "", "space-separated edge IDs in travel order")
+	fs.Parse(args)
+	q, err := t.open()
 	if err != nil {
 		return err
 	}
@@ -146,7 +344,95 @@ func cmdFindInterval(args []string) error {
 	if err != nil {
 		return err
 	}
-	hits, err := ix.FindInInterval(p, *from, *to, *limit)
+	t0 := time.Now()
+	n, err := q.Count(context.Background(), p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d occurrences (%v)\n", n, time.Since(t0))
+	return nil
+}
+
+func cmdFind(args []string) error {
+	fs := flag.NewFlagSet("find", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	path := fs.String("path", "", "space-separated edge IDs in travel order")
+	limit := fs.Int("limit", 20, "max matches to report (0 = all)")
+	fs.Parse(args)
+	q, err := t.open()
+	if err != nil {
+		return err
+	}
+	p, err := parsePath(*path)
+	if err != nil {
+		return err
+	}
+	hits, err := q.Find(context.Background(), p, *limit)
+	if err != nil {
+		return err
+	}
+	for _, h := range hits {
+		fmt.Printf("trajectory %d @ offset %d\n", h.Trajectory, h.Offset)
+	}
+	fmt.Printf("%d match(es)\n", len(hits))
+	return nil
+}
+
+func cmdShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	traj := fs.Int("traj", 0, "trajectory ID")
+	fs.Parse(args)
+	q, err := t.open()
+	if err != nil {
+		return err
+	}
+	tr, err := q.Trajectory(context.Background(), *traj)
+	if err != nil {
+		return err
+	}
+	printEdges(tr)
+	return nil
+}
+
+func cmdSubPath(args []string) error {
+	fs := flag.NewFlagSet("subpath", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	traj := fs.Int("traj", 0, "trajectory ID")
+	from := fs.Int("from", 0, "first edge offset (inclusive)")
+	to := fs.Int("to", 0, "last edge offset (exclusive)")
+	fs.Parse(args)
+	q, err := t.open()
+	if err != nil {
+		return err
+	}
+	sub, err := q.SubPath(context.Background(), *traj, *from, *to)
+	if err != nil {
+		return err
+	}
+	printEdges(sub)
+	return nil
+}
+
+// cmdFindInterval runs a strict path query against a temporal index.
+func cmdFindInterval(args []string) error {
+	fs := flag.NewFlagSet("find-interval", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	t.temporal = true
+	path := fs.String("path", "", "space-separated edge IDs in travel order")
+	from := fs.Int64("from", 0, "interval start (inclusive)")
+	to := fs.Int64("to", 1<<62, "interval end (inclusive)")
+	limit := fs.Int("limit", 20, "max matches (0 = all)")
+	fs.Parse(args)
+	q, err := t.open()
+	if err != nil {
+		return err
+	}
+	p, err := parsePath(*path)
+	if err != nil {
+		return err
+	}
+	hits, err := q.FindInInterval(context.Background(), p, *from, *to, *limit)
 	if err != nil {
 		return err
 	}
@@ -160,70 +446,53 @@ func cmdFindInterval(args []string) error {
 
 // cmdVerify cross-checks the index against the original corpus: counts
 // of sampled sub-paths versus a naive scan, and full reconstruction of
-// sampled trajectories.
+// sampled trajectories. With -remote it doubles as an end-to-end check
+// of a live daemon.
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	t := addTargetFlags(fs)
 	in := fs.String("in", "", "original corpus file")
-	index := fs.String("index", "", "index file")
 	samples := fs.Int("samples", 200, "number of sampled checks")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
-	f, err := os.Open(*in)
+	trajs, err := readCorpus(*in)
 	if err != nil {
 		return err
 	}
-	trajs, err := trajio.Read(f)
-	f.Close()
+	q, err := t.open()
 	if err != nil {
 		return err
 	}
-	ix, err := loadIndex(*index)
+	ctx := context.Background()
+	info, err := q.Info(ctx)
 	if err != nil {
 		return err
 	}
-	if ix.NumTrajectories() != len(trajs) {
+	if info.Stats.Trajectories != len(trajs) {
 		return fmt.Errorf("index holds %d trajectories, corpus has %d",
-			ix.NumTrajectories(), len(trajs))
+			info.Stats.Trajectories, len(trajs))
 	}
-	naive := func(path []uint32) int {
-		count := 0
-		for _, tr := range trajs {
-		scan:
-			for i := 0; i+len(path) <= len(tr); i++ {
-				for j := range path {
-					if tr[i+j] != path[j] {
-						continue scan
-					}
-				}
-				count++
-			}
+	sampler := querygen.New(trajs, 2, 5, 1)
+	for checked := 0; checked < *samples; checked++ {
+		path := sampler.Next()
+		if path == nil {
+			break
 		}
-		return count
-	}
-	rng := newDeterministicRand()
-	checked := 0
-	for checked < *samples {
-		tr := trajs[rng.Intn(len(trajs))]
-		if len(tr) < 2 {
-			continue
+		got, err := q.Count(ctx, path)
+		if err != nil {
+			return err
 		}
-		m := 2 + rng.Intn(4)
-		if m > len(tr) {
-			m = len(tr)
-		}
-		start := rng.Intn(len(tr) - m + 1)
-		path := tr[start : start+m]
-		if got, want := ix.Count(path), naive(path); got != want {
+		if want := querygen.NaiveCount(trajs, path); got != want {
 			return fmt.Errorf("MISMATCH: Count(%v) = %d, naive scan = %d", path, got, want)
 		}
-		checked++
 	}
-	// Reconstruction spot checks.
-	for k := 0; k < *samples/10+1; k++ {
-		id := rng.Intn(len(trajs))
-		got, err := ix.Trajectory(id)
+	// Reconstruction spot checks, evenly spread over the ID space.
+	recons := *samples/10 + 1
+	for k := 0; k < recons; k++ {
+		id := k * len(trajs) / recons
+		got, err := q.Trajectory(ctx, id)
 		if err != nil {
 			return err
 		}
@@ -237,68 +506,18 @@ func cmdVerify(args []string) error {
 			}
 		}
 	}
-	fmt.Printf("verified: %d count checks and %d reconstructions OK\n",
-		checked, *samples/10+1)
+	fmt.Printf("verified: %d count checks and %d reconstructions OK\n", *samples, recons)
 	return nil
 }
 
-func cmdBuild(args []string) error {
-	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	in := fs.String("in", "", "input corpus file")
-	out := fs.String("index", "", "output index file")
-	block := fs.Int("block", 63, "RRR block size (15, 31 or 63)")
-	sample := fs.Int("sample", 64, "SA sample rate (0 = count-only index)")
-	shards := fs.Int("shards", runtime.GOMAXPROCS(0),
-		"corpus partitions built and queried in parallel (1 = monolithic)")
-	fs.Parse(args)
-	if *in == "" || *out == "" {
-		return fmt.Errorf("-in and -index are required")
+func printEdges(edges []uint32) {
+	for i, e := range edges {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(e)
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	trajs, err := trajio.Read(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
-	opts := cinct.DefaultOptions()
-	opts.Block = *block
-	opts.SampleRate = *sample
-	opts.Shards = *shards
-	t0 := time.Now()
-	ix, err := cinct.Build(trajs, opts)
-	if err != nil {
-		return err
-	}
-	buildTime := time.Since(t0)
-	of, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer of.Close()
-	n, err := ix.Save(of)
-	if err != nil {
-		return err
-	}
-	s := ix.Stats()
-	fmt.Printf("indexed %d trajectories (%d symbols, %d shard(s)) in %v\n",
-		s.Trajectories, s.TextLen, s.Shards, buildTime.Round(time.Millisecond))
-	fmt.Printf("index: %d bytes on disk, %.2f bits/symbol in memory\n", n, s.BitsPerSymbol)
-	return nil
-}
-
-func loadIndex(path string) (*cinct.Index, error) {
-	if path == "" {
-		return nil, fmt.Errorf("-index is required")
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return cinct.Load(f)
+	fmt.Println()
 }
 
 func parsePath(s string) ([]uint32, error) {
@@ -315,98 +534,4 @@ func parsePath(s string) ([]uint32, error) {
 		out[i] = uint32(v)
 	}
 	return out, nil
-}
-
-func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	index := fs.String("index", "", "index file")
-	fs.Parse(args)
-	ix, err := loadIndex(*index)
-	if err != nil {
-		return err
-	}
-	s := ix.Stats()
-	fmt.Printf("shards:           %d\n", s.Shards)
-	fmt.Printf("trajectories:     %d\n", s.Trajectories)
-	fmt.Printf("distinct edges:   %d\n", s.Edges)
-	fmt.Printf("|T|:              %d\n", s.TextLen)
-	fmt.Printf("ET-graph edges:   %d (d̄ = %.2f, max out-degree %d)\n",
-		s.ETGraphEdges, s.AvgOutDegree, s.MaxLabel)
-	fmt.Printf("H0(φ(Tbwt)):      %.2f bits/symbol\n", s.LabelEntropy)
-	fmt.Printf("wavelet tree:     %.2f bits/symbol\n", float64(s.WaveletBits)/float64(s.TextLen))
-	fmt.Printf("ET-graph:         %.2f bits/symbol\n", float64(s.GraphBits)/float64(s.TextLen))
-	fmt.Printf("C array:          %.2f bits/symbol\n", float64(s.CArrayBits)/float64(s.TextLen))
-	fmt.Printf("locate samples:   %.2f bits/symbol\n", float64(s.LocateBits)/float64(s.TextLen))
-	fmt.Printf("total (index):    %.2f bits/symbol\n", s.BitsPerSymbol)
-	return nil
-}
-
-func cmdCount(args []string) error {
-	fs := flag.NewFlagSet("count", flag.ExitOnError)
-	index := fs.String("index", "", "index file")
-	path := fs.String("path", "", "space-separated edge IDs in travel order")
-	fs.Parse(args)
-	ix, err := loadIndex(*index)
-	if err != nil {
-		return err
-	}
-	p, err := parsePath(*path)
-	if err != nil {
-		return err
-	}
-	t0 := time.Now()
-	n := ix.Count(p)
-	fmt.Printf("%d occurrences (%v)\n", n, time.Since(t0))
-	return nil
-}
-
-func cmdFind(args []string) error {
-	fs := flag.NewFlagSet("find", flag.ExitOnError)
-	index := fs.String("index", "", "index file")
-	path := fs.String("path", "", "space-separated edge IDs in travel order")
-	limit := fs.Int("limit", 20, "max matches to report (0 = all)")
-	fs.Parse(args)
-	ix, err := loadIndex(*index)
-	if err != nil {
-		return err
-	}
-	p, err := parsePath(*path)
-	if err != nil {
-		return err
-	}
-	hits, err := ix.Find(p, *limit)
-	if err != nil {
-		return err
-	}
-	for _, h := range hits {
-		fmt.Printf("trajectory %d @ offset %d\n", h.Trajectory, h.Offset)
-	}
-	fmt.Printf("%d match(es)\n", len(hits))
-	return nil
-}
-
-func cmdShow(args []string) error {
-	fs := flag.NewFlagSet("show", flag.ExitOnError)
-	index := fs.String("index", "", "index file")
-	traj := fs.Int("traj", 0, "trajectory ID")
-	fs.Parse(args)
-	ix, err := loadIndex(*index)
-	if err != nil {
-		return err
-	}
-	if *traj < 0 || *traj >= ix.NumTrajectories() {
-		return fmt.Errorf("trajectory %d out of range [0,%d)", *traj, ix.NumTrajectories())
-	}
-	tr, err := ix.Trajectory(*traj)
-	if err != nil {
-		return err
-	}
-	for i, e := range tr {
-		if i > 0 {
-			fmt.Print(" ")
-		}
-		fmt.Print(e)
-	}
-	fmt.Println()
-	return nil
 }

@@ -1,0 +1,215 @@
+// Command cinctbench measures the serving stack end to end — index
+// build time and size, then Count/Find latency distributions both
+// in-process (through internal/engine, cache off and cache on) and
+// over HTTP (through a live server on a loopback listener) — and
+// writes the results as JSON so the repository's performance
+// trajectory has comparable data points per PR.
+//
+//	cinctbench -out BENCH_PR2.json -trajs 4000 -queries 2000 -shards 0
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"cinct"
+	"cinct/internal/engine"
+	"cinct/internal/querygen"
+	"cinct/internal/trajgen"
+	"cinct/server"
+)
+
+// percentiles summarizes one latency distribution in microseconds.
+type percentiles struct {
+	P50Us  float64 `json:"p50us"`
+	P99Us  float64 `json:"p99us"`
+	MeanUs float64 `json:"meanUs"`
+}
+
+type report struct {
+	GoMaxProcs    int                    `json:"gomaxprocs"`
+	Trajectories  int                    `json:"trajectories"`
+	Symbols       int                    `json:"symbols"`
+	DistinctEdges int                    `json:"distinctEdges"`
+	Shards        int                    `json:"shards"`
+	Queries       int                    `json:"queries"`
+	FindLimit     int                    `json:"findLimit"`
+	BuildSeconds  float64                `json:"buildSeconds"`
+	IndexBytes    int64                  `json:"indexBytes"`
+	BitsPerSymbol float64                `json:"bitsPerSymbol"`
+	Latency       map[string]percentiles `json:"latency"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_PR2.json", "output JSON file")
+		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
+		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
+		queries = flag.Int("queries", 2000, "queries per latency distribution")
+		qlen    = flag.Int("qlen", 8, "max query path length (sampled in [2, qlen])")
+		limit   = flag.Int("limit", 10, "Find limit")
+		shards  = flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
+		seed    = flag.Int64("seed", 1, "corpus + workload seed")
+	)
+	flag.Parse()
+	if err := run(*out, *trajs, *meanLen, *queries, *qlen, *limit, *shards, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "cinctbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, numTrajs, meanLen, numQueries, qlen, limit, shards int, seed int64) error {
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	rep := report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     shards,
+		Queries:    numQueries,
+		FindLimit:  limit,
+		Latency:    map[string]percentiles{},
+	}
+
+	fmt.Fprintf(os.Stderr, "generating corpus (%d trajectories)...\n", numTrajs)
+	cfg := trajgen.Config{GridW: 26, GridH: 26, NumTrajs: numTrajs, MeanLen: meanLen, Seed: seed}
+	corpus := trajgen.Singapore2(cfg).Trajs
+
+	fmt.Fprintf(os.Stderr, "building index (%d shards)...\n", shards)
+	opts := cinct.DefaultOptions()
+	opts.Shards = shards
+	t0 := time.Now()
+	ix, err := cinct.Build(corpus, opts)
+	if err != nil {
+		return err
+	}
+	rep.BuildSeconds = time.Since(t0).Seconds()
+	s := ix.Stats()
+	rep.Trajectories = s.Trajectories
+	rep.Symbols = s.TextLen
+	rep.DistinctEdges = s.Edges
+	rep.BitsPerSymbol = s.BitsPerSymbol
+
+	tmp, err := os.CreateTemp("", "cinctbench-*.cinct")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	rep.IndexBytes, err = ix.Save(tmp)
+	tmp.Close()
+	if err != nil {
+		return err
+	}
+
+	workload := querygen.New(corpus, 2, qlen, seed+1).Draw(numQueries)
+	ctx := context.Background()
+
+	// In-process through the engine, cache disabled: raw index latency.
+	cold := engine.New(engine.Options{CacheEntries: -1})
+	cold.Register("bench", ix)
+	if rep.Latency["count.inproc"], err = measure(workload, func(p []uint32) error {
+		_, err := cold.Count(ctx, "bench", p)
+		return err
+	}); err != nil {
+		return err
+	}
+	if rep.Latency["find.inproc"], err = measure(workload, func(p []uint32) error {
+		_, err := cold.Find(ctx, "bench", p, limit)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	// Cache on, workload replayed twice so the measured pass hits.
+	warm := engine.New(engine.Options{})
+	warm.Register("bench", ix)
+	for _, p := range workload {
+		if _, err := warm.Count(ctx, "bench", p); err != nil {
+			return err
+		}
+	}
+	if rep.Latency["count.inproc.cached"], err = measure(workload, func(p []uint32) error {
+		_, err := warm.Count(ctx, "bench", p)
+		return err
+	}); err != nil {
+		return err
+	}
+
+	// Over HTTP against a live server on a loopback listener, backed
+	// by the cache-disabled engine so http-vs-inproc isolates pure
+	// transport cost instead of conflating it with cache hits.
+	srv := server.New(cold, server.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	cl := server.NewClient("http://"+l.Addr().String(), nil)
+	if rep.Latency["count.http"], err = measure(workload, func(p []uint32) error {
+		_, err := cl.Count(ctx, "bench", p)
+		return err
+	}); err != nil {
+		return err
+	}
+	if rep.Latency["find.http"], err = measure(workload, func(p []uint32) error {
+		_, err := cl.Find(ctx, "bench", p, limit)
+		return err
+	}); err != nil {
+		return err
+	}
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if err := os.WriteFile(out, body, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+	os.Stdout.Write(body)
+	return nil
+}
+
+// measure times fn over each query and summarizes the distribution. A
+// query failure propagates as an error so run()'s cleanup (temp file,
+// server shutdown) still executes.
+func measure(workload [][]uint32, fn func([]uint32) error) (percentiles, error) {
+	durs := make([]time.Duration, 0, len(workload))
+	for _, p := range workload {
+		t0 := time.Now()
+		if err := fn(p); err != nil {
+			return percentiles{}, fmt.Errorf("query failed: %w", err)
+		}
+		durs = append(durs, time.Since(t0))
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	var sum time.Duration
+	for _, d := range durs {
+		sum += d
+	}
+	at := func(q float64) float64 {
+		i := int(q * float64(len(durs)-1))
+		return float64(durs[i].Nanoseconds()) / 1e3
+	}
+	return percentiles{
+		P50Us:  at(0.50),
+		P99Us:  at(0.99),
+		MeanUs: float64(sum.Nanoseconds()) / float64(len(durs)) / 1e3,
+	}, nil
+}

@@ -1,0 +1,99 @@
+// Command cinctd is the CiNCT query daemon: it loads every index from
+// a data directory into an engine catalog and serves JSON queries over
+// HTTP until interrupted, then shuts down gracefully.
+//
+//	cinctd -data ./indexes -addr :8132
+//
+// The data directory holds *.cinct (spatial) and *.tcinct (temporal)
+// files; each is served under its base filename:
+//
+//	GET  /v1/indexes                       catalog + stats
+//	GET  /v1/{index}/count?path=1,2,3      occurrence count
+//	GET  /v1/{index}/find?path=1,2,3&limit=10
+//	GET  /v1/{index}/trajectory/{id}       full reconstruction
+//	GET  /v1/{index}/subpath?traj=5&from=2&to=9
+//	GET  /v1/{index}/temporal/find?path=1,2&from=0&to=999&limit=10
+//	POST /v1/{index}/reload                re-read from disk, bump generation
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cinct/internal/engine"
+	"cinct/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8132", "listen address")
+		data    = flag.String("data", "", "directory of *.cinct / *.tcinct index files (required)")
+		workers = flag.Int("workers", 0, "max concurrent index traversals (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "result cache entries (0 = default 4096, negative = off)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout (negative = none)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "cinctd: ", log.LstdFlags)
+	if *data == "" {
+		logger.Fatal("-data is required")
+	}
+
+	eng := engine.New(engine.Options{Workers: *workers, CacheEntries: *cache})
+	defer eng.CloseAll()
+	names, err := eng.OpenDir(*data)
+	if err != nil {
+		logger.Fatalf("loading %s: %v", *data, err)
+	}
+	if len(names) == 0 {
+		logger.Fatalf("no *%s or *%s files under %s", engine.ExtSpatial, engine.ExtTemporal, *data)
+	}
+	for _, name := range names {
+		info, err := eng.Info(name)
+		if err != nil {
+			logger.Fatalf("stat %s: %v", name, err)
+		}
+		kind := "spatial"
+		if info.Temporal {
+			kind = "temporal"
+		}
+		logger.Printf("loaded %q (%s): %d trajectories, %d shard(s), %.2f bits/symbol",
+			name, kind, info.Stats.Trajectories, info.Stats.Shards, info.Stats.BitsPerSymbol)
+	}
+
+	srv := server.New(eng, server.Config{Addr: *addr, RequestTimeout: *timeout, Logger: logger})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Printf("serving %s on %s", strings.Join(names, ", "), *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			logger.Fatalf("serve: %v", err)
+		}
+		return
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	logger.Printf("shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "cinctd: bye")
+}

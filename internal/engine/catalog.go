@@ -1,0 +1,248 @@
+// Package engine is the serving layer between the cinct library and
+// any front end (the cinctd HTTP daemon, the cinct CLI, tests): a
+// Catalog of named, independently loaded indexes behind one Engine
+// type with context-aware query methods, a bounded LRU result cache,
+// and a worker pool that bounds concurrent wavelet-tree traversals.
+//
+// The split mirrors the daemon → router → handler layering of large Go
+// servers: the engine owns index lifecycle and concurrency; transports
+// stay trivial.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"cinct"
+)
+
+// File extensions recognized by OpenDir. A ".cinct" file holds a
+// spatial index (monolithic or sharded container — cinct.Load accepts
+// both); a ".tcinct" file holds a temporal index (spatial index
+// followed by the timestamp store).
+const (
+	ExtSpatial  = ".cinct"
+	ExtTemporal = ".tcinct"
+)
+
+var (
+	// ErrNotFound reports a query against an index name the catalog
+	// does not hold (never loaded, or closed).
+	ErrNotFound = errors.New("engine: no such index")
+	// ErrNotTemporal reports a temporal query against a spatial-only
+	// index.
+	ErrNotTemporal = errors.New("engine: index has no timestamps")
+	// ErrOutOfRange reports a trajectory ID or sub-path slice outside
+	// the index's bounds.
+	ErrOutOfRange = errors.New("engine: out of range")
+	// ErrNoFile reports a Reload of an index registered directly from
+	// memory, with no backing file to re-read.
+	ErrNoFile = errors.New("engine: index has no backing file")
+)
+
+// entry is one named index in the catalog. The immutable cinct index
+// itself needs no locking; the entry's RWMutex guards the *binding*
+// from name to index state (which load generation is current, whether
+// the entry is closed). Queries snapshot the binding under RLock and
+// then run lock-free against the immutable index, so a slow traversal
+// never blocks a Reload and a Reload never blocks in-flight queries —
+// they simply finish against the generation they started on.
+type entry struct {
+	name     string
+	path     string // backing file; "" when registered from memory
+	temporal bool
+
+	// loadMu serializes disk loads (concurrent Reloads), keeping the
+	// read path's mu free during the expensive file read.
+	loadMu sync.Mutex
+
+	mu      sync.RWMutex
+	gen     uint64
+	spatial *cinct.Index
+	temp    *cinct.TemporalIndex // non-nil iff temporal
+	closed  bool
+}
+
+// view is an immutable snapshot of an entry's current binding.
+type view struct {
+	name     string
+	gen      uint64
+	spatial  *cinct.Index
+	temp     *cinct.TemporalIndex
+	temporal bool
+}
+
+// index returns the spatial index backing the snapshot (a temporal
+// index embeds one).
+func (v view) index() *cinct.Index {
+	if v.temp != nil {
+		return v.temp.Index
+	}
+	return v.spatial
+}
+
+// snapshot captures the entry's current binding, failing if closed.
+func (en *entry) snapshot() (view, error) {
+	en.mu.RLock()
+	defer en.mu.RUnlock()
+	if en.closed {
+		return view{}, fmt.Errorf("%w: %q", ErrNotFound, en.name)
+	}
+	return view{name: en.name, gen: en.gen, spatial: en.spatial, temp: en.temp, temporal: en.temporal}, nil
+}
+
+// swap installs a freshly loaded index and bumps the generation,
+// orphaning every cached result computed against the old one. It
+// returns the new generation.
+func (en *entry) swap(ix *cinct.Index, t *cinct.TemporalIndex) (uint64, error) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if en.closed {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, en.name)
+	}
+	en.gen++
+	en.spatial, en.temp = ix, t
+	return en.gen, nil
+}
+
+// loadFromFile reads the entry's backing file into a fresh index pair.
+func (en *entry) loadFromFile() (*cinct.Index, *cinct.TemporalIndex, error) {
+	f, err := os.Open(en.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if en.temporal {
+		t, err := cinct.LoadTemporal(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: loading %q from %s: %w", en.name, en.path, err)
+		}
+		return nil, t, nil
+	}
+	ix, err := cinct.Load(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: loading %q from %s: %w", en.name, en.path, err)
+	}
+	return ix, nil, nil
+}
+
+// Catalog maps names to independently loaded indexes. All methods are
+// safe for concurrent use.
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+func newCatalog() *Catalog {
+	return &Catalog{entries: make(map[string]*entry)}
+}
+
+func (c *Catalog) get(name string) (*entry, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	en, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return en, nil
+}
+
+// view resolves name to a consistent snapshot of its current index.
+func (c *Catalog) view(name string) (view, error) {
+	en, err := c.get(name)
+	if err != nil {
+		return view{}, err
+	}
+	return en.snapshot()
+}
+
+// install publishes a new or replacement entry under name. A
+// replacement continues the old entry's generation sequence — the
+// cache keys embed (name, generation), so a Load over an existing
+// name must orphan the old results exactly like Reload does.
+func (c *Catalog) install(en *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[en.name]; ok {
+		en.gen = old.markClosed() + 1
+	}
+	c.entries[en.name] = en
+}
+
+// markClosed closes the entry and returns its final generation.
+func (en *entry) markClosed() uint64 {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.closed = true
+	en.spatial, en.temp = nil, nil
+	return en.gen
+}
+
+// remove closes and unregisters name.
+func (c *Catalog) remove(name string) error {
+	c.mu.Lock()
+	en, ok := c.entries[name]
+	if ok {
+		delete(c.entries, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	en.markClosed()
+	return nil
+}
+
+// names returns the registered index names, sorted.
+func (c *Catalog) names() []string {
+	c.mu.RLock()
+	out := make([]string, 0, len(c.entries))
+	for name := range c.entries {
+		out = append(out, name)
+	}
+	c.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// nameForFile maps a data-dir filename to (index name, temporal),
+// returning ok=false for files the catalog does not manage.
+func nameForFile(filename string) (name string, temporal, ok bool) {
+	switch {
+	case strings.HasSuffix(filename, ExtTemporal):
+		return strings.TrimSuffix(filename, ExtTemporal), true, true
+	case strings.HasSuffix(filename, ExtSpatial):
+		return strings.TrimSuffix(filename, ExtSpatial), false, true
+	}
+	return "", false, false
+}
+
+// scanDir lists the loadable index files under dir.
+func scanDir(dir string) ([]*entry, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []*entry
+	seen := make(map[string]string)
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		name, temporal, ok := nameForFile(f.Name())
+		if !ok || name == "" {
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("engine: index name %q claimed by both %s and %s", name, prev, f.Name())
+		}
+		seen[name] = f.Name()
+		out = append(out, &entry{name: name, path: filepath.Join(dir, f.Name()), temporal: temporal})
+	}
+	return out, nil
+}

@@ -1,0 +1,372 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"cinct"
+)
+
+// Options tunes an Engine. The zero value picks sensible defaults.
+type Options struct {
+	// Workers bounds the number of wavelet-tree traversals in flight
+	// at once; queries beyond it wait (or fail when their context
+	// expires first). 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheEntries is the LRU capacity for Count/Find results across
+	// all indexes. 0 means 4096; negative disables caching.
+	CacheEntries int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) cacheEntries() int {
+	switch {
+	case o.CacheEntries > 0:
+		return o.CacheEntries
+	case o.CacheEntries < 0:
+		return 0
+	}
+	return 4096
+}
+
+// Engine serves queries over a Catalog of named indexes. It is the
+// single concurrency point of the system: every transport (HTTP
+// daemon, CLI, tests) funnels through the same bounded worker pool and
+// shares the same result cache, so answers and load behavior cannot
+// diverge between in-process and remote callers.
+type Engine struct {
+	cat   *Catalog
+	cache *queryCache
+	sem   chan struct{}
+}
+
+// New creates an empty engine; load indexes with OpenDir, Load or
+// Register.
+func New(opts Options) *Engine {
+	return &Engine{
+		cat:   newCatalog(),
+		cache: newQueryCache(opts.cacheEntries()),
+		sem:   make(chan struct{}, opts.workers()),
+	}
+}
+
+// acquire takes a worker slot, honoring context cancellation while
+// waiting.
+func (e *Engine) acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		// Deterministic failure for already-expired contexts (select
+		// picks randomly among ready cases).
+		return err
+	}
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (e *Engine) release() { <-e.sem }
+
+// OpenDir loads every index file under dir: *.cinct as spatial
+// indexes, *.tcinct as temporal ones, each registered under its base
+// filename. Returns the loaded names.
+func (e *Engine) OpenDir(dir string) ([]string, error) {
+	entries, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, en := range entries {
+		ix, t, err := en.loadFromFile()
+		if err != nil {
+			return names, err
+		}
+		en.gen = 1
+		en.spatial, en.temp = ix, t
+		e.cat.install(en)
+		names = append(names, en.name)
+	}
+	return names, nil
+}
+
+// Load reads one index file and registers it under name, replacing any
+// previous index of that name. Temporal indexes are recognized by the
+// .tcinct extension.
+func (e *Engine) Load(name, path string) error {
+	_, temporal, ok := nameForFile(path)
+	if !ok {
+		// Unrecognized extension: treat as spatial, the common case
+		// for ad-hoc CLI files.
+		temporal = false
+	}
+	return e.loadAs(name, path, temporal)
+}
+
+// LoadTemporal is Load forcing the temporal format regardless of
+// extension.
+func (e *Engine) LoadTemporal(name, path string) error {
+	return e.loadAs(name, path, true)
+}
+
+func (e *Engine) loadAs(name, path string, temporal bool) error {
+	en := &entry{name: name, path: path, temporal: temporal}
+	ix, t, err := en.loadFromFile()
+	if err != nil {
+		return err
+	}
+	en.gen = 1
+	en.spatial, en.temp = ix, t
+	e.cat.install(en)
+	return nil
+}
+
+// Register publishes an in-memory spatial index under name (no backing
+// file; Reload will fail with ErrNoFile).
+func (e *Engine) Register(name string, ix *cinct.Index) {
+	e.cat.install(&entry{name: name, gen: 1, spatial: ix})
+}
+
+// RegisterTemporal publishes an in-memory temporal index under name.
+func (e *Engine) RegisterTemporal(name string, t *cinct.TemporalIndex) {
+	e.cat.install(&entry{name: name, gen: 1, temp: t, temporal: true})
+}
+
+// Reload re-reads name's backing file, atomically swaps the new index
+// in, and returns the new generation (so concurrent reloaders can each
+// pair their call with the swap it produced). In-flight queries finish
+// against the old generation; cached results of the old generation
+// become unreachable at once (see queryCache). The old index stays
+// valid until its last query returns.
+func (e *Engine) Reload(name string) (uint64, error) {
+	en, err := e.cat.get(name)
+	if err != nil {
+		return 0, err
+	}
+	if en.path == "" {
+		return 0, fmt.Errorf("%w: %q", ErrNoFile, name)
+	}
+	en.loadMu.Lock()
+	defer en.loadMu.Unlock()
+	ix, t, err := en.loadFromFile()
+	if err != nil {
+		return 0, err
+	}
+	return en.swap(ix, t)
+}
+
+// Close unregisters name and releases its index for collection once
+// in-flight queries drain.
+func (e *Engine) Close(name string) error { return e.cat.remove(name) }
+
+// CloseAll closes every index.
+func (e *Engine) CloseAll() {
+	for _, name := range e.cat.names() {
+		e.cat.remove(name) //nolint:errcheck // raced removals are fine
+	}
+}
+
+// Names lists the registered indexes, sorted.
+func (e *Engine) Names() []string { return e.cat.names() }
+
+// Info describes one catalog entry.
+type Info struct {
+	Name       string `json:"name"`
+	Temporal   bool   `json:"temporal"`
+	Path       string `json:"path,omitempty"`
+	Generation uint64 `json:"generation"`
+	// TimestampBits is the compressed temporal store size (temporal
+	// indexes only).
+	TimestampBits int         `json:"timestampBits,omitempty"`
+	Stats         cinct.Stats `json:"stats"`
+}
+
+// Info reports metadata and size statistics for name.
+func (e *Engine) Info(name string) (Info, error) {
+	// One lookup: snapshot and path must come from the same entry or a
+	// concurrent replacement could mix two indexes' metadata.
+	en, err := e.cat.get(name)
+	if err != nil {
+		return Info{}, err
+	}
+	v, err := en.snapshot()
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Name:       v.name,
+		Temporal:   v.temporal,
+		Path:       en.path,
+		Generation: v.gen,
+		Stats:      v.index().Stats(),
+	}
+	if v.temp != nil {
+		info.TimestampBits = v.temp.TimestampBits()
+	}
+	return info, nil
+}
+
+// CacheStats reports the shared result cache's lifetime counters.
+func (e *Engine) CacheStats() (hits, misses uint64, entries int) {
+	return e.cache.stats()
+}
+
+// Count returns the number of occurrences of path in index name.
+// Results are served from the LRU cache when the index generation
+// matches.
+func (e *Engine) Count(ctx context.Context, name string, path []uint32) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	v, err := e.cat.view(name)
+	if err != nil {
+		return 0, err
+	}
+	key := cacheKey("count", v.name, v.gen, path)
+	if val, ok := e.cache.get(key); ok {
+		return val.(int), nil
+	}
+	if err := e.acquire(ctx); err != nil {
+		return 0, err
+	}
+	defer e.release()
+	n := v.index().Count(path)
+	e.cache.put(key, n)
+	return n, nil
+}
+
+// Find returns up to limit occurrences of path in index name (limit <=
+// 0 means all), in canonical (Trajectory, Offset) order. The returned
+// slice may be shared with the cache: callers must not modify it.
+func (e *Engine) Find(ctx context.Context, name string, path []uint32, limit int) ([]cinct.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v, err := e.cat.view(name)
+	if err != nil {
+		return nil, err
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	key := cacheKey("find", v.name, v.gen, path, limit)
+	if val, ok := e.cache.get(key); ok {
+		return val.([]cinct.Match), nil
+	}
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	hits, err := v.index().Find(path, limit)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(key, hits)
+	return hits, nil
+}
+
+// FindTrajectories returns up to limit distinct trajectory IDs
+// containing path, ascending. The returned slice may be shared with
+// the cache: callers must not modify it.
+func (e *Engine) FindTrajectories(ctx context.Context, name string, path []uint32, limit int) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v, err := e.cat.view(name)
+	if err != nil {
+		return nil, err
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	key := cacheKey("findtraj", v.name, v.gen, path, limit)
+	if val, ok := e.cache.get(key); ok {
+		return val.([]int), nil
+	}
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	ids, err := v.index().FindTrajectories(path, limit)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(key, ids)
+	return ids, nil
+}
+
+// checkTrajectory validates a trajectory ID against the snapshot,
+// converting the library's documented panic-on-bad-ID contract into an
+// error a server can map to a 4xx.
+func checkTrajectory(v view, id int) error {
+	if n := v.index().NumTrajectories(); id < 0 || id >= n {
+		return fmt.Errorf("%w: trajectory %d not in [0,%d)", ErrOutOfRange, id, n)
+	}
+	return nil
+}
+
+// Trajectory reconstructs trajectory id of index name.
+func (e *Engine) Trajectory(ctx context.Context, name string, id int) ([]uint32, error) {
+	v, err := e.cat.view(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkTrajectory(v, id); err != nil {
+		return nil, err
+	}
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return v.index().Trajectory(id)
+}
+
+// SubPath extracts edges [from, to) of trajectory id of index name.
+func (e *Engine) SubPath(ctx context.Context, name string, id, from, to int) ([]uint32, error) {
+	v, err := e.cat.view(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkTrajectory(v, id); err != nil {
+		return nil, err
+	}
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	sub, err := v.index().SubPath(id, from, to)
+	if err != nil {
+		if errors.Is(err, cinct.ErrNoLocate) {
+			// Index capability, not bad parameters — don't blame the
+			// caller's range.
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrOutOfRange, err)
+	}
+	return sub, nil
+}
+
+// FindInInterval runs a strict path query (path traveled with entry
+// time in [from, to]) against a temporal index.
+func (e *Engine) FindInInterval(ctx context.Context, name string, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
+	v, err := e.cat.view(name)
+	if err != nil {
+		return nil, err
+	}
+	if v.temp == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotTemporal, name)
+	}
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	return v.temp.FindInInterval(path, from, to, limit)
+}

@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cinct"
+	"cinct/internal/querygen"
+	"cinct/internal/trajgen"
+)
+
+func testCorpus(seed int64, n int) [][]uint32 {
+	cfg := trajgen.Config{GridW: 8, GridH: 8, NumTrajs: n, MeanLen: 16, Seed: seed}
+	return trajgen.Singapore2(cfg).Trajs
+}
+
+func testTimes(trajs [][]uint32) [][]int64 {
+	times := make([][]int64, len(trajs))
+	for k, tr := range trajs {
+		col := make([]int64, len(tr))
+		t := int64(1000 * k)
+		for i := range col {
+			col[i] = t
+			t += int64(10 + (k+i)%30)
+		}
+		times[k] = col
+	}
+	return times
+}
+
+// writeIndexes persists a spatial (sharded) and a temporal index for
+// one corpus into dir.
+func writeIndexes(t *testing.T, dir string, trajs [][]uint32) {
+	t.Helper()
+	opts := cinct.DefaultOptions()
+	opts.Shards = 3
+	ix, err := cinct.Build(trajs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveTo(t, filepath.Join(dir, "spatial"+ExtSpatial), ix.Save)
+	tix, err := cinct.BuildTemporal(trajs, testTimes(trajs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveTo(t, filepath.Join(dir, "temporal"+ExtTemporal), tix.Save)
+}
+
+func saveTo(t *testing.T, path string, save func(w io.Writer) (int64, error)) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	trajs := testCorpus(1, 150)
+	writeIndexes(t, dir, trajs)
+
+	eng := New(Options{})
+	defer eng.CloseAll()
+	names, err := eng.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Names(); !reflect.DeepEqual(got, []string{"spatial", "temporal"}) {
+		t.Fatalf("Names() = %v (OpenDir returned %v)", got, names)
+	}
+
+	ctx := context.Background()
+	path := trajs[0][:2]
+	want := querygen.NaiveCount(trajs, path)
+	for _, name := range []string{"spatial", "temporal"} {
+		if got, err := eng.Count(ctx, name, path); err != nil || got != want {
+			t.Fatalf("Count(%s) = %d, %v; want %d", name, got, err, want)
+		}
+	}
+
+	// Temporal-only query routing.
+	if _, err := eng.FindInInterval(ctx, "spatial", path, 0, 1<<60, 0); !errors.Is(err, ErrNotTemporal) {
+		t.Fatalf("FindInInterval on spatial index: %v, want ErrNotTemporal", err)
+	}
+	hits, err := eng.FindInInterval(ctx, "temporal", path, 0, 1<<60, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != want {
+		t.Fatalf("FindInInterval over all time: %d hits, want %d", len(hits), want)
+	}
+
+	// Out-of-range IDs become errors, not panics.
+	if _, err := eng.Trajectory(ctx, "spatial", len(trajs)); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Trajectory(out of range): %v, want ErrOutOfRange", err)
+	}
+	if _, err := eng.SubPath(ctx, "spatial", 0, 0, len(trajs[0])+5); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("SubPath(bad range): %v, want ErrOutOfRange", err)
+	}
+
+	// Unknown names and closed entries 404.
+	if _, err := eng.Count(ctx, "nope", path); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Count(unknown) err = %v, want ErrNotFound", err)
+	}
+	if err := eng.Close("spatial"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Count(ctx, "spatial", path); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Count(closed) err = %v, want ErrNotFound", err)
+	}
+
+	// A canceled context fails deterministically.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := eng.Count(canceled, "temporal", path); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Count(canceled ctx) err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEngineReloadInvalidatesCache swaps the backing file under a
+// loaded index and checks both the generation bump and that no stale
+// cached answer survives the reload.
+func TestEngineReloadInvalidatesCache(t *testing.T) {
+	dir := t.TempDir()
+	trajsA := testCorpus(1, 120)
+	trajsB := testCorpus(2, 180) // different corpus → different answers
+	file := filepath.Join(dir, "ix"+ExtSpatial)
+
+	ixA, err := cinct.Build(trajsA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveTo(t, file, ixA.Save)
+
+	eng := New(Options{})
+	defer eng.CloseAll()
+	if _, err := eng.OpenDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	path := trajsA[0][:2]
+	wantA := querygen.NaiveCount(trajsA, path)
+	// Twice: the second call must be a cache hit.
+	for i := 0; i < 2; i++ {
+		if got, err := eng.Count(ctx, "ix", path); err != nil || got != wantA {
+			t.Fatalf("Count = %d, %v; want %d", got, err, wantA)
+		}
+	}
+	if hits, _, _ := eng.CacheStats(); hits == 0 {
+		t.Fatal("expected a cache hit on the repeated Count")
+	}
+
+	ixB, err := cinct.Build(trajsB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveTo(t, file, ixB.Save)
+	gen, err := eng.Reload("ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("Reload returned generation %d, want 2", gen)
+	}
+	info, err := eng.Info("ix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 2 {
+		t.Fatalf("generation after reload = %d, want 2", info.Generation)
+	}
+	wantB := querygen.NaiveCount(trajsB, path)
+	if got, err := eng.Count(ctx, "ix", path); err != nil || got != wantB {
+		t.Fatalf("Count after reload = %d, %v; want %d (stale pre-reload answer was %d)",
+			got, err, wantB, wantA)
+	}
+
+	// Reload of a memory-registered index must refuse.
+	eng.Register("mem", ixA)
+	if _, err := eng.Reload("mem"); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("Reload(mem) err = %v, want ErrNoFile", err)
+	}
+
+	// Replacing a name via Load (not Reload) must also orphan cached
+	// results: the new entry continues the old generation sequence.
+	fileA := filepath.Join(dir, "re"+ExtSpatial)
+	saveTo(t, fileA, ixA.Save)
+	if err := eng.Load("re", fileA); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := eng.Count(ctx, "re", path); err != nil || got != wantA {
+		t.Fatalf("Count(re) = %d, %v; want %d", got, err, wantA)
+	}
+	saveTo(t, fileA, ixB.Save)
+	if err := eng.Load("re", fileA); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := eng.Count(ctx, "re", path); err != nil || got != wantB {
+		t.Fatalf("Count(re) after Load replacement = %d, %v; want %d (stale answer was %d)",
+			got, err, wantB, wantA)
+	}
+	reInfo, err := eng.Info("re")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reInfo.Generation != 2 {
+		t.Fatalf("generation after Load replacement = %d, want 2", reInfo.Generation)
+	}
+}
+
+// TestEngineConcurrentSoak is the load test: many goroutines issue
+// mixed Count/Find/SubPath against one cached Engine under -race,
+// asserting every answer is identical to an uncached engine over the
+// same index — cache hits must be indistinguishable from misses —
+// while a reloader goroutine swaps generations underneath them.
+func TestEngineConcurrentSoak(t *testing.T) {
+	dir := t.TempDir()
+	trajs := testCorpus(3, 200)
+	opts := cinct.DefaultOptions()
+	opts.Shards = 3
+	ix, err := cinct.Build(trajs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, "soak"+ExtSpatial)
+	saveTo(t, file, ix.Save)
+
+	cached := New(Options{Workers: 4, CacheEntries: 64}) // small: forces eviction churn
+	defer cached.CloseAll()
+	uncached := New(Options{Workers: 4, CacheEntries: -1})
+	defer uncached.CloseAll()
+	for _, e := range []*Engine{cached, uncached} {
+		if _, err := e.OpenDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A small pool of queries so the cache actually gets hits.
+	queries := querygen.New(trajs, 1, 4, 42).Draw(16)
+
+	const (
+		goroutines = 8
+		iters      = 400
+	)
+	ctx := context.Background()
+	var wg, wgReload sync.WaitGroup
+	errc := make(chan error, goroutines+1)
+	stopReload := make(chan struct{})
+	wgReload.Add(1)
+	go func() { // reloader: generation churn during the soak
+		defer wgReload.Done()
+		for {
+			select {
+			case <-stopReload:
+				return
+			default:
+			}
+			if _, err := cached.Reload("soak"); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				path := queries[rng.Intn(len(queries))]
+				switch i % 3 {
+				case 0:
+					got, err := cached.Count(ctx, "soak", path)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want, err := uncached.Count(ctx, "soak", path)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got != want {
+						t.Errorf("soak Count(%v) = %d, want %d", path, got, want)
+						return
+					}
+				case 1:
+					limit := rng.Intn(5) // includes 0 = all
+					got, err := cached.Find(ctx, "soak", path, limit)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want, err := uncached.Find(ctx, "soak", path, limit)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("soak Find(%v, %d) = %v, want %v", path, limit, got, want)
+						return
+					}
+				case 2:
+					id := rng.Intn(len(trajs))
+					to := len(trajs[id])
+					from := rng.Intn(to)
+					got, err := cached.SubPath(ctx, "soak", id, from, to)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want := trajs[id][from:to]
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("soak SubPath(%d, %d, %d) = %v, want %v", id, from, to, got, want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stopReload) // then stop the reloader
+	wgReload.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	hits, misses, _ := cached.CacheStats()
+	if hits == 0 {
+		t.Fatalf("soak produced no cache hits (misses = %d); the cache path went untested", misses)
+	}
+	t.Logf("soak: %d cache hits, %d misses", hits, misses)
+}

@@ -7,9 +7,9 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
+	"cinct/internal/querygen"
 	"cinct/internal/suffix"
 	"cinct/internal/trajgen"
 	"cinct/internal/trajstr"
@@ -109,39 +109,14 @@ func PaperDatasets(s Scale) ([]*Prepared, error) {
 // shorter than the length are skipped; if the corpus cannot supply
 // them, shorter patterns are drawn instead.
 func (p *Prepared) SampleQueries(n, length int, seed int64) [][]uint32 {
-	rng := rand.New(rand.NewSource(seed))
-	var eligible []int
-	for k, tr := range p.Dataset.Trajs {
-		if len(tr) >= length {
-			eligible = append(eligible, k)
-		}
-	}
-	useLen := length
-	if len(eligible) == 0 {
-		// Degenerate corpus (e.g. chess openings of 10 moves with
-		// length 20 requested): fall back to the longest available.
-		useLen = 0
-		for k, tr := range p.Dataset.Trajs {
-			if len(tr) > useLen {
-				useLen = len(tr)
-			}
-			_ = k
-		}
-		for k, tr := range p.Dataset.Trajs {
-			if len(tr) >= useLen {
-				eligible = append(eligible, k)
-			}
-		}
-	}
+	s := querygen.NewFixed(p.Dataset.Trajs, length, seed)
 	out := make([][]uint32, 0, n)
 	for len(out) < n {
-		k := eligible[rng.Intn(len(eligible))]
-		tr := p.Dataset.Trajs[k]
-		start := 0
-		if len(tr) > useLen {
-			start = rng.Intn(len(tr) - useLen)
+		sub := s.Next()
+		if sub == nil {
+			break
 		}
-		pat, ok := p.Corpus.ReversedPattern(tr[start : start+useLen])
+		pat, ok := p.Corpus.ReversedPattern(sub)
 		if !ok {
 			continue
 		}

@@ -1,0 +1,117 @@
+// Package querygen draws query workloads from a trajectory corpus and
+// checks answers against it by brute force. It is the one
+// implementation of "sample a sub-path of a stored trajectory" shared
+// by cmd/cinct verify, the experiments workload, the bench harness and
+// the serving-layer tests — previously each kept its own copy.
+package querygen
+
+import (
+	"math/rand"
+)
+
+// Sampler draws random sub-paths (in travel order) from a corpus.
+type Sampler struct {
+	rng      *rand.Rand
+	trajs    [][]uint32
+	eligible []int
+	minLen   int
+	maxLen   int
+}
+
+// New returns a sampler of sub-paths with length in [minLen, maxLen]
+// (clamped per trajectory). Trajectories shorter than minLen are never
+// drawn from; if the whole corpus is shorter, the sampler falls back
+// to the longest available length, mirroring the paper's workload
+// generator for degenerate datasets.
+func New(trajs [][]uint32, minLen, maxLen int, seed int64) *Sampler {
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen < minLen {
+		maxLen = minLen
+	}
+	s := &Sampler{
+		rng:    rand.New(rand.NewSource(seed)),
+		trajs:  trajs,
+		minLen: minLen,
+		maxLen: maxLen,
+	}
+	for k, tr := range trajs {
+		if len(tr) >= minLen {
+			s.eligible = append(s.eligible, k)
+		}
+	}
+	if len(s.eligible) == 0 {
+		longest := 0
+		for _, tr := range trajs {
+			if len(tr) > longest {
+				longest = len(tr)
+			}
+		}
+		s.minLen, s.maxLen = longest, longest
+		for k, tr := range trajs {
+			if len(tr) >= longest {
+				s.eligible = append(s.eligible, k)
+			}
+		}
+	}
+	return s
+}
+
+// NewFixed samples sub-paths of exactly length (with the same
+// longest-available fallback).
+func NewFixed(trajs [][]uint32, length int, seed int64) *Sampler {
+	return New(trajs, length, length, seed)
+}
+
+// Next draws one sub-path. The returned slice aliases the corpus; do
+// not modify it.
+func (s *Sampler) Next() []uint32 {
+	if len(s.eligible) == 0 {
+		return nil
+	}
+	tr := s.trajs[s.eligible[s.rng.Intn(len(s.eligible))]]
+	m := s.minLen
+	if hi := min(s.maxLen, len(tr)); hi > m {
+		m += s.rng.Intn(hi - m + 1)
+	}
+	start := 0
+	if len(tr) > m {
+		start = s.rng.Intn(len(tr) - m + 1)
+	}
+	return tr[start : start+m]
+}
+
+// Draw returns n sub-paths.
+func (s *Sampler) Draw(n int) [][]uint32 {
+	out := make([][]uint32, 0, n)
+	for len(out) < n {
+		p := s.Next()
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// NaiveCount scans the corpus for occurrences of path — the ground
+// truth Count is verified against.
+func NaiveCount(trajs [][]uint32, path []uint32) int {
+	if len(path) == 0 {
+		return 0
+	}
+	count := 0
+	for _, tr := range trajs {
+	scan:
+		for i := 0; i+len(path) <= len(tr); i++ {
+			for j := range path {
+				if tr[i+j] != path[j] {
+					continue scan
+				}
+			}
+			count++
+		}
+	}
+	return count
+}

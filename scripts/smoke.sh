@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving stack: generate a corpus, build
+# spatial + temporal indexes, start cinctd, hit every endpoint with
+# curl (checking status and response schema with jq), round-trip the
+# CLI's -remote mode, and shut the daemon down gracefully. CI runs
+# this; it also works locally from the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+bindir="$workdir/bin"
+datadir="$workdir/data"
+mkdir -p "$bindir" "$datadir"
+daemon_pid=""
+
+cleanup() {
+  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+    kill -9 "$daemon_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$bindir" ./cmd/trajgen ./cmd/cinct ./cmd/cinctd
+
+echo "== generating corpus + timestamps"
+"$bindir/trajgen" -dataset singapore2 -trajs 400 -meanlen 20 \
+  -out "$workdir/corpus.txt" -times "$workdir/times.txt"
+
+echo "== building indexes"
+"$bindir/cinct" build -in "$workdir/corpus.txt" -index "$datadir/smoke.cinct" -shards 4
+"$bindir/cinct" build-temporal -in "$workdir/corpus.txt" -times "$workdir/times.txt" \
+  -index "$datadir/tsmoke.tcinct" -shards 2
+
+addr="127.0.0.1:18132"
+base="http://$addr"
+echo "== starting cinctd on $addr"
+"$bindir/cinctd" -data "$datadir" -addr "$addr" &
+daemon_pid=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "$base/v1/indexes" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "smoke: cinctd exited before becoming ready" >&2; exit 1
+  fi
+  sleep 0.2
+done
+
+# check METHOD PATH JQ_ASSERTION — fails on non-200 or schema drift.
+check() {
+  local path=$1 assertion=$2 body
+  body=$(curl -sf "$base$path") || { echo "smoke: GET $path failed" >&2; exit 1; }
+  echo "$body" | jq -e "$assertion" >/dev/null \
+    || { echo "smoke: GET $path: schema drift: $body" >&2; exit 1; }
+  echo "ok GET $path"
+}
+
+# A query path guaranteed to exist: the first two edges of trajectory 0.
+path=$("$bindir/cinct" show -remote "$base" -name smoke -traj 0 | awk '{print $1","$2}')
+
+echo "== curling endpoints"
+check "/v1/indexes" \
+  '(.indexes | length) == 2 and (.indexes[] | select(.name=="smoke") | .stats.trajectories) == 400 and (.indexes[] | select(.name=="tsmoke") | .temporal) == true'
+check "/v1/smoke/count?path=$path" \
+  '.index == "smoke" and (.count | type) == "number" and .count >= 1'
+check "/v1/smoke/find?path=$path&limit=5" \
+  '.limit == 5 and (.matches | type) == "array" and (.matches | length) >= 1 and (.matches[0] | has("trajectory") and has("offset"))'
+check "/v1/smoke/trajectory/0" \
+  '.id == 0 and (.edges | length) >= 2'
+check "/v1/smoke/subpath?traj=0&from=0&to=2" \
+  '.from == 0 and .to == 2 and (.edges | length) == 2'
+check "/v1/tsmoke/temporal/find?path=$path&limit=5" \
+  '.index == "tsmoke" and (.matches | type) == "array" and (if (.matches | length) > 0 then (.matches[0] | has("enteredAt")) else true end)'
+
+status=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/nosuch/count?path=1")
+[ "$status" = 404 ] || { echo "smoke: unknown index returned $status, want 404" >&2; exit 1; }
+echo "ok 404 on unknown index"
+
+gen=$(curl -sf -X POST "$base/v1/smoke/reload" | jq -e .generation)
+[ "$gen" = 2 ] || { echo "smoke: reload generation $gen, want 2" >&2; exit 1; }
+echo "ok POST /v1/smoke/reload"
+
+echo "== CLI -remote round-trip"
+"$bindir/cinct" count -remote "$base" -name smoke -path "${path//,/ }" | grep -q 'occurrences' \
+  || { echo "smoke: remote count failed" >&2; exit 1; }
+"$bindir/cinct" find -remote "$base" -name smoke -path "${path//,/ }" -limit 3 | grep -q 'match(es)' \
+  || { echo "smoke: remote find failed" >&2; exit 1; }
+"$bindir/cinct" verify -remote "$base" -name smoke -in "$workdir/corpus.txt" -samples 40 \
+  || { echo "smoke: remote verify failed" >&2; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$daemon_pid"
+for i in $(seq 1 50); do
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "smoke: cinctd did not exit on SIGTERM" >&2; exit 1
+fi
+wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" = 0 ] || { echo "smoke: cinctd exited with $rc" >&2; exit 1; }
+daemon_pid=""
+
+echo "smoke: all checks passed"

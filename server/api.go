@@ -1,0 +1,126 @@
+// Package server exposes a cinct engine over HTTP: a moby-style
+// router/handler split (each endpoint is a Route owned by a Router,
+// assembled onto one mux by Server), canonical JSON wire types shared
+// by the daemon and the Client, request-scoped timeouts, and graceful
+// shutdown. The daemon binary lives in cmd/cinctd; the same handlers
+// serve httptest instances in the differential tests.
+package server
+
+import (
+	"encoding/json"
+
+	"cinct"
+	"cinct/internal/engine"
+)
+
+// Match mirrors cinct.Match on the wire.
+type Match struct {
+	Trajectory int `json:"trajectory"`
+	Offset     int `json:"offset"`
+}
+
+// TemporalMatch mirrors cinct.TemporalMatch on the wire.
+type TemporalMatch struct {
+	Match
+	EnteredAt int64 `json:"enteredAt"`
+}
+
+// ListResponse is the body of GET /v1/indexes.
+type ListResponse struct {
+	Indexes []engine.Info `json:"indexes"`
+}
+
+// CountResponse is the body of GET /v1/{index}/count.
+type CountResponse struct {
+	Index string   `json:"index"`
+	Path  []uint32 `json:"path"`
+	Count int      `json:"count"`
+}
+
+// FindResponse is the body of GET /v1/{index}/find.
+type FindResponse struct {
+	Index   string   `json:"index"`
+	Path    []uint32 `json:"path"`
+	Limit   int      `json:"limit"`
+	Matches []Match  `json:"matches"`
+}
+
+// TrajectoryResponse is the body of GET /v1/{index}/trajectory/{id}.
+type TrajectoryResponse struct {
+	Index string   `json:"index"`
+	ID    int      `json:"id"`
+	Edges []uint32 `json:"edges"`
+}
+
+// SubPathResponse is the body of GET /v1/{index}/subpath.
+type SubPathResponse struct {
+	Index string   `json:"index"`
+	ID    int      `json:"id"`
+	From  int      `json:"from"`
+	To    int      `json:"to"`
+	Edges []uint32 `json:"edges"`
+}
+
+// TemporalFindResponse is the body of GET /v1/{index}/temporal/find.
+type TemporalFindResponse struct {
+	Index   string          `json:"index"`
+	Path    []uint32        `json:"path"`
+	From    int64           `json:"from"`
+	To      int64           `json:"to"`
+	Limit   int             `json:"limit"`
+	Matches []TemporalMatch `json:"matches"`
+}
+
+// ReloadResponse is the body of POST /v1/{index}/reload.
+type ReloadResponse struct {
+	Index      string `json:"index"`
+	Generation uint64 `json:"generation"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// WireMatches converts library matches to wire form (never null in
+// JSON).
+func WireMatches(hits []cinct.Match) []Match {
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = Match{Trajectory: h.Trajectory, Offset: h.Offset}
+	}
+	return out
+}
+
+// WireTemporalMatches converts library temporal matches to wire form.
+func WireTemporalMatches(hits []cinct.TemporalMatch) []TemporalMatch {
+	out := make([]TemporalMatch, len(hits))
+	for i, h := range hits {
+		out[i] = TemporalMatch{
+			Match:     Match{Trajectory: h.Trajectory, Offset: h.Offset},
+			EnteredAt: h.EnteredAt,
+		}
+	}
+	return out
+}
+
+// WireEdges returns edges, de-nil-ed so it marshals as [] rather than
+// null.
+func WireEdges(edges []uint32) []uint32 {
+	if edges == nil {
+		return []uint32{}
+	}
+	return edges
+}
+
+// EncodeJSON is the canonical response encoding: compact json.Marshal
+// plus a trailing newline. Handlers, the Client, and the differential
+// tests all use it, so "byte-identical to the in-process call" is a
+// checkable property rather than an aspiration.
+func EncodeJSON(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"cinct"
+	"cinct/internal/engine"
+)
+
+// Client speaks the cinctd wire protocol; it is what cmd/cinct's
+// -remote mode uses, and its method set deliberately mirrors
+// engine.Engine so a CLI command can target either transparently.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a daemon at base (e.g. "http://localhost:8132").
+// httpClient may be nil for http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: orDefault(httpClient)}
+}
+
+func orDefault(hc *http.Client) *http.Client {
+	if hc == nil {
+		return http.DefaultClient
+	}
+	return hc
+}
+
+// pathParam spells a query path the way the server parses it.
+func pathParam(path []uint32) string {
+	parts := make([]string, len(path))
+	for i, e := range path {
+		parts[i] = strconv.FormatUint(uint64(e), 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+// call performs one request and decodes the JSON body into out,
+// translating non-2xx replies into errors carrying the server's
+// message.
+func (c *Client) call(ctx context.Context, method, path string, q url.Values, out any) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Indexes lists the daemon's catalog.
+func (c *Client) Indexes(ctx context.Context) ([]engine.Info, error) {
+	var resp ListResponse
+	if err := c.call(ctx, http.MethodGet, "/v1/indexes", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Indexes, nil
+}
+
+// Count counts occurrences of path in the named index.
+func (c *Client) Count(ctx context.Context, index string, path []uint32) (int, error) {
+	var resp CountResponse
+	q := url.Values{"path": {pathParam(path)}}
+	if err := c.call(ctx, http.MethodGet, "/v1/"+url.PathEscape(index)+"/count", q, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Find locates up to limit occurrences of path (limit 0 = all; the
+// limit is sent explicitly so the server default never applies).
+func (c *Client) Find(ctx context.Context, index string, path []uint32, limit int) ([]cinct.Match, error) {
+	var resp FindResponse
+	q := url.Values{"path": {pathParam(path)}, "limit": {strconv.Itoa(limit)}}
+	if err := c.call(ctx, http.MethodGet, "/v1/"+url.PathEscape(index)+"/find", q, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]cinct.Match, len(resp.Matches))
+	for i, m := range resp.Matches {
+		out[i] = cinct.Match{Trajectory: m.Trajectory, Offset: m.Offset}
+	}
+	return out, nil
+}
+
+// Trajectory fetches a full trajectory by ID.
+func (c *Client) Trajectory(ctx context.Context, index string, id int) ([]uint32, error) {
+	var resp TrajectoryResponse
+	p := "/v1/" + url.PathEscape(index) + "/trajectory/" + strconv.Itoa(id)
+	if err := c.call(ctx, http.MethodGet, p, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Edges, nil
+}
+
+// SubPath fetches edges [from, to) of a trajectory.
+func (c *Client) SubPath(ctx context.Context, index string, id, from, to int) ([]uint32, error) {
+	var resp SubPathResponse
+	q := url.Values{
+		"traj": {strconv.Itoa(id)},
+		"from": {strconv.Itoa(from)},
+		"to":   {strconv.Itoa(to)},
+	}
+	if err := c.call(ctx, http.MethodGet, "/v1/"+url.PathEscape(index)+"/subpath", q, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Edges, nil
+}
+
+// FindInInterval runs a strict path query against a temporal index.
+func (c *Client) FindInInterval(ctx context.Context, index string, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
+	var resp TemporalFindResponse
+	q := url.Values{
+		"path":  {pathParam(path)},
+		"from":  {strconv.FormatInt(from, 10)},
+		"to":    {strconv.FormatInt(to, 10)},
+		"limit": {strconv.Itoa(limit)},
+	}
+	if err := c.call(ctx, http.MethodGet, "/v1/"+url.PathEscape(index)+"/temporal/find", q, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]cinct.TemporalMatch, len(resp.Matches))
+	for i, m := range resp.Matches {
+		out[i] = cinct.TemporalMatch{
+			Match:     cinct.Match{Trajectory: m.Trajectory, Offset: m.Offset},
+			EnteredAt: m.EnteredAt,
+		}
+	}
+	return out, nil
+}
+
+// Reload asks the daemon to re-read one index from disk; it returns
+// the new generation number.
+func (c *Client) Reload(ctx context.Context, index string) (uint64, error) {
+	var resp ReloadResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/"+url.PathEscape(index)+"/reload", nil, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Generation, nil
+}

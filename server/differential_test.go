@@ -1,0 +1,297 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"cinct"
+	"cinct/internal/engine"
+	"cinct/internal/querygen"
+	"cinct/internal/trajgen"
+)
+
+// corpusFixture builds a corpus with timestamps and persists four
+// index flavors into dir: spatial and temporal, each monolithic and
+// sharded.
+type corpusFixture struct {
+	trajs [][]uint32
+	times [][]int64
+	// names of the indexes written, keyed spatial/temporal.
+	spatial  []string
+	temporal []string
+}
+
+func writeFixture(t *testing.T, dir string) *corpusFixture {
+	t.Helper()
+	cfg := trajgen.Config{GridW: 8, GridH: 8, NumTrajs: 160, MeanLen: 15, Seed: 11}
+	fx := &corpusFixture{trajs: trajgen.Singapore2(cfg).Trajs}
+	fx.times = make([][]int64, len(fx.trajs))
+	for k, tr := range fx.trajs {
+		col := make([]int64, len(tr))
+		at := int64(100 * k)
+		for i := range col {
+			col[i] = at
+			at += int64(5 + (k+i)%20)
+		}
+		fx.times[k] = col
+	}
+	for _, shards := range []int{1, 4} {
+		opts := cinct.DefaultOptions()
+		opts.Shards = shards
+
+		name := fmt.Sprintf("spatial%d", shards)
+		ix, err := cinct.Build(fx.trajs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeIndexFile(t, filepath.Join(dir, name+engine.ExtSpatial), ix.Save)
+		fx.spatial = append(fx.spatial, name)
+
+		tname := fmt.Sprintf("temporal%d", shards)
+		tix, err := cinct.BuildTemporal(fx.trajs, fx.times, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeIndexFile(t, filepath.Join(dir, tname+engine.ExtTemporal), tix.Save)
+		fx.temporal = append(fx.temporal, tname)
+	}
+	return fx
+}
+
+func writeIndexFile(t *testing.T, path string, save func(io.Writer) (int64, error)) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// get fetches a URL and returns status and raw body bytes.
+func get(t *testing.T, base, path string, q url.Values) (int, []byte) {
+	t.Helper()
+	u := base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// expect encodes v canonically and compares byte-for-byte.
+func expect(t *testing.T, label string, status int, body []byte, wantStatus int, v any) {
+	t.Helper()
+	if status != wantStatus {
+		t.Fatalf("%s: HTTP %d (want %d): %s", label, status, wantStatus, body)
+	}
+	want, err := EncodeJSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("%s: body differs from in-process engine call\n got: %s\nwant: %s", label, body, want)
+	}
+}
+
+// TestDifferentialHTTP is the serving-layer acceptance test: every
+// endpoint's body must be byte-identical to the canonical encoding of
+// the equivalent in-process Engine call, over spatial and temporal,
+// monolithic and sharded indexes.
+func TestDifferentialHTTP(t *testing.T) {
+	dir := t.TempDir()
+	fx := writeFixture(t, dir)
+
+	eng := engine.New(engine.Options{})
+	defer eng.CloseAll()
+	if _, err := eng.OpenDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	queries := querygen.New(fx.trajs, 1, 4, 7).Draw(12)
+	queries = append(queries, []uint32{1 << 30}) // matches nothing
+	limits := []int{0, 1, 3, 50}
+
+	for _, name := range append(append([]string{}, fx.spatial...), fx.temporal...) {
+		for qi, path := range queries {
+			pq := url.Values{"path": {pathParam(path)}}
+
+			n, err := eng.Count(ctx, name, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, body := get(t, ts.URL, "/v1/"+name+"/count", pq)
+			expect(t, fmt.Sprintf("%s count q%d", name, qi), status, body, 200,
+				CountResponse{Index: name, Path: path, Count: n})
+
+			for _, limit := range limits {
+				hits, err := eng.Find(ctx, name, path, limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fq := url.Values{"path": {pathParam(path)}, "limit": {strconv.Itoa(limit)}}
+				status, body = get(t, ts.URL, "/v1/"+name+"/find", fq)
+				expect(t, fmt.Sprintf("%s find q%d limit %d", name, qi, limit), status, body, 200,
+					FindResponse{Index: name, Path: path, Limit: limit, Matches: WireMatches(hits)})
+			}
+		}
+
+		for _, id := range []int{0, 1, len(fx.trajs) / 2, len(fx.trajs) - 1} {
+			edges, err := eng.Trajectory(ctx, name, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			status, body := get(t, ts.URL, "/v1/"+name+"/trajectory/"+strconv.Itoa(id), nil)
+			expect(t, fmt.Sprintf("%s trajectory %d", name, id), status, body, 200,
+				TrajectoryResponse{Index: name, ID: id, Edges: WireEdges(edges)})
+
+			ln := len(fx.trajs[id])
+			from, to := ln/3, ln-ln/4
+			sub, err := eng.SubPath(ctx, name, id, from, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sq := url.Values{
+				"traj": {strconv.Itoa(id)},
+				"from": {strconv.Itoa(from)},
+				"to":   {strconv.Itoa(to)},
+			}
+			status, body = get(t, ts.URL, "/v1/"+name+"/subpath", sq)
+			expect(t, fmt.Sprintf("%s subpath %d [%d,%d)", name, id, from, to), status, body, 200,
+				SubPathResponse{Index: name, ID: id, From: from, To: to, Edges: WireEdges(sub)})
+		}
+	}
+
+	// Temporal find: on temporal indexes it must mirror the engine; on
+	// spatial indexes it must refuse.
+	for _, name := range fx.temporal {
+		for qi, path := range queries {
+			from, to := int64(0), int64(4000)
+			hits, err := eng.FindInInterval(ctx, name, path, from, to, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := url.Values{
+				"path":  {pathParam(path)},
+				"from":  {strconv.FormatInt(from, 10)},
+				"to":    {strconv.FormatInt(to, 10)},
+				"limit": {"0"},
+			}
+			status, body := get(t, ts.URL, "/v1/"+name+"/temporal/find", q)
+			expect(t, fmt.Sprintf("%s temporal/find q%d", name, qi), status, body, 200,
+				TemporalFindResponse{Index: name, Path: path, From: from, To: to, Limit: 0,
+					Matches: WireTemporalMatches(hits)})
+		}
+	}
+	status, _ := get(t, ts.URL, "/v1/"+fx.spatial[0]+"/temporal/find",
+		url.Values{"path": {"1,2"}})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("temporal/find on spatial index: HTTP %d, want 422", status)
+	}
+
+	// Catalog listing vs in-process listing.
+	list := ListResponse{Indexes: make([]engine.Info, 0)}
+	for _, name := range eng.Names() {
+		info, err := eng.Info(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list.Indexes = append(list.Indexes, info)
+	}
+	status, body := get(t, ts.URL, "/v1/indexes", nil)
+	expect(t, "indexes", status, body, 200, list)
+
+	// Differential over the Client as well: the -remote CLI path must
+	// see the same answers as in-process calls.
+	cl := NewClient(ts.URL, nil)
+	for _, name := range fx.temporal {
+		path := queries[0]
+		wantN, err := eng.Count(ctx, name, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, err := cl.Count(ctx, name, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotN != wantN {
+			t.Fatalf("client Count = %d, want %d", gotN, wantN)
+		}
+		wantHits, err := eng.Find(ctx, name, path, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotHits, err := cl.Find(ctx, name, path, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotHits) != len(wantHits) {
+			t.Fatalf("client Find: %d hits, want %d", len(gotHits), len(wantHits))
+		}
+		for i := range gotHits {
+			if gotHits[i] != wantHits[i] {
+				t.Fatalf("client Find[%d] = %+v, want %+v", i, gotHits[i], wantHits[i])
+			}
+		}
+		wantTM, err := eng.FindInInterval(ctx, name, path, math.MinInt64, math.MaxInt64, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTM, err := cl.FindInInterval(ctx, name, path, math.MinInt64, math.MaxInt64, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotTM) != len(wantTM) {
+			t.Fatalf("client FindInInterval: %d hits, want %d", len(gotTM), len(wantTM))
+		}
+	}
+
+	// Error mapping.
+	status, _ = get(t, ts.URL, "/v1/nosuch/count", url.Values{"path": {"1,2"}})
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown index: HTTP %d, want 404", status)
+	}
+	status, _ = get(t, ts.URL, "/v1/"+fx.spatial[0]+"/count", url.Values{"path": {"abc"}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad path: HTTP %d, want 400", status)
+	}
+	status, _ = get(t, ts.URL, "/v1/"+fx.spatial[0]+"/trajectory/999999", nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("out-of-range trajectory: HTTP %d, want 400", status)
+	}
+
+	// Reload via HTTP bumps the generation.
+	gen, err := cl.Reload(ctx, fx.spatial[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("generation after reload = %d, want 2", gen)
+	}
+}

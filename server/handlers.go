@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"cinct/internal/engine"
+)
+
+func badPathID(raw string) error {
+	return fmt.Errorf("%w: bad trajectory id %q", errBadRequest, raw)
+}
+
+// DefaultLimit caps find-style responses when the client sends no
+// limit parameter; limit=0 explicitly requests all matches.
+const DefaultLimit = 100
+
+// systemRouter serves catalog-level endpoints: listing and lifecycle.
+type systemRouter struct {
+	eng *engine.Engine
+}
+
+func (sr *systemRouter) Routes() []Route {
+	return []Route{
+		{Method: http.MethodGet, Pattern: "/v1/indexes", Handler: sr.listIndexes},
+		{Method: http.MethodPost, Pattern: "/v1/{index}/reload", Handler: sr.reloadIndex},
+	}
+}
+
+func (sr *systemRouter) listIndexes(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	resp := ListResponse{Indexes: make([]engine.Info, 0)}
+	for _, name := range sr.eng.Names() {
+		info, err := sr.eng.Info(name)
+		if err != nil {
+			// Closed between Names and Info: skip rather than fail the
+			// whole listing.
+			continue
+		}
+		resp.Indexes = append(resp.Indexes, info)
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (sr *systemRouter) reloadIndex(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	gen, err := sr.eng.Reload(name)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, ReloadResponse{Index: name, Generation: gen})
+}
+
+// queryRouter serves per-index query endpoints.
+type queryRouter struct {
+	eng *engine.Engine
+}
+
+func (qr *queryRouter) Routes() []Route {
+	return []Route{
+		{Method: http.MethodGet, Pattern: "/v1/{index}/count", Handler: qr.count},
+		{Method: http.MethodGet, Pattern: "/v1/{index}/find", Handler: qr.find},
+		{Method: http.MethodGet, Pattern: "/v1/{index}/trajectory/{id}", Handler: qr.trajectory},
+		{Method: http.MethodGet, Pattern: "/v1/{index}/subpath", Handler: qr.subPath},
+		{Method: http.MethodGet, Pattern: "/v1/{index}/temporal/find", Handler: qr.temporalFind},
+	}
+}
+
+func (qr *queryRouter) count(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	path, err := parsePath(r)
+	if err != nil {
+		return err
+	}
+	n, err := qr.eng.Count(ctx, name, path)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, CountResponse{Index: name, Path: path, Count: n})
+}
+
+func (qr *queryRouter) find(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	path, err := parsePath(r)
+	if err != nil {
+		return err
+	}
+	limit, err := intParam(r, "limit", DefaultLimit)
+	if err != nil {
+		return err
+	}
+	hits, err := qr.eng.Find(ctx, name, path, limit)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, FindResponse{
+		Index: name, Path: path, Limit: limit, Matches: WireMatches(hits),
+	})
+}
+
+func (qr *queryRouter) trajectory(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return badPathID(r.PathValue("id"))
+	}
+	edges, err := qr.eng.Trajectory(ctx, name, id)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, TrajectoryResponse{
+		Index: name, ID: id, Edges: WireEdges(edges),
+	})
+}
+
+func (qr *queryRouter) subPath(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	id, err := requiredIntParam(r, "traj")
+	if err != nil {
+		return err
+	}
+	from, err := requiredIntParam(r, "from")
+	if err != nil {
+		return err
+	}
+	to, err := requiredIntParam(r, "to")
+	if err != nil {
+		return err
+	}
+	edges, err := qr.eng.SubPath(ctx, name, id, from, to)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, SubPathResponse{
+		Index: name, ID: id, From: from, To: to, Edges: WireEdges(edges),
+	})
+}
+
+func (qr *queryRouter) temporalFind(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	path, err := parsePath(r)
+	if err != nil {
+		return err
+	}
+	from, err := int64Param(r, "from", math.MinInt64)
+	if err != nil {
+		return err
+	}
+	to, err := int64Param(r, "to", math.MaxInt64)
+	if err != nil {
+		return err
+	}
+	limit, err := intParam(r, "limit", DefaultLimit)
+	if err != nil {
+		return err
+	}
+	hits, err := qr.eng.FindInInterval(ctx, name, path, from, to, limit)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, TemporalFindResponse{
+		Index: name, Path: path, From: from, To: to, Limit: limit,
+		Matches: WireTemporalMatches(hits),
+	})
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cinct"
+	"cinct/internal/engine"
+)
+
+// APIFunc is the signature every endpoint handler implements: pure
+// request → response-or-error, with transport concerns (status
+// mapping, JSON envelope, timeouts) handled once by the server's
+// middleware. This is moby's HttpApiFunc shape minus the bits cinct
+// does not need.
+type APIFunc func(ctx context.Context, w http.ResponseWriter, r *http.Request) error
+
+// Route binds one method+pattern (net/http ServeMux syntax, with
+// {wildcards}) to a handler.
+type Route struct {
+	Method  string
+	Pattern string
+	Handler APIFunc
+}
+
+// Router is a group of related routes; the Server assembles all
+// routers onto one mux.
+type Router interface {
+	Routes() []Route
+}
+
+// errBadRequest wraps parameter parse failures so the status mapper
+// can distinguish them from engine errors.
+var errBadRequest = errors.New("bad request")
+
+// httpStatus maps an error to its response status code.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrOutOfRange), errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrNotTemporal), errors.Is(err, engine.ErrNoFile),
+		errors.Is(err, cinct.ErrNoLocate):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON sends v with the canonical encoding.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	body, err := EncodeJSON(v)
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, err = w.Write(body)
+	return err
+}
+
+// parsePath parses the ?path= parameter: edge IDs separated by commas
+// and/or whitespace, e.g. "17,42,99" or "17 42 99".
+func parsePath(r *http.Request) ([]uint32, error) {
+	raw := r.URL.Query().Get("path")
+	fields := strings.FieldsFunc(raw, func(c rune) bool {
+		return c == ',' || c == ' ' || c == '\t'
+	})
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("%w: missing or empty path parameter", errBadRequest)
+	}
+	out := make([]uint32, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad edge ID %q", errBadRequest, f)
+		}
+		out[i] = uint32(v)
+	}
+	return out, nil
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad %s %q", errBadRequest, key, raw)
+	}
+	return v, nil
+}
+
+// int64Param parses an optional int64 query parameter.
+func int64Param(r *http.Request, key string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad %s %q", errBadRequest, key, raw)
+	}
+	return v, nil
+}
+
+// requiredIntParam parses a mandatory integer query parameter.
+func requiredIntParam(r *http.Request, key string) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("%w: missing %s parameter", errBadRequest, key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad %s %q", errBadRequest, key, raw)
+	}
+	return v, nil
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"cinct/internal/engine"
+)
+
+// Config tunes a Server. The zero value serves on :8132 with a 30s
+// per-request timeout.
+type Config struct {
+	// Addr is the listen address for ListenAndServe.
+	Addr string
+	// RequestTimeout bounds each request's context; engine queries
+	// waiting on a worker slot fail with 504 when it expires. 0 means
+	// 30s; negative disables the per-request deadline.
+	RequestTimeout time.Duration
+	// Logger receives one line per failed request; nil discards.
+	Logger *log.Logger
+}
+
+func (c Config) addr() string {
+	if c.Addr == "" {
+		return ":8132"
+	}
+	return c.Addr
+}
+
+func (c Config) timeout() time.Duration {
+	switch {
+	case c.RequestTimeout > 0:
+		return c.RequestTimeout
+	case c.RequestTimeout < 0:
+		return 0
+	}
+	return 30 * time.Second
+}
+
+// Server assembles the routers over one engine into an http.Server
+// with graceful shutdown. Construct with New, then ListenAndServe (or
+// mount Handler() on a test server).
+type Server struct {
+	eng     *engine.Engine
+	cfg     Config
+	routers []Router
+	httpSrv *http.Server
+}
+
+// New builds a server over eng.
+func New(eng *engine.Engine, cfg Config) *Server {
+	s := &Server{
+		eng: eng,
+		cfg: cfg,
+		routers: []Router{
+			&systemRouter{eng: eng},
+			&queryRouter{eng: eng},
+		},
+	}
+	s.httpSrv = &http.Server{
+		Addr:              cfg.addr(),
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the fully assembled mux (usable directly under
+// httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, r := range s.routers {
+		for _, route := range r.Routes() {
+			mux.Handle(route.Method+" "+route.Pattern, s.wrap(route.Handler))
+		}
+	}
+	return mux
+}
+
+// wrap is the one middleware layer: request-scoped timeout, error →
+// (status, JSON envelope) mapping, failure logging.
+func (s *Server) wrap(h APIFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if d := s.cfg.timeout(); d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		err := h(ctx, w, r)
+		if err == nil {
+			return
+		}
+		status := httpStatus(err)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s: %d %v", r.Method, r.URL.Path, status, err)
+		}
+		if werr := writeJSON(w, status, ErrorResponse{Error: err.Error()}); werr != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("%s %s: writing error response: %v", r.Method, r.URL.Path, werr)
+		}
+	})
+}
+
+// ListenAndServe serves until the listener fails or Shutdown is
+// called; a clean shutdown returns nil.
+func (s *Server) ListenAndServe() error {
+	err := s.httpSrv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Serve serves on an existing listener (tests bind :0 and read
+// l.Addr() back).
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests (bounded by ctx) and stops the
+// listener; it does not close the engine, which the caller owns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	return nil
+}

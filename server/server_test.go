@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"cinct"
+	"cinct/internal/engine"
+	"cinct/internal/trajgen"
+)
+
+func testEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	cfg := trajgen.Config{GridW: 6, GridH: 6, NumTrajs: 40, MeanLen: 10, Seed: 5}
+	ix, err := cinct.Build(trajgen.Singapore2(cfg).Trajs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{})
+	eng.Register("ix", ix)
+	return eng
+}
+
+// TestServerGracefulShutdown serves on a real listener, completes a
+// request, shuts down cleanly, and verifies the port is released.
+func TestServerGracefulShutdown(t *testing.T) {
+	eng := testEngine(t)
+	defer eng.CloseAll()
+	srv := New(eng, Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	base := "http://" + l.Addr().String()
+	resp, err := http.Get(base + "/v1/indexes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("indexes: HTTP %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if _, err := http.Get(base + "/v1/indexes"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+// TestServerRequestTimeout maps an expired request context to 504.
+func TestServerRequestTimeout(t *testing.T) {
+	eng := testEngine(t)
+	defer eng.CloseAll()
+	srv := New(eng, Config{RequestTimeout: time.Nanosecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get("http://" + l.Addr().String() + "/v1/ix/count?path=1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired context: HTTP %d, want 504", resp.StatusCode)
+	}
+}

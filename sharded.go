@@ -162,12 +162,15 @@ func (si *ShardedIndex) Count(path []uint32) int {
 }
 
 // Find fans out over shards, rewrites shard-local trajectory IDs to
-// global ones, and concatenates in shard order — which is exactly
-// ascending (Trajectory, Offset) order, as each shard's result is
-// sorted and shards own contiguous ID ranges. With a positive limit,
-// each shard keeps its first limit matches — a superset of the global
-// first limit — so the truncated concatenation equals the monolithic
-// answer. Semantics match Index.Find exactly.
+// global ones, merges into canonical (Trajectory, Offset) order, and
+// only then applies the limit — guaranteeing the first-K hits equal
+// the monolithic index's regardless of shard count or layout. With a
+// positive limit each shard still returns at most its own first limit
+// matches (a superset of its contribution to the global first limit),
+// so the merge handles at most K·limit matches — though each shard
+// still locates every occurrence in its suffix range before
+// truncating, exactly as Index.Find documents. Semantics match
+// Index.Find exactly.
 func (si *ShardedIndex) Find(path []uint32, limit int) ([]Match, error) {
 	if !si.hasLoc {
 		return nil, ErrNoLocate
@@ -187,15 +190,20 @@ func (si *ShardedIndex) Find(path []uint32, limit int) ([]Match, error) {
 			out = append(out, m)
 		}
 	}
+	// The truncation must happen after the canonical merge, never
+	// per-shard: shard order happens to coincide with global order
+	// today (shards own contiguous ascending ID ranges), but the
+	// first-K guarantee must not hinge on that layout invariant.
+	sortMatches(out)
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
 	return out, nil
 }
 
-// FindTrajectories fans out, rewrites IDs, concatenates (already
-// globally ascending) and truncates. Semantics match
-// Index.FindTrajectories.
+// FindTrajectories fans out, rewrites IDs, merges into ascending
+// order, and applies the limit after the merge (same reasoning as
+// Find). Semantics match Index.FindTrajectories.
 func (si *ShardedIndex) FindTrajectories(path []uint32, limit int) ([]int, error) {
 	if !si.hasLoc {
 		return nil, ErrNoLocate
@@ -214,6 +222,7 @@ func (si *ShardedIndex) FindTrajectories(path []uint32, limit int) ([]int, error
 			out = append(out, id+si.bounds[s])
 		}
 	}
+	sort.Ints(out)
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
