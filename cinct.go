@@ -257,21 +257,41 @@ func (ix *Index) Find(path []uint32, limit int) ([]Match, error) {
 	if ix.sharded != nil {
 		return ix.sharded.Find(path, limit)
 	}
+	var out []Match
+	err := ix.locateOccurrences(path, func(doc, offset int) {
+		out = append(out, Match{Trajectory: doc, Offset: offset})
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortMatches(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// locateOccurrences enumerates every occurrence of path in a
+// monolithic index, calling visit(trajectory, travel-order offset) in
+// suffix-range (i.e. unspecified) order. It is the one locate loop
+// behind both Find and the temporal interval pushdown, so the
+// pattern-reversal and offset arithmetic cannot drift between the
+// spatial and temporal answers. Requires locate support.
+func (ix *Index) locateOccurrences(path []uint32, visit func(doc, offset int)) error {
 	if !ix.hasLoc {
-		return nil, ErrNoLocate
+		return ErrNoLocate
 	}
 	if len(path) == 0 {
-		return nil, nil
+		return nil
 	}
 	pat, ok := ix.corpus.ReversedPattern(path)
 	if !ok {
-		return nil, nil
+		return nil
 	}
 	sp, ep, ok := ix.core.SuffixRange(pat)
 	if !ok {
-		return nil, nil
+		return nil
 	}
-	var out []Match
 	for j := sp; j < ep; j++ {
 		pos := ix.core.Locate(j)
 		doc, endOff, inDoc := ix.docAt(pos)
@@ -280,13 +300,9 @@ func (ix *Index) Find(path []uint32, limit int) ([]Match, error) {
 		}
 		// pos holds the path's last edge; the match starts m-1 earlier
 		// in travel order.
-		out = append(out, Match{Trajectory: doc, Offset: endOff - (len(path) - 1)})
+		visit(doc, endOff-(len(path)-1))
 	}
-	sortMatches(out)
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out, nil
+	return nil
 }
 
 // sortMatches orders matches by (Trajectory, Offset) — the canonical

@@ -12,6 +12,7 @@
 //	cinct subpath -index corpus.cinct -traj 5 -from 2 -to 9
 //	cinct verify -in corpus.txt -index corpus.cinct
 //	cinct find-interval -index corpus.tcinct -path "17 42" -from 0 -to 999
+//	cinct count-interval -index corpus.tcinct -path "17 42" -from 0 -to 999
 //
 // Any query subcommand accepts -remote URL -name INDEX instead of
 // -index FILE to run against a cinctd daemon:
@@ -67,6 +68,8 @@ func main() {
 		err = cmdVerify(args)
 	case "find-interval":
 		err = cmdFindInterval(args)
+	case "count-interval":
+		err = cmdCountInterval(args)
 	default:
 		usage()
 	}
@@ -78,7 +81,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cinct {build|build-temporal|stats|count|find|show|subpath|verify|find-interval} [flags]")
+		"usage: cinct {build|build-temporal|stats|count|find|show|subpath|verify|find-interval|count-interval} [flags]")
 	os.Exit(2)
 }
 
@@ -93,6 +96,7 @@ type querier interface {
 	Trajectory(ctx context.Context, id int) ([]uint32, error)
 	SubPath(ctx context.Context, id, from, to int) ([]uint32, error)
 	FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error)
+	CountInInterval(ctx context.Context, path []uint32, from, to int64) (int, error)
 }
 
 // target holds the shared flags selecting what a query subcommand
@@ -164,6 +168,9 @@ func (q *localQuerier) SubPath(ctx context.Context, id, from, to int) ([]uint32,
 func (q *localQuerier) FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
 	return q.eng.FindInInterval(ctx, q.name, path, from, to, limit)
 }
+func (q *localQuerier) CountInInterval(ctx context.Context, path []uint32, from, to int64) (int, error) {
+	return q.eng.CountInInterval(ctx, q.name, path, from, to)
+}
 
 // remoteQuerier serves queries from a cinctd daemon.
 type remoteQuerier struct {
@@ -197,6 +204,9 @@ func (q *remoteQuerier) SubPath(ctx context.Context, id, from, to int) ([]uint32
 }
 func (q *remoteQuerier) FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
 	return q.c.FindInInterval(ctx, q.name, path, from, to, limit)
+}
+func (q *remoteQuerier) CountInInterval(ctx context.Context, path []uint32, from, to int64) (int, error) {
+	return q.c.CountInInterval(ctx, q.name, path, from, to)
 }
 
 func readCorpus(path string) ([][]uint32, error) {
@@ -441,6 +451,32 @@ func cmdFindInterval(args []string) error {
 			h.Trajectory, h.Offset, h.EnteredAt)
 	}
 	fmt.Printf("%d match(es)\n", len(hits))
+	return nil
+}
+
+// cmdCountInterval counts strict-path-query matches in a time interval.
+func cmdCountInterval(args []string) error {
+	fs := flag.NewFlagSet("count-interval", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	t.temporal = true
+	path := fs.String("path", "", "space-separated edge IDs in travel order")
+	from := fs.Int64("from", 0, "interval start (inclusive)")
+	to := fs.Int64("to", 1<<62, "interval end (inclusive)")
+	fs.Parse(args)
+	q, err := t.open()
+	if err != nil {
+		return err
+	}
+	p, err := parsePath(*path)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	n, err := q.CountInInterval(context.Background(), p, *from, *to)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d occurrences in [%d, %d] (%v)\n", n, *from, *to, time.Since(t0))
 	return nil
 }
 

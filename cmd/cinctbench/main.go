@@ -5,14 +5,23 @@
 // writes the results as JSON so the repository's performance
 // trajectory has comparable data points per PR.
 //
-//	cinctbench -out BENCH_PR2.json -trajs 4000 -queries 2000 -shards 0
+// The temporal section builds a long-trajectory corpus with
+// timestamps, then compares the interval-pushdown FindInInterval
+// against an emulation of the pre-pushdown path (materialize every
+// spatial hit, decode the timestamp column prefix per hit) on a
+// selective interval whose matches sit at high offsets — the workload
+// the rework targets — plus CountInInterval and both over HTTP.
+//
+//	cinctbench -out BENCH_PR3.json -trajs 4000 -queries 2000 -shards 0
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
@@ -45,11 +54,35 @@ type report struct {
 	IndexBytes    int64                  `json:"indexBytes"`
 	BitsPerSymbol float64                `json:"bitsPerSymbol"`
 	Latency       map[string]percentiles `json:"latency"`
+	Temporal      *temporalReport        `json:"temporal,omitempty"`
+}
+
+// temporalReport summarizes the strict-path-query benchmark.
+type temporalReport struct {
+	Trajectories  int     `json:"trajectories"`
+	MeanLen       int     `json:"meanLen"`
+	Symbols       int     `json:"symbols"`
+	Queries       int     `json:"queries"`
+	SampleRate    int     `json:"sampleRate"`
+	BuildSeconds  float64 `json:"buildSeconds"`
+	IndexBytes    int64   `json:"indexBytes"`
+	TimestampBits int     `json:"timestampBits"`
+	// TimestampBitsPerEntry is the compressed temporal footprint per
+	// stored timestamp.
+	TimestampBitsPerEntry float64 `json:"timestampBitsPerEntry"`
+	// IntervalFraction is the share of the corpus time span covered by
+	// the selective query interval.
+	IntervalFraction float64 `json:"intervalFraction"`
+	// SpeedupP50 = find.legacy p50 / find.pushdown p50: how much the
+	// interval pushdown beats the materialize-then-filter path on the
+	// same selective workload.
+	SpeedupP50 float64                `json:"speedupP50"`
+	Latency    map[string]percentiles `json:"latency"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR2.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR3.json", "output JSON file")
 		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
 		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
 		queries = flag.Int("queries", 2000, "queries per latency distribution")
@@ -57,15 +90,37 @@ func main() {
 		limit   = flag.Int("limit", 10, "Find limit")
 		shards  = flag.Int("shards", 0, "index shards (0 = GOMAXPROCS)")
 		seed    = flag.Int64("seed", 1, "corpus + workload seed")
+
+		ttrajs   = flag.Int("ttrajs", 400, "temporal corpus size (trajectories; 0 skips the temporal section)")
+		tmeanLen = flag.Int("tmeanlen", 1600, "temporal corpus mean trajectory length (long: high match offsets)")
+		tqueries = flag.Int("tqueries", 300, "temporal queries per latency distribution")
+		tsample  = flag.Int("tsample", 2, "temporal index SA sample rate (dense: locate must not mask the filter)")
 	)
 	flag.Parse()
-	if err := run(*out, *trajs, *meanLen, *queries, *qlen, *limit, *shards, *seed); err != nil {
+	cfg := benchConfig{
+		out: *out, trajs: *trajs, meanLen: *meanLen, queries: *queries,
+		qlen: *qlen, limit: *limit, shards: *shards, seed: *seed,
+		ttrajs: *ttrajs, tmeanLen: *tmeanLen, tqueries: *tqueries, tsample: *tsample,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "cinctbench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, numTrajs, meanLen, numQueries, qlen, limit, shards int, seed int64) error {
+type benchConfig struct {
+	out                        string
+	trajs, meanLen, queries    int
+	qlen, limit, shards        int
+	seed                       int64
+	ttrajs, tmeanLen, tqueries int
+	tsample                    int
+}
+
+func run(cfg benchConfig) error {
+	out := cfg.out
+	numTrajs, meanLen, numQueries := cfg.trajs, cfg.meanLen, cfg.queries
+	qlen, limit, shards, seed := cfg.qlen, cfg.limit, cfg.shards, cfg.seed
 	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
@@ -78,8 +133,8 @@ func run(out string, numTrajs, meanLen, numQueries, qlen, limit, shards int, see
 	}
 
 	fmt.Fprintf(os.Stderr, "generating corpus (%d trajectories)...\n", numTrajs)
-	cfg := trajgen.Config{GridW: 26, GridH: 26, NumTrajs: numTrajs, MeanLen: meanLen, Seed: seed}
-	corpus := trajgen.Singapore2(cfg).Trajs
+	gcfg := trajgen.Config{GridW: 26, GridH: 26, NumTrajs: numTrajs, MeanLen: meanLen, Seed: seed}
+	corpus := trajgen.Singapore2(gcfg).Trajs
 
 	fmt.Fprintf(os.Stderr, "building index (%d shards)...\n", shards)
 	opts := cinct.DefaultOptions()
@@ -173,6 +228,14 @@ func run(out string, numTrajs, meanLen, numQueries, qlen, limit, shards int, see
 		return err
 	}
 
+	if cfg.ttrajs > 0 {
+		tr, err := runTemporal(cfg)
+		if err != nil {
+			return err
+		}
+		rep.Temporal = tr
+	}
+
 	body, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -184,6 +247,197 @@ func run(out string, numTrajs, meanLen, numQueries, qlen, limit, shards int, see
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 	os.Stdout.Write(body)
 	return nil
+}
+
+// runTemporal benchmarks the strict-path-query path on its worst-case
+// workload: long trajectories (matches at high offsets), a selective
+// time interval, and frequent short paths — then reports the pushdown
+// engine against an emulation of the pre-pushdown slow path.
+func runTemporal(cfg benchConfig) (*temporalReport, error) {
+	fmt.Fprintf(os.Stderr, "temporal: generating corpus (%d trajectories, mean length %d)...\n",
+		cfg.ttrajs, cfg.tmeanLen)
+	gcfg := trajgen.Config{GridW: 26, GridH: 26, NumTrajs: cfg.ttrajs, MeanLen: cfg.tmeanLen, Seed: cfg.seed + 7}
+	corpus := trajgen.Singapore2(gcfg).Trajs
+
+	// Timestamps: trajectory starts spread uniformly over one day,
+	// seconds-scale steps per edge, so a sub-hour interval is selective
+	// and most columns prune on their (min, max) summary.
+	const horizon = int64(86400)
+	rng := rand.New(rand.NewSource(cfg.seed + 8))
+	times := make([][]int64, len(corpus))
+	var entries int
+	for k, tr := range corpus {
+		col := make([]int64, len(tr))
+		at := rng.Int63n(horizon)
+		for i := range col {
+			col[i] = at
+			at += 1 + rng.Int63n(4)
+		}
+		times[k] = col
+		entries += len(col)
+	}
+	from := horizon / 2
+	to := from + 1800 // a 30-minute window out of a day
+
+	fmt.Fprintf(os.Stderr, "temporal: building index...\n")
+	opts := cinct.DefaultOptions()
+	opts.SampleRate = cfg.tsample
+	t0 := time.Now()
+	tix, err := cinct.BuildTemporal(corpus, times, opts)
+	if err != nil {
+		return nil, err
+	}
+	tr := &temporalReport{
+		Trajectories:          len(corpus),
+		MeanLen:               cfg.tmeanLen,
+		Symbols:               tix.Len(),
+		Queries:               cfg.tqueries,
+		SampleRate:            cfg.tsample,
+		BuildSeconds:          time.Since(t0).Seconds(),
+		TimestampBits:         tix.TimestampBits(),
+		TimestampBitsPerEntry: float64(tix.TimestampBits()) / float64(entries),
+		IntervalFraction:      float64(to-from) / float64(horizon),
+		Latency:               map[string]percentiles{},
+	}
+	tmp, err := os.CreateTemp("", "cinctbench-*.tcinct")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	tr.IndexBytes, err = tix.Save(tmp)
+	tmp.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	// Query paths: bigrams drawn from the tails of long trajectories,
+	// so their many occurrences sit at high offsets — the regime where
+	// the old O(offset) per-hit decode hurt most.
+	workload := make([][]uint32, 0, cfg.tqueries)
+	for len(workload) < cfg.tqueries {
+		t := corpus[rng.Intn(len(corpus))]
+		if len(t) < 8 {
+			continue
+		}
+		i := len(t) - 2 - rng.Intn(len(t)/4)
+		workload = append(workload, t[i:i+2])
+	}
+
+	// The pre-pushdown slow path, emulated faithfully: materialize the
+	// full spatial hit set, then per hit run the old Store.At cost
+	// model — decode the delta column prefix up to the match offset,
+	// no checkpoints, no summaries, no allocation.
+	ls := newLegacyStore(times)
+	legacy := func(p []uint32) error {
+		hits, err := tix.Find(p, 0)
+		if err != nil {
+			return err
+		}
+		var out []cinct.TemporalMatch
+		for _, h := range hits {
+			if at := ls.at(h.Trajectory, h.Offset); at >= from && at <= to {
+				out = append(out, cinct.TemporalMatch{Match: h, EnteredAt: at})
+			}
+		}
+		_ = out
+		return nil
+	}
+	if tr.Latency["find.legacy"], err = measure(workload, legacy); err != nil {
+		return nil, err
+	}
+	if tr.Latency["find.pushdown"], err = measure(workload, func(p []uint32) error {
+		_, err := tix.FindInInterval(p, from, to, 0)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	tr.SpeedupP50 = tr.Latency["find.legacy"].P50Us / tr.Latency["find.pushdown"].P50Us
+	if tr.Latency["find.pushdown.limit10"], err = measure(workload, func(p []uint32) error {
+		_, err := tix.FindInInterval(p, 0, horizon, 10)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if tr.Latency["count.pushdown"], err = measure(workload, func(p []uint32) error {
+		_, err := tix.CountInInterval(p, from, to)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Serving-stack numbers: the same selective find and count through
+	// the cache-disabled engine and over HTTP.
+	ctx := context.Background()
+	eng := engine.New(engine.Options{CacheEntries: -1})
+	eng.RegisterTemporal("tbench", tix)
+	if tr.Latency["find.inproc"], err = measure(workload, func(p []uint32) error {
+		_, err := eng.FindInInterval(ctx, "tbench", p, from, to, 0)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	srv := server.New(eng, server.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	cl := server.NewClient("http://"+l.Addr().String(), nil)
+	if tr.Latency["find.http"], err = measure(workload, func(p []uint32) error {
+		_, err := cl.FindInInterval(ctx, "tbench", p, from, to, 0)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if tr.Latency["count.http"], err = measure(workload, func(p []uint32) error {
+		_, err := cl.CountInInterval(ctx, "tbench", p, from, to)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return nil, err
+	}
+	return tr, <-errc
+}
+
+// legacyStore replicates the pre-rework tempo layout byte for byte:
+// one zig-zag varint delta blob with per-column starts, and a probe
+// that decodes the column prefix [0, i] on every call — the exact
+// O(offset) cost model the pushdown replaced. It exists so find.legacy
+// measures the real old path, not a strawman.
+type legacyStore struct {
+	blob   []byte
+	starts []int
+}
+
+func newLegacyStore(times [][]int64) *legacyStore {
+	s := &legacyStore{starts: make([]int, len(times))}
+	var buf [binary.MaxVarintLen64]byte
+	for k, col := range times {
+		s.starts[k] = len(s.blob)
+		prev := int64(0)
+		for _, t := range col {
+			n := binary.PutVarint(buf[:], t-prev)
+			s.blob = append(s.blob, buf[:n]...)
+			prev = t
+		}
+	}
+	return s
+}
+
+func (s *legacyStore) at(k, i int) int64 {
+	pos := s.starts[k]
+	prev := int64(0)
+	for j := 0; j <= i; j++ {
+		d, n := binary.Varint(s.blob[pos:])
+		pos += n
+		prev += d
+	}
+	return prev
 }
 
 // measure times fn over each query and summarizes the distribution. A

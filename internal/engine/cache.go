@@ -42,8 +42,11 @@ func newQueryCache(capacity int) *queryCache {
 
 // cacheKey builds the canonical key for a query result: operation,
 // index name, the entry generation the result was computed against,
-// any scalar arguments, and the path spelled edge by edge.
-func cacheKey(op, name string, gen uint64, path []uint32, args ...int) string {
+// any scalar arguments, and the path spelled edge by edge. Arguments
+// are int64 so temporal interval bounds fit unchanged; every scalar is
+// spelled in its own |-delimited field, so ("tfind", from, to, limit)
+// cannot collide with any other argument tuple of the same op.
+func cacheKey(op, name string, gen uint64, path []uint32, args ...int64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%s|%d", op, name, gen)
 	for _, a := range args {

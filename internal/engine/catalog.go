@@ -43,6 +43,10 @@ var (
 	// ErrNoFile reports a Reload of an index registered directly from
 	// memory, with no backing file to re-read.
 	ErrNoFile = errors.New("engine: index has no backing file")
+	// ErrCorrupt reports a query that panicked over corrupt index
+	// state; the panic is contained at the engine boundary so one bad
+	// index degrades its own requests instead of the whole process.
+	ErrCorrupt = errors.New("engine: corrupt index state")
 )
 
 // entry is one named index in the catalog. The immutable cinct index

@@ -257,7 +257,7 @@ func (e *Engine) Find(ctx context.Context, name string, path []uint32, limit int
 	if limit < 0 {
 		limit = 0
 	}
-	key := cacheKey("find", v.name, v.gen, path, limit)
+	key := cacheKey("find", v.name, v.gen, path, int64(limit))
 	if val, ok := e.cache.get(key); ok {
 		return val.([]cinct.Match), nil
 	}
@@ -287,7 +287,7 @@ func (e *Engine) FindTrajectories(ctx context.Context, name string, path []uint3
 	if limit < 0 {
 		limit = 0
 	}
-	key := cacheKey("findtraj", v.name, v.gen, path, limit)
+	key := cacheKey("findtraj", v.name, v.gen, path, int64(limit))
 	if val, ok := e.cache.get(key); ok {
 		return val.([]int), nil
 	}
@@ -354,19 +354,89 @@ func (e *Engine) SubPath(ctx context.Context, name string, id, from, to int) ([]
 	return sub, nil
 }
 
-// FindInInterval runs a strict path query (path traveled with entry
-// time in [from, to]) against a temporal index.
-func (e *Engine) FindInInterval(ctx context.Context, name string, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
+// temporalView resolves name to a snapshot carrying a temporal index.
+func (e *Engine) temporalView(name string) (view, error) {
 	v, err := e.cat.view(name)
+	if err != nil {
+		return view{}, err
+	}
+	if v.temp == nil {
+		return view{}, fmt.Errorf("%w: %q", ErrNotTemporal, name)
+	}
+	return v, nil
+}
+
+// recoverQuery converts a panic escaping a library query into a typed
+// error, so corrupt in-memory state degrades a single request instead
+// of crashing the serving process — the same panic-to-error contract
+// checkTrajectory gives the spatial ops.
+func recoverQuery(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: %v", ErrCorrupt, r)
+	}
+}
+
+// FindInInterval runs a strict path query (path traveled with entry
+// time in [from, to]) against a temporal index. Results are served
+// from the LRU cache when the index generation matches, exactly like
+// the spatial query ops. The returned slice may be shared with the
+// cache: callers must not modify it.
+func (e *Engine) FindInInterval(ctx context.Context, name string, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	v, err := e.temporalView(name)
 	if err != nil {
 		return nil, err
 	}
-	if v.temp == nil {
-		return nil, fmt.Errorf("%w: %q", ErrNotTemporal, name)
+	if limit < 0 {
+		limit = 0
+	}
+	key := cacheKey("tfind", v.name, v.gen, path, from, to, int64(limit))
+	if val, ok := e.cache.get(key); ok {
+		return val.([]cinct.TemporalMatch), nil
 	}
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
-	return v.temp.FindInInterval(path, from, to, limit)
+	hits, err := func() (hits []cinct.TemporalMatch, err error) {
+		defer recoverQuery(&err)
+		return v.temp.FindInInterval(path, from, to, limit)
+	}()
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(key, hits)
+	return hits, nil
+}
+
+// CountInInterval counts strict-path-query matches (path traveled with
+// entry time in [from, to]) against a temporal index, served from the
+// LRU cache when the index generation matches.
+func (e *Engine) CountInInterval(ctx context.Context, name string, path []uint32, from, to int64) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	v, err := e.temporalView(name)
+	if err != nil {
+		return 0, err
+	}
+	key := cacheKey("tcount", v.name, v.gen, path, from, to)
+	if val, ok := e.cache.get(key); ok {
+		return val.(int), nil
+	}
+	if err := e.acquire(ctx); err != nil {
+		return 0, err
+	}
+	defer e.release()
+	n, err := func() (n int, err error) {
+		defer recoverQuery(&err)
+		return v.temp.CountInInterval(path, from, to)
+	}()
+	if err != nil {
+		return 0, err
+	}
+	e.cache.put(key, n)
+	return n, nil
 }

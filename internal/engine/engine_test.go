@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -219,6 +220,147 @@ func TestEngineReloadInvalidatesCache(t *testing.T) {
 	}
 	if reInfo.Generation != 2 {
 		t.Fatalf("generation after Load replacement = %d, want 2", reInfo.Generation)
+	}
+}
+
+// TestEngineTemporalCacheAndReload closes the one gap the temporal
+// path used to have: interval queries must hit the LRU cache like
+// every other op, distinct intervals must not collide, and a reload
+// must orphan cached temporal answers.
+func TestEngineTemporalCacheAndReload(t *testing.T) {
+	dir := t.TempDir()
+	trajs := testCorpus(4, 120)
+	times := testTimes(trajs)
+	file := filepath.Join(dir, "tix"+ExtTemporal)
+
+	build := func(times [][]int64) {
+		tix, err := cinct.BuildTemporal(trajs, times, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saveTo(t, file, tix.Save)
+	}
+	build(times)
+
+	eng := New(Options{})
+	defer eng.CloseAll()
+	if _, err := eng.OpenDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	path := trajs[0][:2]
+	from, to := int64(math.MinInt64), int64(math.MaxInt64)
+
+	_, misses0, _ := cacheCounters(eng)
+	first, err := eng.FindInInterval(ctx, "tix", path, from, to, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("expected temporal matches over all time")
+	}
+	hits0, misses1, _ := cacheCounters(eng)
+	if misses1 != misses0+1 {
+		t.Fatalf("first FindInInterval: misses %d -> %d, want one new miss", misses0, misses1)
+	}
+	again, err := eng.FindInInterval(ctx, "tix", path, from, to, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses2, _ := cacheCounters(eng)
+	if hits1 != hits0+1 || misses2 != misses1 {
+		t.Fatalf("repeated FindInInterval was not a cache hit (hits %d->%d, misses %d->%d)",
+			hits0, hits1, misses1, misses2)
+	}
+	if !reflect.DeepEqual(again, first) {
+		t.Fatal("cache hit returned a different answer")
+	}
+
+	// A different interval must be a different cache entry, not a
+	// collision with the previous key.
+	narrow, err := eng.FindInInterval(ctx, "tix", path, 0, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(narrow, first) {
+		t.Fatal("narrow interval returned the all-time answer: cache key collision")
+	}
+
+	// CountInInterval caches too and agrees with the find.
+	n, err := eng.CountInInterval(ctx, "tix", path, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(first) {
+		t.Fatalf("CountInInterval = %d, FindInInterval returned %d", n, len(first))
+	}
+	hitsBefore, _, _ := cacheCounters(eng)
+	if _, err := eng.CountInInterval(ctx, "tix", path, from, to); err != nil {
+		t.Fatal(err)
+	}
+	if hitsAfter, _, _ := cacheCounters(eng); hitsAfter != hitsBefore+1 {
+		t.Fatal("repeated CountInInterval was not a cache hit")
+	}
+
+	// Reload with shifted timestamps: the generation bump must orphan
+	// every cached temporal answer.
+	const shift = int64(1) << 40
+	shifted := make([][]int64, len(times))
+	for k, col := range times {
+		out := make([]int64, len(col))
+		for i, at := range col {
+			out[i] = at + shift
+		}
+		shifted[k] = out
+	}
+	build(shifted)
+	if _, err := eng.Reload("tix"); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := eng.FindInInterval(ctx, "tix", path, from, to, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(first) {
+		t.Fatalf("after reload: %d matches, want %d", len(fresh), len(first))
+	}
+	if fresh[0].EnteredAt != first[0].EnteredAt+shift {
+		t.Fatalf("after reload EnteredAt = %d, want %d: stale cached answer survived the reload",
+			fresh[0].EnteredAt, first[0].EnteredAt+shift)
+	}
+	if n, err := eng.CountInInterval(ctx, "tix", path, 0, shift-1); err != nil || n != 0 {
+		t.Fatalf("pre-shift interval after reload: %d, %v; want 0 (stale store?)", n, err)
+	}
+}
+
+func cacheCounters(e *Engine) (hits, misses uint64, entries int) { return e.CacheStats() }
+
+// TestCacheKeyInt64NoCollision pins the key layout: interval bounds
+// and limits occupy distinct delimited fields, so neighboring int64
+// arguments can never merge into the same key.
+func TestCacheKeyInt64NoCollision(t *testing.T) {
+	path := []uint32{1, 2}
+	a := cacheKey("tfind", "ix", 1, path, 1, 23, 0)
+	b := cacheKey("tfind", "ix", 1, path, 12, 3, 0)
+	if a == b {
+		t.Fatalf("colliding cache keys: %q", a)
+	}
+	if x, y := cacheKey("tfind", "ix", 1, path, -1, 1, 0), cacheKey("tfind", "ix", 1, path, 1, -1, 0); x == y {
+		t.Fatalf("sign-colliding cache keys: %q", x)
+	}
+}
+
+// TestRecoverQuery pins the engine-boundary panic contract for
+// temporal queries: a panic surfacing from corrupt index state becomes
+// ErrCorrupt instead of killing the goroutine.
+func TestRecoverQuery(t *testing.T) {
+	err := func() (err error) {
+		defer recoverQuery(&err)
+		panic("tempo: corrupt column")
+	}()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("recovered err = %v, want ErrCorrupt", err)
 	}
 }
 

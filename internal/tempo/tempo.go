@@ -4,50 +4,133 @@
 // half of systems like SNT-index [6] and CTR [3] that answer *strict
 // path queries* — "find trajectories that traveled path P within time
 // interval I". This package supplies the temporal half: lossless
-// delta+varint columns (the choice of [3]) with O(len) random access.
+// delta+varint columns (the choice of [3]), block-structured so random
+// access decodes at most one block instead of the whole column prefix,
+// with per-trajectory (min, max) summaries that let interval queries
+// skip entire trajectories without touching the compressed blob.
 package tempo
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sync/atomic"
 )
 
-// Store holds one timestamp column per trajectory, delta-compressed.
+// BlockSize is the checkpoint spacing: At decodes at most BlockSize
+// varints. 64 keeps the checkpoint overhead near 2 bits/entry while
+// making random access ~len/128 times cheaper than a prefix decode on
+// average.
+const BlockSize = 64
+
+// Store holds one timestamp column per trajectory, delta-compressed
+// with absolute checkpoints every BlockSize entries.
 type Store struct {
 	// blob holds zig-zag varint deltas, all trajectories back to back.
 	blob []byte
-	// starts[k] is the byte offset of trajectory k's column; lens[k]
-	// its entry count.
-	starts []int32
-	lens   []int32
+	// starts[k] is the byte offset of trajectory k's column. int64:
+	// int32 silently overflowed once the blob crossed 2 GiB — exactly
+	// the massive-corpus regime the store exists for.
+	starts []int64
+	// lens[k] is the entry count of trajectory k.
+	lens []int32
+	// Checkpoints: for column k and block b >= 1, entry
+	// ckStart[k]+b-1 records the absolute timestamp of element
+	// b*BlockSize and the byte offset (relative to starts[k]) just
+	// past its varint, so decoding resumes mid-column. Block 0 needs
+	// none (prev = 0 at the column start).
+	ckTime  []int64
+	ckOff   []int64
+	ckStart []int64 // len = NumTrajectories()+1; column k owns [ckStart[k], ckStart[k+1])
+	// Per-trajectory summaries for interval pushdown. An empty column
+	// has min > max so it never intersects any interval.
+	mins, maxs []int64
+	// atSteps counts varint decodes performed by At (instrumentation
+	// for early-exit and checkpoint regression tests).
+	atSteps atomic.Int64
 }
 
-// ErrMismatch reports timestamp columns inconsistent with trajectories.
-var ErrMismatch = errors.New("tempo: timestamp/trajectory shape mismatch")
+// ErrCorrupt reports a blob that does not decode to the declared
+// column shape.
+var ErrCorrupt = errors.New("tempo: corrupt timestamp store")
 
 // New builds a store. times[k][i] is the entry time (any int64 clock)
 // of trajectory k's i-th edge; len(times[k]) must equal the trajectory
 // length. Timestamps need not be monotone (zig-zag coding), though
 // they almost always are, which is what makes deltas small.
 func New(times [][]int64) *Store {
-	s := &Store{
-		starts: make([]int32, len(times)),
-		lens:   make([]int32, len(times)),
-	}
+	var blob []byte
+	lens := make([]int32, len(times))
 	var buf [binary.MaxVarintLen64]byte
 	for k, col := range times {
-		s.starts[k] = int32(len(s.blob))
-		s.lens[k] = int32(len(col))
+		lens[k] = int32(len(col))
 		prev := int64(0)
 		for _, t := range col {
 			n := binary.PutVarint(buf[:], t-prev)
-			s.blob = append(s.blob, buf[:n]...)
+			blob = append(blob, buf[:n]...)
 			prev = t
 		}
 	}
+	s, err := derive(blob, lens)
+	if err != nil {
+		// derive can only fail on a blob it did not just encode.
+		panic(fmt.Sprintf("tempo: %v", err))
+	}
 	return s
+}
+
+// derive walks the blob once, validating that it decodes to exactly
+// the declared column lengths while building the random-access
+// structures (starts, checkpoints, min/max summaries). It is the
+// single decoder both New and Load funnel through, so a Store that
+// exists is a Store whose blob is known well-formed — Column and At
+// cannot hit a corrupt varint afterwards.
+func derive(blob []byte, lens []int32) (*Store, error) {
+	s := &Store{
+		blob:    blob,
+		lens:    lens,
+		starts:  make([]int64, len(lens)),
+		ckStart: make([]int64, len(lens)+1),
+		mins:    make([]int64, len(lens)),
+		maxs:    make([]int64, len(lens)),
+	}
+	pos := 0
+	for k, l := range lens {
+		if l < 0 {
+			return nil, fmt.Errorf("%w: negative length for column %d", ErrCorrupt, k)
+		}
+		s.starts[k] = int64(pos)
+		s.ckStart[k] = int64(len(s.ckTime))
+		prev := int64(0)
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		for i := int32(0); i < l; i++ {
+			d, n := binary.Varint(blob[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: column %d truncated at entry %d", ErrCorrupt, k, i)
+			}
+			pos += n
+			prev += d
+			if prev < lo {
+				lo = prev
+			}
+			if prev > hi {
+				hi = prev
+			}
+			if i > 0 && i%BlockSize == 0 {
+				s.ckTime = append(s.ckTime, prev)
+				s.ckOff = append(s.ckOff, int64(pos)-s.starts[k])
+			}
+		}
+		s.mins[k], s.maxs[k] = lo, hi
+	}
+	s.ckStart[len(lens)] = int64(len(s.ckTime))
+	if pos != len(blob) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(blob)-pos)
+	}
+	return s, nil
 }
 
 // NumTrajectories returns the number of columns.
@@ -56,48 +139,73 @@ func (s *Store) NumTrajectories() int { return len(s.starts) }
 // Len returns the entry count of trajectory k.
 func (s *Store) Len(k int) int { return int(s.lens[k]) }
 
+// MinMax returns the smallest and largest timestamp of trajectory k.
+// An interval query skips column k entirely when [from, to] does not
+// intersect [min, max] — no blob bytes are touched. For an empty
+// column min > max, so it intersects nothing.
+func (s *Store) MinMax(k int) (min, max int64) { return s.mins[k], s.maxs[k] }
+
 // Column decodes the full timestamp column of trajectory k.
 func (s *Store) Column(k int) []int64 {
 	out := make([]int64, s.lens[k])
-	pos := int(s.starts[k])
+	pos := s.starts[k]
 	prev := int64(0)
 	for i := range out {
 		d, n := binary.Varint(s.blob[pos:])
-		if n <= 0 {
-			panic(fmt.Sprintf("tempo: corrupt column %d", k))
-		}
-		pos += n
+		pos += int64(n)
 		prev += d
 		out[i] = prev
 	}
 	return out
 }
 
-// At returns the timestamp of trajectory k's edge i, decoding only the
-// column prefix.
+// At returns the timestamp of trajectory k's edge i, decoding at most
+// BlockSize varints: it resumes from the nearest preceding checkpoint
+// instead of the column start.
 func (s *Store) At(k, i int) int64 {
 	if i < 0 || i >= int(s.lens[k]) {
 		panic(fmt.Sprintf("tempo: At(%d,%d) out of range [0,%d)", k, i, s.lens[k]))
 	}
-	pos := int(s.starts[k])
+	pos := s.starts[k]
 	prev := int64(0)
-	for j := 0; j <= i; j++ {
+	steps := i + 1
+	if b := i / BlockSize; b > 0 {
+		ck := s.ckStart[k] + int64(b) - 1
+		prev = s.ckTime[ck]
+		pos += s.ckOff[ck]
+		steps = i - b*BlockSize
+	}
+	s.atSteps.Add(int64(steps))
+	for j := 0; j < steps; j++ {
 		d, n := binary.Varint(s.blob[pos:])
-		if n <= 0 {
-			panic(fmt.Sprintf("tempo: corrupt column %d", k))
-		}
-		pos += n
+		pos += int64(n)
 		prev += d
 	}
 	return prev
 }
 
-// SizeBits returns the compressed footprint.
+// AtSteps returns the cumulative number of varint decodes performed by
+// At since construction (or the last ResetAtSteps). Tests use it to
+// prove that checkpointed access and limit early-exit actually bound
+// the decode work.
+func (s *Store) AtSteps() int64 { return s.atSteps.Load() }
+
+// ResetAtSteps zeroes the At decode counter.
+func (s *Store) ResetAtSteps() { s.atSteps.Store(0) }
+
+// SizeBits returns the in-memory footprint of the compressed blob plus
+// every random-access structure at its actual width.
 func (s *Store) SizeBits() int {
-	return len(s.blob)*8 + len(s.starts)*32 + len(s.lens)*32
+	return len(s.blob)*8 +
+		len(s.starts)*64 + len(s.lens)*32 +
+		len(s.ckTime)*64 + len(s.ckOff)*64 + len(s.ckStart)*64 +
+		(len(s.mins)+len(s.maxs))*64
 }
 
-// Save writes the store.
+// Save writes the store. The on-disk layout carries only the blob and
+// column lengths — checkpoints, summaries and offsets are derived at
+// Load — so files written before the block-structured rework load
+// identically and files written now load in pre-rework readers.
 func (s *Store) Save(w io.Writer) (int64, error) {
 	var n int64
 	var buf [binary.MaxVarintLen64]byte
@@ -122,49 +230,50 @@ func (s *Store) Save(w io.Writer) (int64, error) {
 	return n + int64(m), err
 }
 
-// Load reads a store written by Save.
-func Load(r io.ByteReader) (*Store, error) {
+// Load reads a store written by Save, validating the whole blob: every
+// column must decode to exactly its declared length with no trailing
+// bytes, so corruption surfaces here as ErrCorrupt instead of as a
+// panic inside a later At or Column on a serving goroutine.
+func Load(r *bufio.Reader) (*Store, error) {
 	nTraj, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, fmt.Errorf("tempo: %w", err)
 	}
-	s := &Store{
-		starts: make([]int32, nTraj),
-		lens:   make([]int32, nTraj),
+	if nTraj > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: column count %d", ErrCorrupt, nTraj)
 	}
-	for k := range s.lens {
+	// Grow lens as lengths actually arrive rather than trusting nTraj
+	// with one huge up-front allocation: a corrupt count then fails at
+	// the read, not in make.
+	lens := make([]int32, 0, min(int(nTraj), 1<<20))
+	var entries int64
+	for k := 0; k < int(nTraj); k++ {
 		l, err := binary.ReadUvarint(r)
 		if err != nil {
 			return nil, fmt.Errorf("tempo: %w", err)
 		}
-		s.lens[k] = int32(l)
+		if l > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: column %d length %d", ErrCorrupt, k, l)
+		}
+		lens = append(lens, int32(l))
+		entries += int64(l)
+		if entries > math.MaxInt64/binary.MaxVarintLen64 {
+			return nil, fmt.Errorf("%w: %d total entries", ErrCorrupt, entries)
+		}
 	}
 	blobLen, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, fmt.Errorf("tempo: %w", err)
 	}
-	s.blob = make([]byte, blobLen)
-	for i := range s.blob {
-		b, err := r.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("tempo: %w", err)
-		}
-		s.blob[i] = b
+	// Every entry takes 1..MaxVarintLen64 blob bytes, so a declared
+	// length outside that envelope is corruption — reject it before
+	// allocating, not by panicking in make or OOMing on a lie.
+	if int64(blobLen) < entries || int64(blobLen) > entries*binary.MaxVarintLen64 {
+		return nil, fmt.Errorf("%w: blob length %d for %d entries", ErrCorrupt, blobLen, entries)
 	}
-	// Recompute starts by walking the varints.
-	pos := 0
-	for k := range s.starts {
-		s.starts[k] = int32(pos)
-		for j := int32(0); j < s.lens[k]; j++ {
-			_, n := binary.Varint(s.blob[pos:])
-			if n <= 0 {
-				return nil, errors.New("tempo: corrupt blob")
-			}
-			pos += n
-		}
+	blob := make([]byte, blobLen)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return nil, fmt.Errorf("tempo: %w", err)
 	}
-	if pos != len(s.blob) {
-		return nil, errors.New("tempo: trailing bytes in blob")
-	}
-	return s, nil
+	return derive(blob, lens)
 }

@@ -72,6 +72,17 @@ check "/v1/smoke/subpath?traj=0&from=0&to=2" \
   '.from == 0 and .to == 2 and (.edges | length) == 2'
 check "/v1/tsmoke/temporal/find?path=$path&limit=5" \
   '.index == "tsmoke" and (.matches | type) == "array" and (if (.matches | length) > 0 then (.matches[0] | has("enteredAt")) else true end)'
+check "/v1/tsmoke/temporal/count?path=$path" \
+  '.index == "tsmoke" and (.count | type) == "number" and .count >= 0'
+
+# The all-time temporal count must agree with the spatial count of the
+# same path on the same corpus.
+tcount=$(curl -sf "$base/v1/tsmoke/temporal/count?path=$path" | jq .count)
+scount=$(curl -sf "$base/v1/tsmoke/count?path=$path" | jq .count)
+[ "$tcount" = "$scount" ] || {
+  echo "smoke: temporal/count ($tcount) != spatial count ($scount)" >&2; exit 1
+}
+echo "ok temporal/count == spatial count"
 
 status=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/nosuch/count?path=1")
 [ "$status" = 404 ] || { echo "smoke: unknown index returned $status, want 404" >&2; exit 1; }
@@ -86,6 +97,10 @@ echo "== CLI -remote round-trip"
   || { echo "smoke: remote count failed" >&2; exit 1; }
 "$bindir/cinct" find -remote "$base" -name smoke -path "${path//,/ }" -limit 3 | grep -q 'match(es)' \
   || { echo "smoke: remote find failed" >&2; exit 1; }
+"$bindir/cinct" find-interval -remote "$base" -name tsmoke -path "${path//,/ }" -limit 3 | grep -q 'match(es)' \
+  || { echo "smoke: remote find-interval failed" >&2; exit 1; }
+"$bindir/cinct" count-interval -remote "$base" -name tsmoke -path "${path//,/ }" | grep -q 'occurrences in' \
+  || { echo "smoke: remote count-interval failed" >&2; exit 1; }
 "$bindir/cinct" verify -remote "$base" -name smoke -in "$workdir/corpus.txt" -samples 40 \
   || { echo "smoke: remote verify failed" >&2; exit 1; }
 

@@ -71,6 +71,15 @@ type TemporalFindResponse struct {
 	Matches []TemporalMatch `json:"matches"`
 }
 
+// TemporalCountResponse is the body of GET /v1/{index}/temporal/count.
+type TemporalCountResponse struct {
+	Index string   `json:"index"`
+	Path  []uint32 `json:"path"`
+	From  int64    `json:"from"`
+	To    int64    `json:"to"`
+	Count int      `json:"count"`
+}
+
 // ReloadResponse is the body of POST /v1/{index}/reload.
 type ReloadResponse struct {
 	Index      string `json:"index"`

@@ -158,6 +158,21 @@ func (c *Client) FindInInterval(ctx context.Context, index string, path []uint32
 	return out, nil
 }
 
+// CountInInterval counts strict-path-query matches against a temporal
+// index.
+func (c *Client) CountInInterval(ctx context.Context, index string, path []uint32, from, to int64) (int, error) {
+	var resp TemporalCountResponse
+	q := url.Values{
+		"path": {pathParam(path)},
+		"from": {strconv.FormatInt(from, 10)},
+		"to":   {strconv.FormatInt(to, 10)},
+	}
+	if err := c.call(ctx, http.MethodGet, "/v1/"+url.PathEscape(index)+"/temporal/count", q, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
 // Reload asks the daemon to re-read one index from disk; it returns
 // the new generation number.
 func (c *Client) Reload(ctx context.Context, index string) (uint64, error) {

@@ -188,31 +188,98 @@ func TestDifferentialHTTP(t *testing.T) {
 		}
 	}
 
-	// Temporal find: on temporal indexes it must mirror the engine; on
-	// spatial indexes it must refuse.
+	// Temporal find and count: on temporal indexes they must mirror the
+	// engine over varied interval shapes and limits; on spatial indexes
+	// they must refuse. The fixture's timestamps span [0, ~20000), so
+	// the intervals cover all-time, selective slices, and empty ranges.
+	intervals := [][2]int64{
+		{math.MinInt64, math.MaxInt64},
+		{0, 4000},
+		{2500, 2600},
+		{19000, 30000},
+		{-100, -1},
+	}
 	for _, name := range fx.temporal {
 		for qi, path := range queries {
-			from, to := int64(0), int64(4000)
-			hits, err := eng.FindInInterval(ctx, name, path, from, to, 0)
+			for ii, iv := range intervals {
+				from, to := iv[0], iv[1]
+				q := url.Values{
+					"path": {pathParam(path)},
+					"from": {strconv.FormatInt(from, 10)},
+					"to":   {strconv.FormatInt(to, 10)},
+				}
+				for _, limit := range []int{0, 1, 3} {
+					hits, err := eng.FindInInterval(ctx, name, path, from, to, limit)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fq := url.Values{}
+					for k, v := range q {
+						fq[k] = v
+					}
+					fq.Set("limit", strconv.Itoa(limit))
+					status, body := get(t, ts.URL, "/v1/"+name+"/temporal/find", fq)
+					expect(t, fmt.Sprintf("%s temporal/find q%d iv%d limit %d", name, qi, ii, limit),
+						status, body, 200,
+						TemporalFindResponse{Index: name, Path: path, From: from, To: to, Limit: limit,
+							Matches: WireTemporalMatches(hits)})
+				}
+				n, err := eng.CountInInterval(ctx, name, path, from, to)
+				if err != nil {
+					t.Fatal(err)
+				}
+				status, body := get(t, ts.URL, "/v1/"+name+"/temporal/count", q)
+				expect(t, fmt.Sprintf("%s temporal/count q%d iv%d", name, qi, ii), status, body, 200,
+					TemporalCountResponse{Index: name, Path: path, From: from, To: to, Count: n})
+			}
+		}
+	}
+
+	// Monolithic and sharded temporal indexes over the same corpus must
+	// give byte-identical answers (modulo the index name on the wire).
+	for qi, path := range queries {
+		for ii, iv := range intervals {
+			for _, limit := range []int{0, 2} {
+				mono, err := eng.FindInInterval(ctx, fx.temporal[0], path, iv[0], iv[1], limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				shrd, err := eng.FindInInterval(ctx, fx.temporal[1], path, iv[0], iv[1], limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				monoWire, err := EncodeJSON(WireTemporalMatches(mono))
+				if err != nil {
+					t.Fatal(err)
+				}
+				shrdWire, err := EncodeJSON(WireTemporalMatches(shrd))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(monoWire, shrdWire) {
+					t.Fatalf("q%d iv%d limit %d: sharded temporal differs from monolithic\n mono: %s\nshard: %s",
+						qi, ii, limit, monoWire, shrdWire)
+				}
+			}
+			monoN, err := eng.CountInInterval(ctx, fx.temporal[0], path, iv[0], iv[1])
 			if err != nil {
 				t.Fatal(err)
 			}
-			q := url.Values{
-				"path":  {pathParam(path)},
-				"from":  {strconv.FormatInt(from, 10)},
-				"to":    {strconv.FormatInt(to, 10)},
-				"limit": {"0"},
+			shrdN, err := eng.CountInInterval(ctx, fx.temporal[1], path, iv[0], iv[1])
+			if err != nil {
+				t.Fatal(err)
 			}
-			status, body := get(t, ts.URL, "/v1/"+name+"/temporal/find", q)
-			expect(t, fmt.Sprintf("%s temporal/find q%d", name, qi), status, body, 200,
-				TemporalFindResponse{Index: name, Path: path, From: from, To: to, Limit: 0,
-					Matches: WireTemporalMatches(hits)})
+			if monoN != shrdN {
+				t.Fatalf("q%d iv%d: sharded temporal count %d, monolithic %d", qi, ii, shrdN, monoN)
+			}
 		}
 	}
-	status, _ := get(t, ts.URL, "/v1/"+fx.spatial[0]+"/temporal/find",
-		url.Values{"path": {"1,2"}})
-	if status != http.StatusUnprocessableEntity {
-		t.Fatalf("temporal/find on spatial index: HTTP %d, want 422", status)
+	for _, ep := range []string{"find", "count"} {
+		status, _ := get(t, ts.URL, "/v1/"+fx.spatial[0]+"/temporal/"+ep,
+			url.Values{"path": {"1,2"}})
+		if status != http.StatusUnprocessableEntity {
+			t.Fatalf("temporal/%s on spatial index: HTTP %d, want 422", ep, status)
+		}
 	}
 
 	// Catalog listing vs in-process listing.
@@ -269,6 +336,17 @@ func TestDifferentialHTTP(t *testing.T) {
 		}
 		if len(gotTM) != len(wantTM) {
 			t.Fatalf("client FindInInterval: %d hits, want %d", len(gotTM), len(wantTM))
+		}
+		wantTC, err := eng.CountInInterval(ctx, name, path, 0, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTC, err := cl.CountInInterval(ctx, name, path, 0, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTC != wantTC {
+			t.Fatalf("client CountInInterval = %d, want %d", gotTC, wantTC)
 		}
 	}
 

@@ -65,7 +65,23 @@ func (qr *queryRouter) Routes() []Route {
 		{Method: http.MethodGet, Pattern: "/v1/{index}/trajectory/{id}", Handler: qr.trajectory},
 		{Method: http.MethodGet, Pattern: "/v1/{index}/subpath", Handler: qr.subPath},
 		{Method: http.MethodGet, Pattern: "/v1/{index}/temporal/find", Handler: qr.temporalFind},
+		{Method: http.MethodGet, Pattern: "/v1/{index}/temporal/count", Handler: qr.temporalCount},
 	}
+}
+
+// temporalParams parses the shared strict-path-query parameters; a
+// missing bound defaults to the widest interval.
+func temporalParams(r *http.Request) (path []uint32, from, to int64, err error) {
+	if path, err = parsePath(r); err != nil {
+		return nil, 0, 0, err
+	}
+	if from, err = int64Param(r, "from", math.MinInt64); err != nil {
+		return nil, 0, 0, err
+	}
+	if to, err = int64Param(r, "to", math.MaxInt64); err != nil {
+		return nil, 0, 0, err
+	}
+	return path, from, to, nil
 }
 
 func (qr *queryRouter) count(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
@@ -140,15 +156,7 @@ func (qr *queryRouter) subPath(ctx context.Context, w http.ResponseWriter, r *ht
 
 func (qr *queryRouter) temporalFind(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("index")
-	path, err := parsePath(r)
-	if err != nil {
-		return err
-	}
-	from, err := int64Param(r, "from", math.MinInt64)
-	if err != nil {
-		return err
-	}
-	to, err := int64Param(r, "to", math.MaxInt64)
+	path, from, to, err := temporalParams(r)
 	if err != nil {
 		return err
 	}
@@ -163,5 +171,20 @@ func (qr *queryRouter) temporalFind(ctx context.Context, w http.ResponseWriter, 
 	return writeJSON(w, http.StatusOK, TemporalFindResponse{
 		Index: name, Path: path, From: from, To: to, Limit: limit,
 		Matches: WireTemporalMatches(hits),
+	})
+}
+
+func (qr *queryRouter) temporalCount(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	path, from, to, err := temporalParams(r)
+	if err != nil {
+		return err
+	}
+	n, err := qr.eng.CountInInterval(ctx, name, path, from, to)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, TemporalCountResponse{
+		Index: name, Path: path, From: from, To: to, Count: n,
 	})
 }

@@ -2,8 +2,13 @@ package cinct
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 
 	"cinct/internal/tempo"
 )
@@ -14,9 +19,19 @@ import (
 // time interval. The paper (§VII) positions CiNCT as the spatial
 // engine of exactly such systems (SNT-index, CTR); this type is the
 // combination, with timestamps compressed losslessly as in CTR [3].
+//
+// Timestamps are sharded alongside the spatial index: a K-shard
+// spatial index carries K tempo stores, one per contiguous trajectory
+// range, and interval queries fan out over the shards in parallel with
+// results merged into canonical (Trajectory, Offset) order — answers
+// are identical to the monolithic index over the same corpus.
 type TemporalIndex struct {
 	*Index
-	times *tempo.Store
+	// stores holds one tempo store per spatial shard when the layout
+	// is aligned (the only layout Build produces), or a single
+	// corpus-wide store for monolithic indexes and for legacy files
+	// that paired a sharded spatial index with one global store.
+	stores []*tempo.Store
 }
 
 // TemporalMatch is one strict-path-query hit.
@@ -26,10 +41,16 @@ type TemporalMatch struct {
 	EnteredAt int64
 }
 
+// ErrCorruptTimestamps reports temporal data inconsistent with the
+// spatial index it was loaded with.
+var ErrCorruptTimestamps = errors.New("cinct: timestamp store inconsistent with spatial index")
+
 // BuildTemporal indexes trajectories with their timestamp columns:
 // times[k][i] is when trajectory k entered its i-th edge. opts may be
 // nil. The index must keep locate support (SampleRate > 0) — strict
-// path queries need to identify trajectories.
+// path queries need to identify trajectories. With Options.Shards > 1
+// the timestamp columns are partitioned into per-shard stores mirroring
+// the spatial partition.
 func BuildTemporal(trajs [][]uint32, times [][]int64, opts *Options) (*TemporalIndex, error) {
 	if len(times) != len(trajs) {
 		return nil, fmt.Errorf("cinct: %d timestamp columns for %d trajectories",
@@ -48,51 +69,312 @@ func BuildTemporal(trajs [][]uint32, times [][]int64, opts *Options) (*TemporalI
 	if err != nil {
 		return nil, err
 	}
-	return &TemporalIndex{Index: ix, times: tempo.New(times)}, nil
+	t := &TemporalIndex{Index: ix}
+	if si := ix.sharded; si != nil {
+		// One store per shard, built concurrently (cheap next to the
+		// spatial build, but there is no reason to serialize K encodes).
+		t.stores = make([]*tempo.Store, len(si.shards))
+		var wg sync.WaitGroup
+		wg.Add(len(si.shards))
+		for s := range si.shards {
+			go func(s int) {
+				defer wg.Done()
+				t.stores[s] = tempo.New(times[si.bounds[s]:si.bounds[s+1]])
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		t.stores = []*tempo.Store{tempo.New(times)}
+	}
+	return t, nil
 }
 
-// FindInInterval runs a strict path query: occurrences of path whose
-// first edge was entered at a time in [from, to]. limit <= 0 returns
-// all.
-func (t *TemporalIndex) FindInInterval(path []uint32, from, to int64, limit int) ([]TemporalMatch, error) {
-	hits, err := t.Find(path, 0)
-	if err != nil {
+// aligned reports whether the timestamp stores mirror the spatial
+// shards one-to-one (always true for built indexes; false only for
+// legacy files pairing a sharded spatial index with one global store).
+func (t *TemporalIndex) aligned() bool {
+	si := t.Index.sharded
+	return si != nil && len(t.stores) == len(si.shards)
+}
+
+// storeFor resolves a global trajectory ID to its store and local ID.
+func (t *TemporalIndex) storeFor(id int) (*tempo.Store, int) {
+	if t.aligned() {
+		s, local := t.Index.sharded.shardOf(id)
+		return t.stores[s], local
+	}
+	return t.stores[0], id
+}
+
+// findInIntervalOne answers the strict path query against one
+// monolithic spatial index and its store, streaming the time filter
+// into the locate loop instead of materializing a sorted full hit set
+// first:
+//
+//  1. every located occurrence is pruned against the trajectory's
+//     (min, max) time summary before any timestamp decode, so a
+//     selective interval discards most candidates without touching the
+//     compressed blob;
+//  2. survivors are sorted canonically and only then timestamp-decoded
+//     (O(BlockSize) per probe via checkpoints), stopping as soon as
+//     limit matches are confirmed — the decode work, the dominant cost
+//     of the old path, is bounded by the limit instead of the hit
+//     count.
+//
+// Like Index.Find, every occurrence in the suffix range is still
+// located once; limit bounds the filtering, not the locate scan.
+// Results are the first limit temporal matches in (Trajectory, Offset)
+// order — identical to filtering the full sorted hit set.
+func findInIntervalOne(ix *Index, ts *tempo.Store, path []uint32, from, to int64, limit int) ([]TemporalMatch, error) {
+	cands, err := intervalCandidates(ix, ts, path, from, to)
+	if err != nil || len(cands) == 0 {
 		return nil, err
 	}
+	sortMatches(cands)
 	var out []TemporalMatch
-	for _, h := range hits {
+	for _, m := range cands {
+		at := ts.At(m.Trajectory, m.Offset)
+		if at < from || at > to {
+			continue
+		}
+		out = append(out, TemporalMatch{Match: m, EnteredAt: at})
 		if limit > 0 && len(out) >= limit {
 			break
-		}
-		at := t.times.At(h.Trajectory, h.Offset)
-		if at >= from && at <= to {
-			out = append(out, TemporalMatch{Match: h, EnteredAt: at})
 		}
 	}
 	return out, nil
 }
 
+// countInIntervalOne counts strict-path-query matches against one
+// monolithic spatial index and its store. Order is irrelevant for a
+// count, so candidates are probed straight out of the locate loop —
+// no sort, no materialized matches.
+func countInIntervalOne(ix *Index, ts *tempo.Store, path []uint32, from, to int64) (int, error) {
+	cands, err := intervalCandidates(ix, ts, path, from, to)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, m := range cands {
+		if at := ts.At(m.Trajectory, m.Offset); at >= from && at <= to {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// intervalCandidates locates every occurrence of path whose trajectory
+// (min, max) time summary intersects [from, to]. Trajectories entirely
+// outside the interval are skipped before any timestamp decode.
+func intervalCandidates(ix *Index, ts *tempo.Store, path []uint32, from, to int64) ([]Match, error) {
+	var cands []Match
+	err := ix.locateOccurrences(path, func(doc, offset int) {
+		if lo, hi := ts.MinMax(doc); hi < from || lo > to {
+			return
+		}
+		cands = append(cands, Match{Trajectory: doc, Offset: offset})
+	})
+	return cands, err
+}
+
+// FindInInterval runs a strict path query: occurrences of path whose
+// first edge was entered at a time in [from, to]. limit <= 0 returns
+// all. Matches are sorted by (Trajectory, Offset) and a positive limit
+// keeps the first limit matches in that order, so answers are
+// identical whether the index is sharded or not.
+func (t *TemporalIndex) FindInInterval(path []uint32, from, to int64, limit int) ([]TemporalMatch, error) {
+	if t.aligned() {
+		si := t.Index.sharded
+		if len(si.shards) == 1 {
+			return findInIntervalOne(si.shards[0], t.stores[0], path, from, to, limit)
+		}
+		parts := make([][]TemporalMatch, len(si.shards))
+		errs := make([]error, len(si.shards))
+		si.fanOut(func(s int, ix *Index) {
+			parts[s], errs[s] = findInIntervalOne(ix, t.stores[s], path, from, to, limit)
+		})
+		var out []TemporalMatch
+		for s, part := range parts {
+			if errs[s] != nil {
+				return nil, errs[s]
+			}
+			for _, m := range part {
+				m.Trajectory += si.bounds[s]
+				out = append(out, m)
+			}
+		}
+		// Truncate only after the canonical merge, mirroring
+		// ShardedIndex.Find: each shard returned a superset of its
+		// contribution to the global first-limit.
+		sortTemporalMatches(out)
+		if limit > 0 && len(out) > limit {
+			out = out[:limit]
+		}
+		return out, nil
+	}
+	if t.Index.sharded == nil {
+		return findInIntervalOne(t.Index, t.stores[0], path, from, to, limit)
+	}
+	return t.legacyFindInInterval(path, from, to, limit)
+}
+
+// legacyFindInInterval handles the one layout a build can no longer
+// produce: a sharded spatial index paired with a single corpus-wide
+// store (files written before stores were sharded). The spatial fan-out
+// still runs sharded; the time filter runs over global IDs with the
+// same summary pruning, checkpointed probes, and limit early exit.
+func (t *TemporalIndex) legacyFindInInterval(path []uint32, from, to int64, limit int) ([]TemporalMatch, error) {
+	hits, err := t.Find(path, 0) // canonical (Trajectory, Offset) order
+	if err != nil {
+		return nil, err
+	}
+	ts := t.stores[0]
+	var out []TemporalMatch
+	for _, h := range hits {
+		if lo, hi := ts.MinMax(h.Trajectory); hi < from || lo > to {
+			continue
+		}
+		at := ts.At(h.Trajectory, h.Offset)
+		if at < from || at > to {
+			continue
+		}
+		out = append(out, TemporalMatch{Match: h, EnteredAt: at})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// CountInInterval counts strict-path-query matches: occurrences of
+// path whose first edge was entered at a time in [from, to].
+func (t *TemporalIndex) CountInInterval(path []uint32, from, to int64) (int, error) {
+	if t.aligned() {
+		si := t.Index.sharded
+		counts := make([]int, len(si.shards))
+		errs := make([]error, len(si.shards))
+		si.fanOut(func(s int, ix *Index) {
+			counts[s], errs[s] = countInIntervalOne(ix, t.stores[s], path, from, to)
+		})
+		total := 0
+		for s, c := range counts {
+			if errs[s] != nil {
+				return 0, errs[s]
+			}
+			total += c
+		}
+		return total, nil
+	}
+	if t.Index.sharded == nil {
+		return countInIntervalOne(t.Index, t.stores[0], path, from, to)
+	}
+	hits, err := t.legacyFindInInterval(path, from, to, 0)
+	return len(hits), err
+}
+
+// sortTemporalMatches orders matches by (Trajectory, Offset) — the
+// canonical order FindInInterval promises.
+func sortTemporalMatches(ms []TemporalMatch) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Trajectory != ms[j].Trajectory {
+			return ms[i].Trajectory < ms[j].Trajectory
+		}
+		return ms[i].Offset < ms[j].Offset
+	})
+}
+
 // Timestamps returns the full timestamp column of a trajectory.
-func (t *TemporalIndex) Timestamps(id int) []int64 { return t.times.Column(id) }
+func (t *TemporalIndex) Timestamps(id int) []int64 {
+	ts, local := t.storeFor(id)
+	return ts.Column(local)
+}
 
 // TimestampBits returns the compressed size of the temporal store in
 // bits (reported separately from the spatial index, as the paper keeps
-// the two concerns separate).
-func (t *TemporalIndex) TimestampBits() int { return t.times.SizeBits() }
-
-// Save writes the spatial index followed by the timestamp store.
-func (t *TemporalIndex) Save(w io.Writer) (int64, error) {
-	n1, err := t.Index.Save(w)
-	if err != nil {
-		return n1, err
+// the two concerns separate). Sharded stores sum.
+func (t *TemporalIndex) TimestampBits() int {
+	n := 0
+	for _, ts := range t.stores {
+		n += ts.SizeBits()
 	}
-	n2, err := t.times.Save(w)
-	return n1 + n2, err
+	return n
 }
 
-// LoadTemporal reads an index written by TemporalIndex.Save.
+// Temporal container format (versioned):
+//
+//	magic   "CNCTtemp"                 8 bytes
+//	version uvarint                    currently 2
+//	K       uvarint                    timestamp store count
+//	spatial index                      Index.Save (either spatial format)
+//	frames  K × (uvarint len, bytes)   each a tempo store
+//
+// Version 1 had no magic: it was the spatial index immediately
+// followed by one corpus-wide tempo store. LoadTemporal still accepts
+// it (the magic cannot collide with either spatial layout).
+const (
+	temporalMagic   = "CNCTtemp"
+	temporalVersion = 2
+)
+
+// ErrBadTemporalContainer reports a malformed temporal index stream.
+var ErrBadTemporalContainer = errors.New("cinct: bad temporal index container")
+
+// Save writes the versioned temporal container: the spatial index
+// followed by the length-prefixed timestamp store frames.
+func (t *TemporalIndex) Save(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		n += int64(k)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	if _, err := bw.WriteString(temporalMagic); err != nil {
+		return n, err
+	}
+	n += int64(len(temporalMagic))
+	if err := writeUvarint(temporalVersion); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(t.stores))); err != nil {
+		return n, err
+	}
+	k, err := t.Index.Save(bw)
+	n += k
+	if err != nil {
+		return n, err
+	}
+	var frame bytes.Buffer
+	for s, ts := range t.stores {
+		frame.Reset()
+		if _, err := ts.Save(&frame); err != nil {
+			return n, fmt.Errorf("cinct: saving timestamp store %d: %w", s, err)
+		}
+		if err := writeUvarint(uint64(frame.Len())); err != nil {
+			return n, err
+		}
+		m, err := bw.Write(frame.Bytes())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// LoadTemporal reads an index written by TemporalIndex.Save — the
+// current container or the legacy unversioned layout — and validates
+// the timestamp stores against the spatial index: column counts and
+// every per-trajectory length must match, so shape corruption fails
+// the load instead of panicking inside a query.
 func LoadTemporal(r io.Reader) (*TemporalIndex, error) {
 	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(temporalMagic)); err == nil && string(magic) == temporalMagic {
+		return loadTemporalV2(br)
+	}
+	// Legacy layout: spatial index then one corpus-wide store.
 	ix, err := Load(br)
 	if err != nil {
 		return nil, err
@@ -101,9 +383,80 @@ func LoadTemporal(r io.Reader) (*TemporalIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ts.NumTrajectories() != ix.NumTrajectories() {
-		return nil, fmt.Errorf("cinct: %d timestamp columns for %d trajectories",
-			ts.NumTrajectories(), ix.NumTrajectories())
+	t := &TemporalIndex{Index: ix, stores: []*tempo.Store{ts}}
+	if err := t.validateStores(); err != nil {
+		return nil, err
 	}
-	return &TemporalIndex{Index: ix, times: ts}, nil
+	return t, nil
+}
+
+func loadTemporalV2(br *bufio.Reader) (*TemporalIndex, error) {
+	if _, err := br.Discard(len(temporalMagic)); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTemporalContainer, err)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil || version != temporalVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTemporalContainer, version)
+	}
+	k, err := binary.ReadUvarint(br)
+	if err != nil || k == 0 || k > 1<<20 {
+		return nil, fmt.Errorf("%w: store count %d", ErrBadTemporalContainer, k)
+	}
+	ix, err := Load(br)
+	if err != nil {
+		return nil, err
+	}
+	t := &TemporalIndex{Index: ix, stores: make([]*tempo.Store, k)}
+	for s := range t.stores {
+		frameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: store %d frame length", ErrBadTemporalContainer, s)
+		}
+		// LimitReader confines each store loader to its frame; the
+		// drain repositions br at the next frame even if the loader
+		// under-consumed.
+		lr := io.LimitReader(br, int64(frameLen))
+		ts, err := tempo.Load(bufio.NewReader(lr))
+		if err != nil {
+			return nil, fmt.Errorf("cinct: loading timestamp store %d: %w", s, err)
+		}
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("%w: store %d frame", ErrBadTemporalContainer, s)
+		}
+		t.stores[s] = ts
+	}
+	if err := t.validateStores(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// validateStores checks that the timestamp stores cover exactly the
+// spatial index's trajectories: the store layout must be a recognized
+// shape (per-shard or corpus-wide) and every column length must equal
+// its trajectory's edge count — the invariant that makes every At
+// probe issued by a query in-range by construction.
+func (t *TemporalIndex) validateStores() error {
+	bounds := []int{0, t.Index.NumTrajectories()}
+	switch si := t.Index.sharded; {
+	case t.aligned():
+		bounds = si.bounds
+	case len(t.stores) != 1:
+		return fmt.Errorf("%w: %d timestamp stores for %d shards",
+			ErrCorruptTimestamps, len(t.stores), t.Index.Shards())
+	}
+	for s, ts := range t.stores {
+		n := bounds[s+1] - bounds[s]
+		if ts.NumTrajectories() != n {
+			return fmt.Errorf("%w: store %d holds %d columns for %d trajectories",
+				ErrCorruptTimestamps, s, ts.NumTrajectories(), n)
+		}
+		for local := 0; local < n; local++ {
+			if want := t.Index.TrajectoryLen(bounds[s] + local); ts.Len(local) != want {
+				return fmt.Errorf("%w: trajectory %d has %d edges but %d timestamps",
+					ErrCorruptTimestamps, bounds[s]+local, want, ts.Len(local))
+			}
+		}
+	}
+	return nil
 }

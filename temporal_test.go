@@ -2,9 +2,12 @@ package cinct
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"cinct/internal/tempo"
 	"cinct/internal/trajgen"
 )
 
@@ -134,6 +137,255 @@ func TestTemporalSaveLoad(t *testing.T) {
 	}
 	if len(a) != len(b) {
 		t.Fatalf("reloaded temporal index disagrees: %d vs %d", len(a), len(b))
+	}
+}
+
+// pathIn returns a planted sub-path [lo, hi) from the first trajectory
+// at or after k long enough to contain it.
+func pathIn(t *testing.T, trajs [][]uint32, k, lo, hi int) []uint32 {
+	t.Helper()
+	for ; k < len(trajs); k++ {
+		if len(trajs[k]) >= hi {
+			return trajs[k][lo:hi]
+		}
+	}
+	t.Fatalf("no trajectory of length >= %d", hi)
+	return nil
+}
+
+// testIntervals derives a spread of interval shapes from a time range:
+// everything, selective slices, a point, and an empty range.
+func testIntervals(times [][]int64) [][2]int64 {
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for _, col := range times {
+		for _, at := range col {
+			if at < lo {
+				lo = at
+			}
+			if at > hi {
+				hi = at
+			}
+		}
+	}
+	span := hi - lo
+	return [][2]int64{
+		{math.MinInt64, math.MaxInt64},
+		{lo, hi},
+		{lo + span/4, lo + span/2},
+		{lo + span/2, lo + span/2 + span/20},
+		{lo, lo},
+		{hi + 1, hi + 2},
+		{lo - 10, lo - 1},
+	}
+}
+
+// TestTemporalShardedMatchesMonolithic pins the sharded temporal
+// engine's answers — matches and counts, across interval shapes and
+// limits — to the monolithic index over the same corpus.
+func TestTemporalShardedMatchesMonolithic(t *testing.T) {
+	trajs, times := timedCorpus(5)
+	mono, err := BuildTemporal(trajs, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Shards = 3
+	shard, err := BuildTemporal(trajs, times, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shard.stores) != 3 {
+		t.Fatalf("sharded temporal index has %d stores, want 3", len(shard.stores))
+	}
+	paths := [][]uint32{pathIn(t, trajs, 0, 0, 2), pathIn(t, trajs, 7, 2, 5), pathIn(t, trajs, 40, 0, 1), {1 << 30}}
+	for _, path := range paths {
+		for _, iv := range testIntervals(times) {
+			for _, limit := range []int{0, 1, 3} {
+				want, err := mono.FindInInterval(path, iv[0], iv[1], limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := shard.FindInInterval(path, iv[0], iv[1], limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+					t.Fatalf("FindInInterval(%v, [%d,%d], %d): sharded %v, monolithic %v",
+						path, iv[0], iv[1], limit, got, want)
+				}
+			}
+			wantN, err := mono.CountInInterval(path, iv[0], iv[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotN, err := shard.CountInInterval(path, iv[0], iv[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotN != wantN {
+				t.Fatalf("CountInInterval(%v, [%d,%d]): sharded %d, monolithic %d",
+					path, iv[0], iv[1], gotN, wantN)
+			}
+			all, err := mono.FindInInterval(path, iv[0], iv[1], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantN != len(all) {
+				t.Fatalf("CountInInterval(%v, [%d,%d]) = %d but FindInInterval returned %d",
+					path, iv[0], iv[1], wantN, len(all))
+			}
+		}
+	}
+}
+
+// TestTemporalLegacyFormatLoads writes the pre-container layout by
+// hand — spatial index immediately followed by one corpus-wide store,
+// both monolithic and sharded-spatial variants — and checks that
+// LoadTemporal still accepts it with identical answers.
+func TestTemporalLegacyFormatLoads(t *testing.T) {
+	trajs, times := timedCorpus(6)
+	for _, shards := range []int{1, 3} {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		want, err := BuildTemporal(trajs, times, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var legacy bytes.Buffer
+		if _, err := want.Index.Save(&legacy); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tempo.New(times).Save(&legacy); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadTemporal(&legacy)
+		if err != nil {
+			t.Fatalf("shards=%d: legacy load: %v", shards, err)
+		}
+		if got.Index.Shards() != shards {
+			t.Fatalf("legacy load: %d shards, want %d", got.Index.Shards(), shards)
+		}
+		path := pathIn(t, trajs, 7, 2, 5)
+		for _, iv := range testIntervals(times) {
+			for _, limit := range []int{0, 2} {
+				a, err := want.FindInInterval(path, iv[0], iv[1], limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := got.FindInInterval(path, iv[0], iv[1], limit)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) && (len(a) != 0 || len(b) != 0) {
+					t.Fatalf("shards=%d [%d,%d] limit %d: legacy %v, built %v",
+						shards, iv[0], iv[1], limit, b, a)
+				}
+			}
+			an, err := want.CountInInterval(path, iv[0], iv[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			bn, err := got.CountInInterval(path, iv[0], iv[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if an != bn {
+				t.Fatalf("shards=%d [%d,%d]: legacy count %d, built %d", shards, iv[0], iv[1], bn, an)
+			}
+		}
+	}
+}
+
+// TestTemporalLoadRejectsShapeMismatch builds legacy bytes whose
+// timestamp columns are shorter than the trajectories; the load must
+// fail instead of arming a panic inside a later query.
+func TestTemporalLoadRejectsShapeMismatch(t *testing.T) {
+	trajs, times := timedCorpus(7)
+	ix, err := Build(trajs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := make([][]int64, len(times))
+	copy(short, times)
+	short[3] = short[3][:1]
+	var buf bytes.Buffer
+	if _, err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tempo.New(short).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTemporal(&buf); err == nil {
+		t.Fatal("column/trajectory length mismatch not rejected at load")
+	}
+	// Column count mismatch as well.
+	buf.Reset()
+	if _, err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tempo.New(times[:len(times)-1]).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTemporal(&buf); err == nil {
+		t.Fatal("column count mismatch not rejected at load")
+	}
+}
+
+// TestTemporalEarlyExitAndPruning is the pushdown regression test: a
+// small limit must bound the timestamp decode work instead of probing
+// every spatial hit, and an interval that excludes every trajectory
+// must decode nothing at all.
+func TestTemporalEarlyExitAndPruning(t *testing.T) {
+	trajs, times := timedCorpus(8)
+	tix, err := BuildTemporal(trajs, times, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short path with many occurrences.
+	path := pathIn(t, trajs, 7, 2, 3)
+	n, err := tix.CountInInterval(path, math.MinInt64, math.MaxInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 {
+		t.Fatalf("need a frequent path for the early-exit test; got %d hits", n)
+	}
+	store := tix.stores[0]
+
+	store.ResetAtSteps()
+	if _, err := tix.FindInInterval(path, math.MinInt64, math.MaxInt64, 0); err != nil {
+		t.Fatal(err)
+	}
+	stepsAll := store.AtSteps()
+
+	store.ResetAtSteps()
+	got, err := tix.FindInInterval(path, math.MinInt64, math.MaxInt64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps1 := store.AtSteps()
+	if len(got) != 1 {
+		t.Fatalf("limit=1 returned %d matches", len(got))
+	}
+	if steps1 > tempo.BlockSize {
+		t.Fatalf("limit=1 decoded %d varints, want <= one block (%d)", steps1, tempo.BlockSize)
+	}
+	if stepsAll <= steps1 {
+		t.Fatalf("limit=0 decoded %d varints, limit=1 decoded %d: no early exit", stepsAll, steps1)
+	}
+
+	// Summary pruning: an interval before every timestamp touches no
+	// blob bytes.
+	store.ResetAtSteps()
+	none, err := tix.FindInInterval(path, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("far-past interval matched %d", len(none))
+	}
+	if steps := store.AtSteps(); steps != 0 {
+		t.Fatalf("pruned interval still decoded %d varints", steps)
 	}
 }
 
