@@ -25,6 +25,15 @@
 //	hits := ix.Find([]uint32{e1, e2, e3}, 10)
 //	full := ix.Trajectory(hits[0].Trajectory)
 //
+// Count, Find, FindTrajectories and the temporal interval queries are
+// thin wrappers over the unified streaming form — one Query descriptor
+// executed by Search, which yields hits lazily in canonical order,
+// honors context cancellation, and resumes from opaque cursors:
+//
+//	res, _ := ix.Search(ctx, cinct.Query{Path: path, Kind: cinct.Occurrences, Limit: 10})
+//	for hit, err := range res.All() { ... }
+//	token := res.Cursor() // resume the exact suffix in a later Search
+//
 // # Sharding
 //
 // For massive corpora the index can be partitioned into K independent
@@ -41,6 +50,7 @@ package cinct
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -232,10 +242,23 @@ func (ix *Index) Len() int {
 // Count returns the number of occurrences of the path (edge IDs in
 // travel order) across the corpus. A trajectory that traverses the
 // path twice contributes two. An empty path returns 0.
+//
+// Count is the legacy form of Search with Kind CountOnly; new code
+// should prefer Search, which adds context cancellation.
 func (ix *Index) Count(path []uint32) int {
-	if ix.sharded != nil {
-		return ix.sharded.Count(path)
+	r, err := ix.Search(context.Background(), Query{Path: path, Kind: CountOnly})
+	if err != nil {
+		// A CountOnly query over a background context cannot fail.
+		return 0
 	}
+	n, _ := r.Count()
+	return n
+}
+
+// countOne answers a count against one monolithic index — the
+// O(|path|) backward search of the paper, the per-shard unit of
+// Search's CountOnly fan-out.
+func (ix *Index) countOne(path []uint32) int {
 	if len(path) == 0 {
 		return 0
 	}
@@ -251,33 +274,38 @@ func (ix *Index) Count(path []uint32) int {
 // sorted by (Trajectory, Offset), and a positive limit keeps the
 // first limit matches in that order — so answers are identical
 // whether the index is sharded or not. Every occurrence in the suffix
-// range is located before truncation; a small limit does not reduce
-// the locate work. Requires locate support.
+// range is still located; the limit bounds the materialized result,
+// not the locate scan. Requires locate support.
+//
+// Find is the legacy form of Search with Kind Occurrences; new code
+// should prefer Search, which streams hits lazily, honors context
+// cancellation, and supports cursor-based resumption.
 func (ix *Index) Find(path []uint32, limit int) ([]Match, error) {
-	if ix.sharded != nil {
-		return ix.sharded.Find(path, limit)
+	if limit < 0 {
+		limit = 0
 	}
-	var out []Match
-	err := ix.locateOccurrences(path, func(doc, offset int) {
-		out = append(out, Match{Trajectory: doc, Offset: offset})
-	})
+	r, err := ix.Search(context.Background(), Query{Path: path, Kind: Occurrences, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	sortMatches(out)
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+	var out []Match
+	for h, herr := range r.All() {
+		if herr != nil {
+			return nil, herr
+		}
+		out = append(out, h.Match)
 	}
 	return out, nil
 }
 
 // locateOccurrences enumerates every occurrence of path in a
 // monolithic index, calling visit(trajectory, travel-order offset) in
-// suffix-range (i.e. unspecified) order. It is the one locate loop
-// behind both Find and the temporal interval pushdown, so the
-// pattern-reversal and offset arithmetic cannot drift between the
-// spatial and temporal answers. Requires locate support.
-func (ix *Index) locateOccurrences(path []uint32, visit func(doc, offset int)) error {
+// suffix-range (i.e. unspecified) order, checking ctx periodically so
+// a cancelled query stops scanning. It is the one locate loop behind
+// every Search kind, so the pattern-reversal and offset arithmetic
+// cannot drift between the spatial and temporal answers. Requires
+// locate support.
+func (ix *Index) locateOccurrences(ctx context.Context, path []uint32, visit func(doc, offset int)) error {
 	if !ix.hasLoc {
 		return ErrNoLocate
 	}
@@ -293,6 +321,11 @@ func (ix *Index) locateOccurrences(path []uint32, visit func(doc, offset int)) e
 		return nil
 	}
 	for j := sp; j < ep; j++ {
+		if (j-sp)&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		pos := ix.core.Locate(j)
 		doc, endOff, inDoc := ix.docAt(pos)
 		if !inDoc {
@@ -305,16 +338,11 @@ func (ix *Index) locateOccurrences(path []uint32, visit func(doc, offset int)) e
 	return nil
 }
 
-// sortMatches orders matches by (Trajectory, Offset) — the canonical
-// order Find promises, and the one that lets sharded results merge by
+// sortMatches orders matches by matchLess — the canonical order every
+// query path promises, and the one that lets sharded results merge by
 // concatenation (shards hold contiguous global ID ranges).
 func sortMatches(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Trajectory != ms[j].Trajectory {
-			return ms[i].Trajectory < ms[j].Trajectory
-		}
-		return ms[i].Offset < ms[j].Offset
-	})
+	sort.Slice(ms, func(i, j int) bool { return matchLess(ms[i], ms[j]) })
 }
 
 // docAt maps a text position to (trajectory, travel-order offset)
@@ -328,26 +356,23 @@ func (ix *Index) docAt(pos int64) (doc, offset int, ok bool) {
 // trajectories containing the path (limit <= 0 means all), in
 // ascending order. Unlike Find, a trajectory traversing the path
 // several times appears once. Requires locate support.
+//
+// FindTrajectories is the legacy form of Search with Kind
+// Trajectories; new code should prefer Search.
 func (ix *Index) FindTrajectories(path []uint32, limit int) ([]int, error) {
-	if ix.sharded != nil {
-		return ix.sharded.FindTrajectories(path, limit)
+	if limit < 0 {
+		limit = 0
 	}
-	hits, err := ix.Find(path, 0)
+	r, err := ix.Search(context.Background(), Query{Path: path, Kind: Trajectories, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[int]struct{}, len(hits))
-	ids := make([]int, 0, len(hits))
-	for _, h := range hits {
-		if _, dup := seen[h.Trajectory]; dup {
-			continue
+	ids := make([]int, 0)
+	for h, herr := range r.All() {
+		if herr != nil {
+			return nil, herr
 		}
-		seen[h.Trajectory] = struct{}{}
 		ids = append(ids, h.Trajectory)
-	}
-	sort.Ints(ids)
-	if limit > 0 && len(ids) > limit {
-		ids = ids[:limit]
 	}
 	return ids, nil
 }

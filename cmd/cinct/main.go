@@ -1,13 +1,16 @@
 // Command cinct builds, inspects and queries CiNCT indexes from the
-// command line. Every query subcommand goes through the same
-// internal/engine API the cinctd daemon serves, and can target either
-// a local index file or a running daemon:
+// command line. Every retrieval subcommand is a cinct.Query executed
+// through the unified Search path — locally through internal/engine,
+// or remotely through the daemon's streaming /v1/{index}/query
+// endpoint — and can target either a local index file or a running
+// daemon:
 //
 //	cinct build  -in corpus.txt -index corpus.cinct [-block 63] [-sample 64] [-shards N]
 //	cinct build-temporal -in corpus.txt -times times.txt -index corpus.tcinct
 //	cinct stats  -index corpus.cinct
 //	cinct count  -index corpus.cinct -path "17 42 99"
-//	cinct find   -index corpus.cinct -path "17 42 99" [-limit 10]
+//	cinct find   -index corpus.cinct -path "17 42 99" [-limit 10] [-cursor TOKEN]
+//	cinct find-traj -index corpus.cinct -path "17 42 99" [-limit 10]
 //	cinct show   -index corpus.cinct -traj 5
 //	cinct subpath -index corpus.cinct -traj 5 -from 2 -to 9
 //	cinct verify -in corpus.txt -index corpus.cinct
@@ -60,6 +63,8 @@ func main() {
 		err = cmdCount(args)
 	case "find":
 		err = cmdFind(args)
+	case "find-traj":
+		err = cmdFindTraj(args)
 	case "show":
 		err = cmdShow(args)
 	case "subpath":
@@ -81,22 +86,31 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cinct {build|build-temporal|stats|count|find|show|subpath|verify|find-interval|count-interval} [flags]")
+		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval} [flags]")
 	os.Exit(2)
+}
+
+// searchResult is one drained Search: the hits (nil for CountOnly),
+// the summary count (full occurrence count for CountOnly, hit count
+// otherwise), and the resume cursor ("" when the stream is
+// exhausted).
+type searchResult struct {
+	hits   []cinct.Hit
+	count  int
+	cursor string
 }
 
 // querier is the transport-independent query surface the subcommands
 // run against: a local engine over an index file, or a server.Client
-// speaking to a daemon. Both satisfy it with identical semantics —
-// that equivalence is what server's differential tests pin down.
+// speaking to a daemon's streaming query endpoint. Both satisfy it
+// with identical semantics — that equivalence is what server's
+// differential tests pin down. Every retrieval operation is one
+// Search call with a cinct.Query descriptor.
 type querier interface {
 	Info(ctx context.Context) (engine.Info, error)
-	Count(ctx context.Context, path []uint32) (int, error)
-	Find(ctx context.Context, path []uint32, limit int) ([]cinct.Match, error)
+	Search(ctx context.Context, q cinct.Query) (searchResult, error)
 	Trajectory(ctx context.Context, id int) ([]uint32, error)
 	SubPath(ctx context.Context, id, from, to int) ([]uint32, error)
-	FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error)
-	CountInInterval(ctx context.Context, path []uint32, from, to int64) (int, error)
 }
 
 // target holds the shared flags selecting what a query subcommand
@@ -153,23 +167,30 @@ type localQuerier struct {
 func (q *localQuerier) Info(ctx context.Context) (engine.Info, error) {
 	return q.eng.Info(q.name)
 }
-func (q *localQuerier) Count(ctx context.Context, path []uint32) (int, error) {
-	return q.eng.Count(ctx, q.name, path)
-}
-func (q *localQuerier) Find(ctx context.Context, path []uint32, limit int) ([]cinct.Match, error) {
-	return q.eng.Find(ctx, q.name, path, limit)
+func (q *localQuerier) Search(ctx context.Context, query cinct.Query) (searchResult, error) {
+	r, err := q.eng.Search(ctx, q.name, query)
+	if err != nil {
+		return searchResult{}, err
+	}
+	defer r.Close()
+	if query.Kind == cinct.CountOnly {
+		n, cerr := r.Count()
+		return searchResult{count: n}, cerr
+	}
+	var hits []cinct.Hit
+	for h, herr := range r.All() {
+		if herr != nil {
+			return searchResult{}, herr
+		}
+		hits = append(hits, h)
+	}
+	return searchResult{hits: hits, count: len(hits), cursor: r.Cursor()}, nil
 }
 func (q *localQuerier) Trajectory(ctx context.Context, id int) ([]uint32, error) {
 	return q.eng.Trajectory(ctx, q.name, id)
 }
 func (q *localQuerier) SubPath(ctx context.Context, id, from, to int) ([]uint32, error) {
 	return q.eng.SubPath(ctx, q.name, id, from, to)
-}
-func (q *localQuerier) FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
-	return q.eng.FindInInterval(ctx, q.name, path, from, to, limit)
-}
-func (q *localQuerier) CountInInterval(ctx context.Context, path []uint32, from, to int64) (int, error) {
-	return q.eng.CountInInterval(ctx, q.name, path, from, to)
 }
 
 // remoteQuerier serves queries from a cinctd daemon.
@@ -190,23 +211,31 @@ func (q *remoteQuerier) Info(ctx context.Context) (engine.Info, error) {
 	}
 	return engine.Info{}, fmt.Errorf("%w: %q", engine.ErrNotFound, q.name)
 }
-func (q *remoteQuerier) Count(ctx context.Context, path []uint32) (int, error) {
-	return q.c.Count(ctx, q.name, path)
-}
-func (q *remoteQuerier) Find(ctx context.Context, path []uint32, limit int) ([]cinct.Match, error) {
-	return q.c.Find(ctx, q.name, path, limit)
+func (q *remoteQuerier) Search(ctx context.Context, query cinct.Query) (searchResult, error) {
+	// CountOnly and bounded queries fit one page, which carries the
+	// resume cursor; unbounded ones drain via the transparently paging
+	// iterator.
+	if query.Kind == cinct.CountOnly || query.Limit > 0 {
+		page, err := q.c.SearchPage(ctx, q.name, query)
+		if err != nil {
+			return searchResult{}, err
+		}
+		return searchResult{hits: page.Hits, count: page.Count, cursor: page.Cursor}, nil
+	}
+	var hits []cinct.Hit
+	for h, err := range q.c.Search(ctx, q.name, query) {
+		if err != nil {
+			return searchResult{}, err
+		}
+		hits = append(hits, h)
+	}
+	return searchResult{hits: hits, count: len(hits)}, nil
 }
 func (q *remoteQuerier) Trajectory(ctx context.Context, id int) ([]uint32, error) {
 	return q.c.Trajectory(ctx, q.name, id)
 }
 func (q *remoteQuerier) SubPath(ctx context.Context, id, from, to int) ([]uint32, error) {
 	return q.c.SubPath(ctx, q.name, id, from, to)
-}
-func (q *remoteQuerier) FindInInterval(ctx context.Context, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
-	return q.c.FindInInterval(ctx, q.name, path, from, to, limit)
-}
-func (q *remoteQuerier) CountInInterval(ctx context.Context, path []uint32, from, to int64) (int, error) {
-	return q.c.CountInInterval(ctx, q.name, path, from, to)
 }
 
 func readCorpus(path string) ([][]uint32, error) {
@@ -355,11 +384,11 @@ func cmdCount(args []string) error {
 		return err
 	}
 	t0 := time.Now()
-	n, err := q.Count(context.Background(), p)
+	res, err := q.Search(context.Background(), cinct.Query{Path: p, Kind: cinct.CountOnly})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d occurrences (%v)\n", n, time.Since(t0))
+	fmt.Printf("%d occurrences (%v)\n", res.count, time.Since(t0))
 	return nil
 }
 
@@ -368,6 +397,7 @@ func cmdFind(args []string) error {
 	t := addTargetFlags(fs)
 	path := fs.String("path", "", "space-separated edge IDs in travel order")
 	limit := fs.Int("limit", 20, "max matches to report (0 = all)")
+	cursor := fs.String("cursor", "", "resume cursor from a previous bounded find")
 	fs.Parse(args)
 	q, err := t.open()
 	if err != nil {
@@ -377,14 +407,49 @@ func cmdFind(args []string) error {
 	if err != nil {
 		return err
 	}
-	hits, err := q.Find(context.Background(), p, *limit)
+	res, err := q.Search(context.Background(), cinct.Query{
+		Path: p, Kind: cinct.Occurrences, Limit: *limit, Cursor: *cursor,
+	})
 	if err != nil {
 		return err
 	}
-	for _, h := range hits {
+	for _, h := range res.hits {
 		fmt.Printf("trajectory %d @ offset %d\n", h.Trajectory, h.Offset)
 	}
-	fmt.Printf("%d match(es)\n", len(hits))
+	fmt.Printf("%d match(es)\n", len(res.hits))
+	if res.cursor != "" {
+		fmt.Printf("next: -cursor %s\n", res.cursor)
+	}
+	return nil
+}
+
+// cmdFindTraj lists the distinct trajectories containing a path — the
+// Trajectories query kind, which before the unified query endpoint had
+// no remote form at all.
+func cmdFindTraj(args []string) error {
+	fs := flag.NewFlagSet("find-traj", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	path := fs.String("path", "", "space-separated edge IDs in travel order")
+	limit := fs.Int("limit", 20, "max trajectories to report (0 = all)")
+	fs.Parse(args)
+	q, err := t.open()
+	if err != nil {
+		return err
+	}
+	p, err := parsePath(*path)
+	if err != nil {
+		return err
+	}
+	res, err := q.Search(context.Background(), cinct.Query{
+		Path: p, Kind: cinct.Trajectories, Limit: *limit,
+	})
+	if err != nil {
+		return err
+	}
+	for _, h := range res.hits {
+		fmt.Printf("trajectory %d\n", h.Trajectory)
+	}
+	fmt.Printf("%d trajectorie(s)\n", len(res.hits))
 	return nil
 }
 
@@ -442,15 +507,20 @@ func cmdFindInterval(args []string) error {
 	if err != nil {
 		return err
 	}
-	hits, err := q.FindInInterval(context.Background(), p, *from, *to, *limit)
+	res, err := q.Search(context.Background(), cinct.Query{
+		Path:     p,
+		Interval: &cinct.Interval{From: *from, To: *to},
+		Kind:     cinct.Occurrences,
+		Limit:    *limit,
+	})
 	if err != nil {
 		return err
 	}
-	for _, h := range hits {
+	for _, h := range res.hits {
 		fmt.Printf("trajectory %d @ offset %d, entered t=%d\n",
 			h.Trajectory, h.Offset, h.EnteredAt)
 	}
-	fmt.Printf("%d match(es)\n", len(hits))
+	fmt.Printf("%d match(es)\n", len(res.hits))
 	return nil
 }
 
@@ -472,11 +542,15 @@ func cmdCountInterval(args []string) error {
 		return err
 	}
 	t0 := time.Now()
-	n, err := q.CountInInterval(context.Background(), p, *from, *to)
+	res, err := q.Search(context.Background(), cinct.Query{
+		Path:     p,
+		Interval: &cinct.Interval{From: *from, To: *to},
+		Kind:     cinct.CountOnly,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d occurrences in [%d, %d] (%v)\n", n, *from, *to, time.Since(t0))
+	fmt.Printf("%d occurrences in [%d, %d] (%v)\n", res.count, *from, *to, time.Since(t0))
 	return nil
 }
 
@@ -516,11 +590,11 @@ func cmdVerify(args []string) error {
 		if path == nil {
 			break
 		}
-		got, err := q.Count(ctx, path)
+		res, err := q.Search(ctx, cinct.Query{Path: path, Kind: cinct.CountOnly})
 		if err != nil {
 			return err
 		}
-		if want := querygen.NaiveCount(trajs, path); got != want {
+		if got, want := res.count, querygen.NaiveCount(trajs, path); got != want {
 			return fmt.Errorf("MISMATCH: Count(%v) = %d, naive scan = %d", path, got, want)
 		}
 	}

@@ -12,7 +12,13 @@
 // selective interval whose matches sit at high offsets — the workload
 // the rework targets — plus CountInInterval and both over HTTP.
 //
-//	cinctbench -out BENCH_PR3.json -trajs 4000 -queries 2000 -shards 0
+// The streaming section measures the unified Search path on the same
+// high-offset corpus: lazy, limit-bounded streaming versus the
+// pre-redesign materialize-everything-then-truncate shape, reporting
+// latency percentiles and allocated bytes per query at limit 10, 1000
+// and unlimited.
+//
+//	cinctbench -out BENCH_PR4.json -trajs 4000 -queries 2000 -shards 0
 package main
 
 import (
@@ -55,6 +61,29 @@ type report struct {
 	BitsPerSymbol float64                `json:"bitsPerSymbol"`
 	Latency       map[string]percentiles `json:"latency"`
 	Temporal      *temporalReport        `json:"temporal,omitempty"`
+	Streaming     *streamingReport       `json:"streaming,omitempty"`
+}
+
+// streamStat is one streaming-benchmark distribution: latency
+// percentiles plus bytes allocated per query.
+type streamStat struct {
+	percentiles
+	AllocBytesPerOp float64 `json:"allocBytesPerOp"`
+}
+
+// streamingReport summarizes streaming-vs-materializing Search runs
+// over the high-offset corpus. Keys are search.{stream|materialize}.
+// {limit10|limit1k|all}.
+type streamingReport struct {
+	Trajectories int `json:"trajectories"`
+	MeanLen      int `json:"meanLen"`
+	Symbols      int `json:"symbols"`
+	Queries      int `json:"queries"`
+	Shards       int `json:"shards"`
+	// AllocRatioLimit10 is materializing bytes/op over streaming
+	// bytes/op at limit 10 — the acceptance metric for the lazy path.
+	AllocRatioLimit10 float64               `json:"allocRatioLimit10"`
+	Latency           map[string]streamStat `json:"latency"`
 }
 
 // temporalReport summarizes the strict-path-query benchmark.
@@ -82,7 +111,7 @@ type temporalReport struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR3.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR4.json", "output JSON file")
 		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
 		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
 		queries = flag.Int("queries", 2000, "queries per latency distribution")
@@ -234,6 +263,11 @@ func run(cfg benchConfig) error {
 			return err
 		}
 		rep.Temporal = tr
+		sr, err := runStreaming(cfg)
+		if err != nil {
+			return err
+		}
+		rep.Streaming = sr
 	}
 
 	body, err := json.MarshalIndent(rep, "", "  ")
@@ -438,6 +472,119 @@ func (s *legacyStore) at(k, i int) int64 {
 		prev += d
 	}
 	return prev
+}
+
+// runStreaming benchmarks the unified Search path on the high-offset
+// corpus: the same frequent tail bigrams as the temporal section
+// (many occurrences per query), comparing the lazy, limit-bounded
+// stream against the pre-redesign shape — materialize every
+// occurrence, then truncate to the limit — at limit 10, 1000 and
+// unlimited, with allocated bytes per query alongside latency.
+func runStreaming(cfg benchConfig) (*streamingReport, error) {
+	fmt.Fprintf(os.Stderr, "streaming: generating corpus (%d trajectories, mean length %d)...\n",
+		cfg.ttrajs, cfg.tmeanLen)
+	gcfg := trajgen.Config{GridW: 26, GridH: 26, NumTrajs: cfg.ttrajs, MeanLen: cfg.tmeanLen, Seed: cfg.seed + 7}
+	corpus := trajgen.Singapore2(gcfg).Trajs
+	shards := cfg.shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	opts := cinct.DefaultOptions()
+	opts.Shards = shards
+	opts.SampleRate = cfg.tsample
+	fmt.Fprintf(os.Stderr, "streaming: building index (%d shards)...\n", shards)
+	ix, err := cinct.Build(corpus, opts)
+	if err != nil {
+		return nil, err
+	}
+	sr := &streamingReport{
+		Trajectories: len(corpus),
+		MeanLen:      cfg.tmeanLen,
+		Symbols:      ix.Len(),
+		Queries:      cfg.tqueries,
+		Shards:       shards,
+		Latency:      map[string]streamStat{},
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed + 9))
+	workload := make([][]uint32, 0, cfg.tqueries)
+	for len(workload) < cfg.tqueries {
+		t := corpus[rng.Intn(len(corpus))]
+		if len(t) < 8 {
+			continue
+		}
+		i := len(t) - 2 - rng.Intn(len(t)/4)
+		workload = append(workload, t[i:i+2])
+	}
+
+	ctx := context.Background()
+	stream := func(limit int) func(p []uint32) error {
+		return func(p []uint32) error {
+			r, err := ix.Search(ctx, cinct.Query{Path: p, Kind: cinct.Occurrences, Limit: limit})
+			if err != nil {
+				return err
+			}
+			for _, herr := range r.All() {
+				if herr != nil {
+					return herr
+				}
+			}
+			return nil
+		}
+	}
+	materialize := func(limit int) func(p []uint32) error {
+		return func(p []uint32) error {
+			r, err := ix.Search(ctx, cinct.Query{Path: p, Kind: cinct.Occurrences})
+			if err != nil {
+				return err
+			}
+			var all []cinct.Match
+			for h, herr := range r.All() {
+				if herr != nil {
+					return herr
+				}
+				all = append(all, h.Match)
+			}
+			if limit > 0 && len(all) > limit {
+				all = all[:limit]
+			}
+			_ = all
+			return nil
+		}
+	}
+	for _, lc := range []struct {
+		key   string
+		limit int
+	}{{"limit10", 10}, {"limit1k", 1000}, {"all", 0}} {
+		if sr.Latency["search.stream."+lc.key], err = measureAlloc(workload, stream(lc.limit)); err != nil {
+			return nil, err
+		}
+		if sr.Latency["search.materialize."+lc.key], err = measureAlloc(workload, materialize(lc.limit)); err != nil {
+			return nil, err
+		}
+	}
+	if s := sr.Latency["search.stream.limit10"].AllocBytesPerOp; s > 0 {
+		sr.AllocRatioLimit10 = sr.Latency["search.materialize.limit10"].AllocBytesPerOp / s
+	}
+	return sr, nil
+}
+
+// measureAlloc is measure plus allocated-bytes-per-op accounting via
+// runtime.MemStats (single-threaded loop, so TotalAlloc deltas belong
+// to the measured queries).
+func measureAlloc(workload [][]uint32, fn func([]uint32) error) (streamStat, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	p, err := measure(workload, fn)
+	if err != nil {
+		return streamStat{}, err
+	}
+	runtime.ReadMemStats(&m1)
+	return streamStat{
+		percentiles:     p,
+		AllocBytesPerOp: float64(m1.TotalAlloc-m0.TotalAlloc) / float64(len(workload)),
+	}, nil
 }
 
 // measure times fn over each query and summarizes the distribution. A

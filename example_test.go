@@ -2,6 +2,7 @@ package cinct_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -81,6 +82,79 @@ func ExampleLoad() {
 	}
 	fmt.Println(loaded.Count([]uint32{0, 1}))
 	// Output: 2
+}
+
+// Example_search shows the unified Query API: one descriptor for
+// every retrieval, executed by Search as a lazy, cursor-resumable
+// stream. The same descriptor shape drives the engine, the
+// /v1/{index}/query endpoint, and the HTTP client.
+func Example_search() {
+	trajs := paperTrajectories()
+	times := [][]int64{
+		{100, 160, 220, 280},
+		{90, 150, 210},
+		{400, 460},
+		{100, 170},
+	}
+	ix, err := cinct.BuildTemporal(trajs, times, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Count A→B occurrences (the legacy Count).
+	r, err := ix.Search(ctx, cinct.Query{Path: []uint32{0, 1}, Kind: cinct.CountOnly})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := r.Count()
+	fmt.Println("count:", n)
+
+	// Stream occurrences lazily, stopping after the first hit — the
+	// iterator does no further locate-or-decode work past the break.
+	r, err = ix.Search(ctx, cinct.Query{Path: []uint32{0, 1}, Kind: cinct.Occurrences})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for h, err := range r.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("first: trajectory %d @ offset %d\n", h.Trajectory, h.Offset)
+		break
+	}
+	// Resume exactly where the loop stopped, on a fresh query.
+	r2, err := ix.Search(ctx, cinct.Query{Path: []uint32{0, 1}, Kind: cinct.Occurrences, Cursor: r.Cursor()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for h, err := range r2.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resumed: trajectory %d @ offset %d\n", h.Trajectory, h.Offset)
+	}
+
+	// A strict path query is the same descriptor plus an Interval.
+	r, err = ix.Search(ctx, cinct.Query{
+		Path:     []uint32{1, 2},
+		Interval: &cinct.Interval{From: 100, To: 300},
+		Kind:     cinct.Trajectories,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for h, err := range r.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("in window: trajectory %d entered at t=%d\n", h.Trajectory, h.EnteredAt)
+	}
+	// Output:
+	// count: 2
+	// first: trajectory 0 @ offset 0
+	// resumed: trajectory 1 @ offset 0
+	// in window: trajectory 1 entered at t=150
 }
 
 func ExampleBuildTemporal() {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"crypto/sha256"
 	"fmt"
 	"strings"
 	"sync"
@@ -40,25 +41,17 @@ func newQueryCache(capacity int) *queryCache {
 	}
 }
 
-// cacheKey builds the canonical key for a query result: operation,
-// index name, the entry generation the result was computed against,
-// any scalar arguments, and the path spelled edge by edge. Arguments
-// are int64 so temporal interval bounds fit unchanged; every scalar is
-// spelled in its own |-delimited field, so ("tfind", from, to, limit)
-// cannot collide with any other argument tuple of the same op.
-func cacheKey(op, name string, gen uint64, path []uint32, args ...int64) string {
+// searchKey builds the cache key for a Search result: the index name,
+// the entry generation the result was computed against, and the SHA-256
+// of the query's canonical binary encoding. Every legacy operation is a
+// Query, so one key scheme covers the whole surface; hashing keeps keys
+// fixed-size however long the path, and the canonical encoding
+// guarantees two keys collide only if the queries are semantically
+// identical (modulo a SHA-256 collision).
+func searchKey(name string, gen uint64, encodedQuery []byte) string {
+	sum := sha256.Sum256(encodedQuery)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|%d", op, name, gen)
-	for _, a := range args {
-		fmt.Fprintf(&b, "|%d", a)
-	}
-	b.WriteByte('|')
-	for i, e := range path {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		fmt.Fprintf(&b, "%d", e)
-	}
+	fmt.Fprintf(&b, "q|%s|%d|%x", name, gen, sum)
 	return b.String()
 }
 

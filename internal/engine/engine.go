@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"iter"
 	"runtime"
 
 	"cinct"
@@ -219,87 +220,307 @@ func (e *Engine) CacheStats() (hits, misses uint64, entries int) {
 	return e.cache.stats()
 }
 
-// Count returns the number of occurrences of path in index name.
-// Results are served from the LRU cache when the index generation
-// matches.
-func (e *Engine) Count(ctx context.Context, name string, path []uint32) (int, error) {
+// page is the materialized, immutable form of one Search run — the
+// value the shared LRU holds. CountOnly pages carry only the count;
+// hit pages carry the hits in canonical order plus the resume cursor
+// the run ended with.
+type page struct {
+	count  int
+	hits   []cinct.Hit
+	cursor string
+}
+
+// Results is the engine's streaming query handle: either a replay of a
+// cached page or a live library run that accumulates into the cache as
+// it is consumed. A live Results holds one engine worker slot until
+// the stream is drained, fails, or Close is called — callers that may
+// abandon iteration early must defer Close (draining consumers, like
+// the legacy wrappers and the HTTP handler, get the release for free).
+// Not safe for concurrent use.
+type Results struct {
+	q    cinct.Query
+	page *page // replay source; nil while live
+	pos  int
+
+	live *cinct.Results
+	pull func() (cinct.Hit, error, bool)
+	stop func()
+	e    *Engine
+	key  string
+	held bool
+	// acc accumulates live hits for cache population; it is dropped
+	// (and tooBig set) once the page exceeds maxCachedPageHits, so an
+	// unbounded streaming query never materializes O(result) memory
+	// server-side.
+	acc    []cinct.Hit
+	tooBig bool
+	closed bool
+
+	n int
+	// last/hasLast track the replay position for Cursor; the live path
+	// gets its cursor from the library handle instead.
+	last    cinct.Hit
+	hasLast bool
+	err     error
+}
+
+// maxCachedPageHits bounds the size of a Search page the engine will
+// hold in the shared LRU (which caps entries, not bytes). Larger
+// streams still serve fine — they just recompute on the next identical
+// query instead of pinning a huge slice in cache memory.
+const maxCachedPageHits = 4096
+
+// All returns the hit stream in canonical (Trajectory, Offset) order.
+// Like the library iterator it may be resumed after a break; a query
+// or decode failure is yielded once as the final element's error.
+func (r *Results) All() iter.Seq2[cinct.Hit, error] {
+	return func(yield func(cinct.Hit, error) bool) {
+		if r.err != nil {
+			yield(cinct.Hit{}, r.err)
+			return
+		}
+		if r.page != nil {
+			for r.pos < len(r.page.hits) {
+				h := r.page.hits[r.pos]
+				r.pos++
+				r.n++
+				r.last, r.hasLast = h, true
+				if !yield(h, nil) {
+					return
+				}
+			}
+			return
+		}
+		if r.live == nil || r.closed {
+			return
+		}
+		if r.pull == nil {
+			r.pull, r.stop = iter.Pull2(r.live.All())
+		}
+		for {
+			h, herr, ok, perr := r.pullOne()
+			if perr != nil {
+				r.fail(perr)
+				yield(cinct.Hit{}, perr)
+				return
+			}
+			if !ok {
+				r.finishLive()
+				return
+			}
+			if herr != nil {
+				r.fail(herr)
+				yield(cinct.Hit{}, herr)
+				return
+			}
+			if !r.tooBig {
+				r.acc = append(r.acc, h)
+				if len(r.acc) > maxCachedPageHits {
+					r.acc, r.tooBig = nil, true
+				}
+			}
+			r.n++
+			if !yield(h, nil) {
+				return
+			}
+		}
+	}
+}
+
+// pullOne advances the live library iterator one step, converting a
+// panic over corrupt index state into ErrCorrupt (the same boundary
+// contract recoverQuery gives every query).
+func (r *Results) pullOne() (h cinct.Hit, herr error, ok bool, perr error) {
+	defer recoverQuery(&perr)
+	h, herr, ok = r.pull()
+	return h, herr, ok, nil
+}
+
+// finishLive runs when the live stream ends naturally (exhausted, or
+// Limit hits yielded): the accumulated page enters the shared cache —
+// unless the stream outgrew maxCachedPageHits — so the next identical
+// Query replays without touching the index.
+func (r *Results) finishLive() {
+	r.closed = true
+	if !r.tooBig {
+		r.e.cache.put(r.key, &page{hits: r.acc, count: len(r.acc), cursor: r.live.Cursor()})
+	}
+	r.releaseSlot()
+}
+
+func (r *Results) fail(err error) {
+	r.err = err
+	r.releaseSlot()
+}
+
+func (r *Results) releaseSlot() {
+	if r.stop != nil {
+		r.stop()
+		r.stop, r.pull = nil, nil
+	}
+	if r.held {
+		r.held = false
+		r.e.release()
+	}
+}
+
+// Close releases the worker slot held by a live run whose iteration
+// was abandoned before the stream ended, and ends the stream: a later
+// All yields nothing (the engine's concurrency bound must not be
+// bypassed by resuming a slot-less iterator). Idempotent; a no-op for
+// replayed or drained Results.
+func (r *Results) Close() {
+	if r.live != nil {
+		r.closed = true
+	}
+	r.releaseSlot()
+}
+
+// Count returns the query's count: the full occurrence count for
+// CountOnly queries, otherwise the total number of hits after draining
+// whatever the iterator has not yielded yet.
+func (r *Results) Count() (int, error) {
+	if r.q.Kind == cinct.CountOnly {
+		if r.err != nil {
+			return 0, r.err
+		}
+		return r.page.count, nil
+	}
+	for _, err := range r.All() {
+		if err != nil {
+			return r.n, err
+		}
+	}
+	return r.n, nil
+}
+
+// Cursor returns the token that resumes the query just past the last
+// hit yielded, or "" when the stream is known exhausted (or nothing
+// has been yielded). Semantics mirror cinct.Results.Cursor.
+func (r *Results) Cursor() string {
+	if r.err != nil {
+		return ""
+	}
+	if r.live != nil {
+		return r.live.Cursor()
+	}
+	if r.page != nil {
+		if r.pos >= len(r.page.hits) {
+			return r.page.cursor
+		}
+		if r.hasLast {
+			return r.q.CursorAfter(r.last)
+		}
+	}
+	return ""
+}
+
+// Search is the engine's single query entry point: every operation —
+// spatial or temporal, counting, locating or listing trajectories — is
+// a cinct.Query executed here, cached here, and bounded by the same
+// worker pool. Results are keyed by (index, generation, SHA-256 of the
+// canonical query encoding), so a Reload instantly orphans stale
+// pages. Interval queries against a spatial-only index fail with
+// ErrNotTemporal; descriptor violations (negative limit, unknown kind)
+// fail with cinct.ErrBadQuery before any index work.
+func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Results, error) {
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return nil, err
+	}
+	enc, err := q.MarshalBinary()
+	if err != nil {
+		return nil, err
 	}
 	v, err := e.cat.view(name)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	key := cacheKey("count", v.name, v.gen, path)
+	if q.Interval != nil && v.temp == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotTemporal, v.name)
+	}
+	key := searchKey(v.name, v.gen, enc)
 	if val, ok := e.cache.get(key); ok {
-		return val.(int), nil
+		return &Results{q: q, page: val.(*page)}, nil
 	}
 	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	lr, err := func() (lr *cinct.Results, err error) {
+		defer recoverQuery(&err)
+		if v.temp != nil {
+			return v.temp.Search(ctx, q)
+		}
+		return v.spatial.Search(ctx, q)
+	}()
+	if err != nil {
+		e.release()
+		return nil, err
+	}
+	if q.Kind == cinct.CountOnly {
+		n, cerr := lr.Count()
+		e.release()
+		if cerr != nil {
+			return nil, cerr
+		}
+		p := &page{count: n}
+		e.cache.put(key, p)
+		return &Results{q: q, page: p}, nil
+	}
+	return &Results{q: q, live: lr, e: e, key: key, held: true, acc: make([]cinct.Hit, 0, 16)}, nil
+}
+
+// Count returns the number of occurrences of path in index name.
+// Count is the legacy form of Search with Kind CountOnly; results are
+// served from the shared LRU cache when the index generation matches.
+func (e *Engine) Count(ctx context.Context, name string, path []uint32) (int, error) {
+	r, err := e.Search(ctx, name, cinct.Query{Path: path, Kind: cinct.CountOnly})
+	if err != nil {
 		return 0, err
 	}
-	defer e.release()
-	n := v.index().Count(path)
-	e.cache.put(key, n)
-	return n, nil
+	return r.Count()
 }
 
 // Find returns up to limit occurrences of path in index name (limit <=
-// 0 means all), in canonical (Trajectory, Offset) order. The returned
-// slice may be shared with the cache: callers must not modify it.
+// 0 means all), in canonical (Trajectory, Offset) order. Find is the
+// legacy form of Search with Kind Occurrences.
 func (e *Engine) Find(ctx context.Context, name string, path []uint32, limit int) ([]cinct.Match, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	v, err := e.cat.view(name)
-	if err != nil {
-		return nil, err
-	}
 	if limit < 0 {
 		limit = 0
 	}
-	key := cacheKey("find", v.name, v.gen, path, int64(limit))
-	if val, ok := e.cache.get(key); ok {
-		return val.([]cinct.Match), nil
-	}
-	if err := e.acquire(ctx); err != nil {
-		return nil, err
-	}
-	defer e.release()
-	hits, err := v.index().Find(path, limit)
+	r, err := e.Search(ctx, name, cinct.Query{Path: path, Kind: cinct.Occurrences, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	e.cache.put(key, hits)
-	return hits, nil
+	defer r.Close()
+	var out []cinct.Match
+	for h, herr := range r.All() {
+		if herr != nil {
+			return nil, herr
+		}
+		out = append(out, h.Match)
+	}
+	return out, nil
 }
 
 // FindTrajectories returns up to limit distinct trajectory IDs
-// containing path, ascending. The returned slice may be shared with
-// the cache: callers must not modify it.
+// containing path, ascending. FindTrajectories is the legacy form of
+// Search with Kind Trajectories.
 func (e *Engine) FindTrajectories(ctx context.Context, name string, path []uint32, limit int) ([]int, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	v, err := e.cat.view(name)
-	if err != nil {
-		return nil, err
-	}
 	if limit < 0 {
 		limit = 0
 	}
-	key := cacheKey("findtraj", v.name, v.gen, path, int64(limit))
-	if val, ok := e.cache.get(key); ok {
-		return val.([]int), nil
-	}
-	if err := e.acquire(ctx); err != nil {
-		return nil, err
-	}
-	defer e.release()
-	ids, err := v.index().FindTrajectories(path, limit)
+	r, err := e.Search(ctx, name, cinct.Query{Path: path, Kind: cinct.Trajectories, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
-	e.cache.put(key, ids)
+	defer r.Close()
+	ids := make([]int, 0)
+	for h, herr := range r.All() {
+		if herr != nil {
+			return nil, herr
+		}
+		ids = append(ids, h.Trajectory)
+	}
 	return ids, nil
 }
 
@@ -354,18 +575,6 @@ func (e *Engine) SubPath(ctx context.Context, name string, id, from, to int) ([]
 	return sub, nil
 }
 
-// temporalView resolves name to a snapshot carrying a temporal index.
-func (e *Engine) temporalView(name string) (view, error) {
-	v, err := e.cat.view(name)
-	if err != nil {
-		return view{}, err
-	}
-	if v.temp == nil {
-		return view{}, fmt.Errorf("%w: %q", ErrNotTemporal, name)
-	}
-	return v, nil
-}
-
 // recoverQuery converts a panic escaping a library query into a typed
 // error, so corrupt in-memory state degrades a single request instead
 // of crashing the serving process — the same panic-to-error contract
@@ -377,66 +586,41 @@ func recoverQuery(err *error) {
 }
 
 // FindInInterval runs a strict path query (path traveled with entry
-// time in [from, to]) against a temporal index. Results are served
-// from the LRU cache when the index generation matches, exactly like
-// the spatial query ops. The returned slice may be shared with the
-// cache: callers must not modify it.
+// time in [from, to]) against a temporal index. FindInInterval is the
+// legacy form of Search with an Interval and Kind Occurrences.
 func (e *Engine) FindInInterval(ctx context.Context, name string, path []uint32, from, to int64, limit int) ([]cinct.TemporalMatch, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	v, err := e.temporalView(name)
-	if err != nil {
-		return nil, err
-	}
 	if limit < 0 {
 		limit = 0
 	}
-	key := cacheKey("tfind", v.name, v.gen, path, from, to, int64(limit))
-	if val, ok := e.cache.get(key); ok {
-		return val.([]cinct.TemporalMatch), nil
+	q := cinct.Query{
+		Path:     path,
+		Interval: &cinct.Interval{From: from, To: to},
+		Kind:     cinct.Occurrences,
+		Limit:    limit,
 	}
-	if err := e.acquire(ctx); err != nil {
-		return nil, err
-	}
-	defer e.release()
-	hits, err := func() (hits []cinct.TemporalMatch, err error) {
-		defer recoverQuery(&err)
-		return v.temp.FindInInterval(path, from, to, limit)
-	}()
+	r, err := e.Search(ctx, name, q)
 	if err != nil {
 		return nil, err
 	}
-	e.cache.put(key, hits)
-	return hits, nil
+	defer r.Close()
+	var out []cinct.TemporalMatch
+	for h, herr := range r.All() {
+		if herr != nil {
+			return nil, herr
+		}
+		out = append(out, cinct.TemporalMatch{Match: h.Match, EnteredAt: h.EnteredAt})
+	}
+	return out, nil
 }
 
 // CountInInterval counts strict-path-query matches (path traveled with
-// entry time in [from, to]) against a temporal index, served from the
-// LRU cache when the index generation matches.
+// entry time in [from, to]) against a temporal index. CountInInterval
+// is the legacy form of Search with an Interval and Kind CountOnly.
 func (e *Engine) CountInInterval(ctx context.Context, name string, path []uint32, from, to int64) (int, error) {
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	v, err := e.temporalView(name)
+	q := cinct.Query{Path: path, Interval: &cinct.Interval{From: from, To: to}, Kind: cinct.CountOnly}
+	r, err := e.Search(ctx, name, q)
 	if err != nil {
 		return 0, err
 	}
-	key := cacheKey("tcount", v.name, v.gen, path, from, to)
-	if val, ok := e.cache.get(key); ok {
-		return val.(int), nil
-	}
-	if err := e.acquire(ctx); err != nil {
-		return 0, err
-	}
-	defer e.release()
-	n, err := func() (n int, err error) {
-		defer recoverQuery(&err)
-		return v.temp.CountInInterval(path, from, to)
-	}()
-	if err != nil {
-		return 0, err
-	}
-	e.cache.put(key, n)
-	return n, nil
+	return r.Count()
 }

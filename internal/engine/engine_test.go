@@ -336,18 +336,46 @@ func TestEngineTemporalCacheAndReload(t *testing.T) {
 
 func cacheCounters(e *Engine) (hits, misses uint64, entries int) { return e.CacheStats() }
 
-// TestCacheKeyInt64NoCollision pins the key layout: interval bounds
-// and limits occupy distinct delimited fields, so neighboring int64
-// arguments can never merge into the same key.
-func TestCacheKeyInt64NoCollision(t *testing.T) {
-	path := []uint32{1, 2}
-	a := cacheKey("tfind", "ix", 1, path, 1, 23, 0)
-	b := cacheKey("tfind", "ix", 1, path, 12, 3, 0)
-	if a == b {
-		t.Fatalf("colliding cache keys: %q", a)
+// TestSearchKeyNoCollision pins the cache-key contract: keys hash the
+// query's canonical binary encoding, in which every field occupies a
+// self-delimiting slot — so neighboring numeric fields can never merge
+// into the same key, and any semantic difference (interval bounds,
+// sign, limit, kind, cursor) yields a distinct key.
+func TestSearchKeyNoCollision(t *testing.T) {
+	mk := func(q cinct.Query) string {
+		enc, err := q.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary(%+v): %v", q, err)
+		}
+		return searchKey("ix", 1, enc)
 	}
-	if x, y := cacheKey("tfind", "ix", 1, path, -1, 1, 0), cacheKey("tfind", "ix", 1, path, 1, -1, 0); x == y {
-		t.Fatalf("sign-colliding cache keys: %q", x)
+	path := []uint32{1, 2}
+	pairs := [][2]cinct.Query{
+		{
+			{Path: path, Interval: &cinct.Interval{From: 1, To: 23}},
+			{Path: path, Interval: &cinct.Interval{From: 12, To: 3}},
+		},
+		{
+			{Path: path, Interval: &cinct.Interval{From: -1, To: 1}},
+			{Path: path, Interval: &cinct.Interval{From: 1, To: -1}},
+		},
+		{
+			{Path: path, Kind: cinct.Occurrences, Limit: 12},
+			{Path: path, Kind: cinct.Occurrences, Limit: 1},
+		},
+		{
+			{Path: path, Kind: cinct.Occurrences},
+			{Path: path, Kind: cinct.Trajectories},
+		},
+		{
+			{Path: []uint32{1, 2, 3}},
+			{Path: []uint32{12, 3}},
+		},
+	}
+	for i, p := range pairs {
+		if a, b := mk(p[0]), mk(p[1]); a == b {
+			t.Errorf("pair %d: colliding cache keys %q", i, a)
+		}
 	}
 }
 
@@ -424,7 +452,7 @@ func TestEngineConcurrentSoak(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < iters; i++ {
 				path := queries[rng.Intn(len(queries))]
-				switch i % 3 {
+				switch i % 4 {
 				case 0:
 					got, err := cached.Count(ctx, "soak", path)
 					if err != nil {
@@ -468,6 +496,41 @@ func TestEngineConcurrentSoak(t *testing.T) {
 					want := trajs[id][from:to]
 					if !reflect.DeepEqual(got, want) {
 						t.Errorf("soak SubPath(%d, %d, %d) = %v, want %v", id, from, to, got, want)
+						return
+					}
+				case 3:
+					// Streaming Search under reload churn: drain a bounded
+					// page from the cached engine (live or replayed,
+					// depending on what the generation bumps left behind)
+					// and compare to the uncached engine.
+					q := cinct.Query{Path: path, Kind: cinct.Occurrences, Limit: 1 + rng.Intn(4)}
+					collect := func(e *Engine) ([]cinct.Hit, error) {
+						r, err := e.Search(ctx, "soak", q)
+						if err != nil {
+							return nil, err
+						}
+						defer r.Close()
+						var hits []cinct.Hit
+						for h, herr := range r.All() {
+							if herr != nil {
+								return nil, herr
+							}
+							hits = append(hits, h)
+						}
+						return hits, nil
+					}
+					got, err := collect(cached)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want, err := collect(uncached)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("soak Search(%v, %d) = %v, want %v", q.Path, q.Limit, got, want)
 						return
 					}
 				}

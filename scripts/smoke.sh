@@ -84,6 +84,75 @@ scount=$(curl -sf "$base/v1/tsmoke/count?path=$path" | jq .count)
 }
 echo "ok temporal/count == spatial count"
 
+echo "== unified streaming query endpoint"
+# qpost INDEX JSON-BODY — POST to the NDJSON query endpoint.
+qpost() {
+  curl -sf -X POST -H 'Content-Type: application/json' -d "$2" "$base/v1/$1/query"
+}
+jpath="[${path//,/, }]"
+
+# Count kind must agree with the legacy count endpoint.
+qcount=$(qpost smoke "{\"path\":$jpath,\"kind\":\"count\"}" | jq -r 'select(.done == true).count')
+legacy=$(curl -sf "$base/v1/smoke/count?path=$path" | jq .count)
+[ "$qcount" = "$legacy" ] || {
+  echo "smoke: query kind=count ($qcount) != legacy count ($legacy)" >&2; exit 1
+}
+echo "ok query kind=count == legacy count"
+
+# Trajectories kind (FindTrajectories had no endpoint before this one):
+# every record is a distinct id with offset -1, and there is at least one.
+traj_stream=$(qpost smoke "{\"path\":$jpath,\"kind\":\"trajectories\"}")
+ntraj=$(echo "$traj_stream" | jq -s '[.[] | select(has("done") | not)] | length')
+[ "$ntraj" -ge 1 ] || { echo "smoke: query kind=trajectories returned no hits" >&2; exit 1; }
+echo "$traj_stream" | jq -e -s '[.[] | select(has("done") | not) | .offset] | all(. == -1)' >/dev/null \
+  || { echo "smoke: trajectories stream has non -1 offsets" >&2; exit 1; }
+echo "ok query kind=trajectories ($ntraj ids)"
+
+# Cursor pagination: pages of 2 followed via the summary cursor must
+# concatenate to exactly the unpaged stream.
+unpaged_file="$workdir/unpaged.ndjson"
+paged_file="$workdir/paged.ndjson"
+qpost smoke "{\"path\":$jpath}" | jq -c 'select(has("done") | not)' > "$unpaged_file"
+: > "$paged_file"
+cursor=""
+pages=0
+while :; do
+  if [ -n "$cursor" ]; then
+    body="{\"path\":$jpath,\"limit\":2,\"cursor\":\"$cursor\"}"
+  else
+    body="{\"path\":$jpath,\"limit\":2}"
+  fi
+  page=$(qpost smoke "$body")
+  echo "$page" | jq -c 'select(has("done") | not)' >> "$paged_file"
+  echo "$page" | jq -e 'select(.done == true)' >/dev/null \
+    || { echo "smoke: query page missing summary record" >&2; exit 1; }
+  cursor=$(echo "$page" | jq -r 'select(.done == true).cursor // empty')
+  pages=$((pages + 1))
+  [ -z "$cursor" ] && break
+  [ "$pages" -gt 200 ] && { echo "smoke: cursor chain does not terminate" >&2; exit 1; }
+done
+cmp -s "$unpaged_file" "$paged_file" || {
+  echo "smoke: concatenated cursor pages differ from unpaged stream" >&2
+  diff "$unpaged_file" "$paged_file" >&2 || true
+  exit 1
+}
+[ "$pages" -ge 2 ] || { echo "smoke: pagination made only $pages page(s); cursor untested" >&2; exit 1; }
+echo "ok query cursor pagination ($pages pages == unpaged)"
+
+# Temporal query through the unified endpoint: all-time interval count
+# must equal the spatial count.
+tq=$(qpost tsmoke "{\"path\":$jpath,\"kind\":\"count\",\"from\":0}" | jq -r 'select(.done == true).count')
+[ "$tq" = "$scount" ] || {
+  echo "smoke: temporal query count ($tq) != spatial count ($scount)" >&2; exit 1
+}
+echo "ok temporal query kind=count == spatial count"
+
+# Limit rule: a negative limit is a 400 at the HTTP layer.
+status=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+  -d "{\"path\":$jpath,\"limit\":-1}" "$base/v1/smoke/query")
+[ "$status" = 400 ] || { echo "smoke: negative limit returned $status, want 400" >&2; exit 1; }
+echo "ok 400 on negative limit"
+
 status=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/nosuch/count?path=1")
 [ "$status" = 404 ] || { echo "smoke: unknown index returned $status, want 404" >&2; exit 1; }
 echo "ok 404 on unknown index"
@@ -93,13 +162,18 @@ gen=$(curl -sf -X POST "$base/v1/smoke/reload" | jq -e .generation)
 echo "ok POST /v1/smoke/reload"
 
 echo "== CLI -remote round-trip"
-"$bindir/cinct" count -remote "$base" -name smoke -path "${path//,/ }" | grep -q 'occurrences' \
+# grep without -q consumes the whole stream: with pipefail, a -q grep
+# that exits at the first match SIGPIPEs the CLI's later lines (e.g.
+# find's trailing "next: -cursor ..." hint) and fails the pipeline.
+"$bindir/cinct" count -remote "$base" -name smoke -path "${path//,/ }" | grep 'occurrences' >/dev/null \
   || { echo "smoke: remote count failed" >&2; exit 1; }
-"$bindir/cinct" find -remote "$base" -name smoke -path "${path//,/ }" -limit 3 | grep -q 'match(es)' \
+"$bindir/cinct" find -remote "$base" -name smoke -path "${path//,/ }" -limit 3 | grep 'match(es)' >/dev/null \
   || { echo "smoke: remote find failed" >&2; exit 1; }
-"$bindir/cinct" find-interval -remote "$base" -name tsmoke -path "${path//,/ }" -limit 3 | grep -q 'match(es)' \
+"$bindir/cinct" find-traj -remote "$base" -name smoke -path "${path//,/ }" -limit 3 | grep 'trajectorie(s)' >/dev/null \
+  || { echo "smoke: remote find-traj failed" >&2; exit 1; }
+"$bindir/cinct" find-interval -remote "$base" -name tsmoke -path "${path//,/ }" -limit 3 | grep 'match(es)' >/dev/null \
   || { echo "smoke: remote find-interval failed" >&2; exit 1; }
-"$bindir/cinct" count-interval -remote "$base" -name tsmoke -path "${path//,/ }" | grep -q 'occurrences in' \
+"$bindir/cinct" count-interval -remote "$base" -name tsmoke -path "${path//,/ }" | grep 'occurrences in' >/dev/null \
   || { echo "smoke: remote count-interval failed" >&2; exit 1; }
 "$bindir/cinct" verify -remote "$base" -name smoke -in "$workdir/corpus.txt" -samples 40 \
   || { echo "smoke: remote verify failed" >&2; exit 1; }

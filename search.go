@@ -1,0 +1,589 @@
+package cinct
+
+import (
+	"context"
+	"iter"
+	"sync"
+
+	"cinct/internal/tempo"
+)
+
+// Hit is one streamed Search result. For Occurrences queries it is an
+// occurrence — Match plus, when the query carried an Interval, the
+// entry time of the path's first edge. For Trajectories queries,
+// Trajectory identifies the distinct trajectory, Offset is -1, and
+// EnteredAt (interval queries only) is the entry time of the first
+// occurrence that satisfied the interval.
+type Hit struct {
+	Match
+	// EnteredAt is meaningful only when the Query had an Interval.
+	EnteredAt int64
+}
+
+// Results is the handle returned by Search: a lazy, single-pass view
+// over the result stream. All yields hits in canonical (Trajectory,
+// Offset) order, decoding timestamps and deduplicating on demand —
+// breaking out of the loop stops that work immediately. Iteration may
+// be resumed by ranging over All again; Count drains whatever remains.
+// A Results is not safe for concurrent use.
+type Results struct {
+	q      Query
+	count  int // CountOnly answer
+	merged *mergeIter
+
+	n         int // hits yielded so far
+	last      Hit
+	hasLast   bool
+	exhausted bool
+	err       error
+}
+
+// All returns the hit stream. The first ranged loop starts it;
+// breaking out pauses it (the underlying shard iterators keep their
+// position, and a later range resumes), and iteration ends for good
+// when the stream is exhausted or Limit hits have been yielded. A
+// context cancellation or decoding error is yielded once as the final
+// element's error.
+func (r *Results) All() iter.Seq2[Hit, error] {
+	return func(yield func(Hit, error) bool) {
+		if r.merged == nil || r.exhausted {
+			return
+		}
+		if r.err != nil {
+			yield(Hit{}, r.err)
+			return
+		}
+		for {
+			if r.q.Limit > 0 && r.n >= r.q.Limit {
+				return
+			}
+			h, ok, err := r.merged.next()
+			if err != nil {
+				r.err = err
+				yield(Hit{}, err)
+				return
+			}
+			if !ok {
+				r.exhausted = true
+				return
+			}
+			r.n++
+			r.last, r.hasLast = h, true
+			if !yield(h, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the query's count. For CountOnly queries it is the
+// full occurrence count, computed eagerly by Search. For other kinds
+// it drains any hits not yet consumed through All and returns the
+// total number of hits yielded (bounded by Limit).
+func (r *Results) Count() (int, error) {
+	if r.merged == nil {
+		return r.count, r.err
+	}
+	for _, err := range r.All() {
+		if err != nil {
+			return r.n, err
+		}
+	}
+	return r.n, nil
+}
+
+// Cursor returns the opaque token that resumes the query just past the
+// last hit yielded so far: pass it as Query.Cursor (same path,
+// interval and kind; any Limit) to receive the exact suffix of the
+// stream. It returns "" when the stream is known exhausted or nothing
+// has been yielded yet. A page that stopped exactly at the last hit
+// returns a valid cursor whose next page is empty.
+func (r *Results) Cursor() string {
+	if r.exhausted || !r.hasLast {
+		return ""
+	}
+	return r.q.CursorAfter(r.last)
+}
+
+// compiled is the resolved execution form of a Query.
+type compiled struct {
+	path        []uint32
+	kind        Kind
+	hasInterval bool
+	from, to    int64
+	limit       int
+	hasAfter    bool
+	afterT      int // cursor resume position, global coordinates
+	afterO      int
+}
+
+func compile(q Query) (compiled, error) {
+	if err := q.validate(); err != nil {
+		return compiled{}, err
+	}
+	c := compiled{path: q.Path, kind: q.Kind, limit: q.Limit}
+	if q.Interval != nil {
+		c.hasInterval = true
+		c.from, c.to = q.Interval.From, q.Interval.To
+	}
+	if q.Kind != CountOnly {
+		var err error
+		c.afterT, c.afterO, c.hasAfter, err = q.decodeCursor()
+		if err != nil {
+			return compiled{}, err
+		}
+	}
+	return c, nil
+}
+
+// Search executes a Query against the index, monolithic or sharded.
+// CountOnly queries are answered eagerly; Occurrences and Trajectories
+// queries locate and canonically order the candidate set per shard (in
+// parallel), then stream hits lazily through Results — timestamp
+// decoding, interval filtering and deduplication happen on pull, so a
+// small Limit or an abandoned iteration does proportionally less work.
+// Interval queries require a TemporalIndex (use TemporalIndex.Search);
+// on a plain Index they fail with ErrNoTimestamps.
+func (ix *Index) Search(ctx context.Context, q Query) (*Results, error) {
+	if q.Interval != nil {
+		return nil, ErrNoTimestamps
+	}
+	return search(ctx, q, ix, nil)
+}
+
+// Search executes a Query against the temporal index; unlike
+// Index.Search it accepts interval-constrained queries, pruning
+// candidates against per-trajectory (min, max) summaries before any
+// timestamp decode and probing timestamps lazily during iteration.
+func (t *TemporalIndex) Search(ctx context.Context, q Query) (*Results, error) {
+	return search(ctx, q, t.Index, t)
+}
+
+func search(ctx context.Context, q Query, ix *Index, t *TemporalIndex) (*Results, error) {
+	c, err := compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	units := assembleUnits(ix, t)
+	if c.kind == CountOnly {
+		n, err := countUnits(ctx, c, units)
+		if err != nil {
+			return nil, err
+		}
+		return &Results{q: q, count: n, exhausted: true}, nil
+	}
+	if !ix.hasLoc {
+		return nil, ErrNoLocate
+	}
+	runUnits(units, func(_ int, u *unitCursor) { u.err = u.collect(ctx, c) })
+	for _, u := range units {
+		if u.err != nil {
+			return nil, u.err
+		}
+	}
+	shared := &searchShared{ctx: ctx, c: c}
+	m := &mergeIter{shared: shared}
+	for _, u := range units {
+		u.lastTraj = -1
+		u.advance(shared)
+		if u.err != nil {
+			return nil, u.err
+		}
+		if u.hasHead {
+			m.units = append(m.units, u)
+		}
+	}
+	m.init()
+	return &Results{q: q, merged: m}, nil
+}
+
+// unitCursor is one shard's contribution to a Search: an index over a
+// contiguous global-ID range, its timestamp store (when temporal), the
+// canonically sorted candidate set produced by collect, and the lazy
+// iteration state advanced during the merge.
+type unitCursor struct {
+	ix   *Index // monolithic shard index
+	base int    // global ID of the unit's first trajectory
+	n    int    // trajectories in the unit
+	// ts is the timestamp store probed for interval queries; nil for
+	// purely spatial searches. tsGlobal marks the legacy layout where a
+	// single corpus-wide store is shared by all units and probed with
+	// global IDs instead of shard-local ones.
+	ts       *tempo.Store
+	tsGlobal bool
+
+	cands []Match // shard-local, canonically sorted
+	pos   int
+
+	lastTraj int // last yielded trajectory (global), for dedupe; -1 none
+	head     Hit
+	hasHead  bool
+	err      error
+}
+
+// probeID returns the trajectory ID in the coordinate space of the
+// unit's timestamp store.
+func (u *unitCursor) probeID(local int) int {
+	if u.tsGlobal {
+		return local + u.base
+	}
+	return local
+}
+
+// assembleUnits flattens an index (and its optional temporal stores)
+// into per-shard search units. Build only produces store layouts
+// aligned with the spatial shards; the one legacy layout — a sharded
+// spatial index with a single corpus-wide store — is handled by
+// marking the shared store global.
+func assembleUnits(ix *Index, t *TemporalIndex) []*unitCursor {
+	if si := ix.sharded; si != nil {
+		units := make([]*unitCursor, len(si.shards))
+		for s, shard := range si.shards {
+			units[s] = &unitCursor{ix: shard, base: si.bounds[s], n: si.bounds[s+1] - si.bounds[s]}
+			if t != nil {
+				if t.aligned() {
+					units[s].ts = t.stores[s]
+				} else {
+					units[s].ts, units[s].tsGlobal = t.stores[0], true
+				}
+			}
+		}
+		return units
+	}
+	u := &unitCursor{ix: ix, base: 0, n: ix.corpus.NumTrajectories()}
+	if t != nil {
+		u.ts = t.stores[0]
+	}
+	return []*unitCursor{u}
+}
+
+// runUnits executes fn once per unit, in parallel when there is more
+// than one (mirroring the sharded fan-out).
+func runUnits(units []*unitCursor, fn func(i int, u *unitCursor)) {
+	if len(units) == 1 {
+		fn(0, units[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(units))
+	for i, u := range units {
+		go func(i int, u *unitCursor) {
+			defer wg.Done()
+			fn(i, u)
+		}(i, u)
+	}
+	wg.Wait()
+}
+
+// countUnits answers a CountOnly query: a parallel per-unit count —
+// the O(|path|) backward search when there is no interval, otherwise a
+// locate-prune-probe scan per unit.
+func countUnits(ctx context.Context, c compiled, units []*unitCursor) (int, error) {
+	counts := make([]int, len(units))
+	errs := make([]error, len(units))
+	runUnits(units, func(i int, u *unitCursor) {
+		if !c.hasInterval {
+			counts[i] = u.ix.countOne(c.path)
+			return
+		}
+		n := 0
+		errs[i] = u.ix.locateOccurrences(ctx, c.path, func(doc, offset int) {
+			id := u.probeID(doc)
+			if lo, hi := u.ts.MinMax(id); hi < c.from || lo > c.to {
+				return
+			}
+			if at := u.ts.At(id, offset); at >= c.from && at <= c.to {
+				n++
+			}
+		})
+		counts[i] = n
+	})
+	total := 0
+	for i := range units {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// collect runs the locate phase for one unit: enumerate the suffix
+// range (checking ctx periodically), skip candidates at or before the
+// resume cursor, prune against timestamp summaries when an interval is
+// present, bound the working set to the smallest `limit` candidates
+// when no interval filtering can reject them later, and sort the
+// survivors canonically. The result is the unit's lazily consumed
+// candidate stream.
+func (u *unitCursor) collect(ctx context.Context, c compiled) error {
+	if c.hasAfter {
+		// Units wholly at or before the cursor position contribute
+		// nothing; skip their locate scan entirely.
+		if c.kind == Trajectories && u.base+u.n-1 <= c.afterT {
+			return nil
+		}
+		if c.kind == Occurrences && u.base+u.n-1 < c.afterT {
+			return nil
+		}
+	}
+	switch {
+	case c.kind == Trajectories && !c.hasInterval:
+		return u.collectDistinct(ctx, c)
+	case c.limit > 0 && !c.hasInterval:
+		return u.collectBounded(ctx, c)
+	}
+	return u.collectAll(ctx, c)
+}
+
+// skipByCursor reports whether a shard-local candidate falls at or
+// before the resume position.
+func (u *unitCursor) skipByCursor(c compiled, doc, offset int) bool {
+	if !c.hasAfter {
+		return false
+	}
+	g := doc + u.base
+	if c.kind == Trajectories {
+		return g <= c.afterT
+	}
+	return g < c.afterT || (g == c.afterT && offset <= c.afterO)
+}
+
+// collectAll gathers every candidate (summary-pruned when temporal)
+// and sorts canonically — the path taken when interval filtering may
+// reject candidates later, so the working set cannot be bounded by the
+// limit up front.
+func (u *unitCursor) collectAll(ctx context.Context, c compiled) error {
+	err := u.ix.locateOccurrences(ctx, c.path, func(doc, offset int) {
+		if u.skipByCursor(c, doc, offset) {
+			return
+		}
+		if c.hasInterval {
+			if lo, hi := u.ts.MinMax(u.probeID(doc)); hi < c.from || lo > c.to {
+				return
+			}
+		}
+		u.cands = append(u.cands, Match{Trajectory: doc, Offset: offset})
+	})
+	if err != nil {
+		return err
+	}
+	sortMatches(u.cands)
+	return nil
+}
+
+// collectBounded keeps only the canonically smallest `limit`
+// occurrences in a bounded max-heap — O(limit) memory regardless of
+// how many occurrences the suffix range holds. Valid only when every
+// candidate is a definite hit (no interval filter).
+func (u *unitCursor) collectBounded(ctx context.Context, c compiled) error {
+	h := matchHeap{}
+	err := u.ix.locateOccurrences(ctx, c.path, func(doc, offset int) {
+		if u.skipByCursor(c, doc, offset) {
+			return
+		}
+		m := Match{Trajectory: doc, Offset: offset}
+		if len(h) < c.limit {
+			h.push(m)
+			return
+		}
+		if matchLess(m, h[0]) {
+			h[0] = m
+			h.siftDown(0)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	u.cands = []Match(h)
+	sortMatches(u.cands)
+	return nil
+}
+
+// collectDistinct gathers distinct trajectory IDs for a Trajectories
+// query with no interval — bounded to the smallest `limit` distinct
+// IDs when a limit is set. IDs ride the shared matchHeap as
+// Match{Trajectory, -1} candidates (matchLess on distinct IDs orders
+// purely by trajectory), so the bounded-distinct path cannot drift
+// from the canonical order.
+func (u *unitCursor) collectDistinct(ctx context.Context, c compiled) error {
+	seen := make(map[int]struct{})
+	h := matchHeap{}
+	err := u.ix.locateOccurrences(ctx, c.path, func(doc, offset int) {
+		if u.skipByCursor(c, doc, offset) {
+			return
+		}
+		if _, dup := seen[doc]; dup {
+			return
+		}
+		m := Match{Trajectory: doc, Offset: -1}
+		if c.limit <= 0 || len(h) < c.limit {
+			seen[doc] = struct{}{}
+			h.push(m)
+			return
+		}
+		if doc < h[0].Trajectory {
+			delete(seen, h[0].Trajectory)
+			seen[doc] = struct{}{}
+			h[0] = m
+			h.siftDown(0)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	u.cands = []Match(h)
+	sortMatches(u.cands)
+	return nil
+}
+
+// searchShared is the per-search state every unit's advance consults.
+type searchShared struct {
+	ctx context.Context
+	c   compiled
+}
+
+// advance moves the unit to its next qualifying hit: the pull step
+// where interval filtering (one checkpointed timestamp probe per
+// candidate) and trajectory deduplication happen. It stops on context
+// cancellation, so an abandoned or cancelled iteration performs no
+// further decodes.
+func (u *unitCursor) advance(s *searchShared) {
+	c := s.c
+	for u.pos < len(u.cands) {
+		if err := s.ctx.Err(); err != nil {
+			u.err = err
+			u.hasHead = false
+			return
+		}
+		m := u.cands[u.pos]
+		u.pos++
+		global := m.Trajectory + u.base
+		if c.kind == Trajectories && global == u.lastTraj {
+			continue
+		}
+		h := Hit{Match: Match{Trajectory: global, Offset: m.Offset}}
+		if c.hasInterval {
+			at := u.ts.At(u.probeID(m.Trajectory), m.Offset)
+			if at < c.from || at > c.to {
+				continue
+			}
+			h.EnteredAt = at
+		}
+		if c.kind == Trajectories {
+			u.lastTraj = global
+			h.Offset = -1
+		}
+		u.head, u.hasHead = h, true
+		return
+	}
+	u.hasHead = false
+}
+
+// mergeIter is the canonical-order streaming k-way merge over per-unit
+// candidate streams: a binary min-heap of units keyed by their current
+// head hit. Shards own contiguous ID ranges, so the heap degenerates
+// to concatenation under today's layout — but correctness does not
+// hinge on that invariant.
+type mergeIter struct {
+	units  []*unitCursor // min-heap by head (Trajectory, Offset)
+	shared *searchShared
+}
+
+func (m *mergeIter) init() {
+	for i := len(m.units)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+func (m *mergeIter) less(i, j int) bool {
+	return matchLess(m.units[i].head.Match, m.units[j].head.Match)
+}
+
+func (m *mergeIter) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(m.units) && m.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(m.units) && m.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.units[i], m.units[smallest] = m.units[smallest], m.units[i]
+		i = smallest
+	}
+}
+
+// next pops the globally smallest head, advances its unit, and
+// restores the heap.
+func (m *mergeIter) next() (Hit, bool, error) {
+	if len(m.units) == 0 {
+		return Hit{}, false, nil
+	}
+	u := m.units[0]
+	h := u.head
+	u.advance(m.shared)
+	if u.err != nil {
+		return Hit{}, false, u.err
+	}
+	if !u.hasHead {
+		last := len(m.units) - 1
+		m.units[0] = m.units[last]
+		m.units = m.units[:last]
+	}
+	if len(m.units) > 0 {
+		m.siftDown(0)
+	}
+	return h, true, nil
+}
+
+// matchLess is the one canonical (Trajectory, Offset) comparison: the
+// per-shard sort, the bounded heaps, and the k-way merge all order
+// through it, so they cannot disagree.
+func matchLess(a, b Match) bool {
+	if a.Trajectory != b.Trajectory {
+		return a.Trajectory < b.Trajectory
+	}
+	return a.Offset < b.Offset
+}
+
+// matchHeap is a max-heap of matches under canonical order, used to
+// keep the smallest `limit` candidates in O(limit) memory.
+type matchHeap []Match
+
+func (h *matchHeap) push(m Match) {
+	*h = append(*h, m)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !matchLess((*h)[p], (*h)[i]) {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h matchHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h) && matchLess(h[largest], h[l]) {
+			largest = l
+		}
+		if r < len(h) && matchLess(h[largest], h[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}

@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/json"
+	"math"
 
 	"cinct"
 	"cinct/internal/engine"
@@ -78,6 +79,73 @@ type TemporalCountResponse struct {
 	From  int64    `json:"from"`
 	To    int64    `json:"to"`
 	Count int      `json:"count"`
+}
+
+// QueryRequest is the body of POST /v1/{index}/query — the wire form
+// of cinct.Query. Kind is spelled "occurrences" (the default),
+// "trajectories" or "count". From/To, when either is present, form the
+// closed interval constraint; a missing bound defaults to the widest
+// value, mirroring the legacy temporal endpoints.
+type QueryRequest struct {
+	Path   []uint32 `json:"path"`
+	Kind   string   `json:"kind,omitempty"`
+	From   *int64   `json:"from,omitempty"`
+	To     *int64   `json:"to,omitempty"`
+	Limit  int      `json:"limit,omitempty"`
+	Cursor string   `json:"cursor,omitempty"`
+}
+
+// Query converts the wire form to the library descriptor.
+func (qr QueryRequest) Query() (cinct.Query, error) {
+	kind, err := cinct.KindFromString(qr.Kind)
+	if err != nil {
+		return cinct.Query{}, err
+	}
+	q := cinct.Query{Path: qr.Path, Kind: kind, Limit: qr.Limit, Cursor: qr.Cursor}
+	if qr.From != nil || qr.To != nil {
+		iv := &cinct.Interval{From: math.MinInt64, To: math.MaxInt64}
+		if qr.From != nil {
+			iv.From = *qr.From
+		}
+		if qr.To != nil {
+			iv.To = *qr.To
+		}
+		q.Interval = iv
+	}
+	return q, nil
+}
+
+// WireQuery converts a library descriptor to the wire form (what
+// Client.Search posts).
+func WireQuery(q cinct.Query) QueryRequest {
+	qr := QueryRequest{Path: q.Path, Kind: q.Kind.String(), Limit: q.Limit, Cursor: q.Cursor}
+	if q.Interval != nil {
+		from, to := q.Interval.From, q.Interval.To
+		qr.From, qr.To = &from, &to
+	}
+	return qr
+}
+
+// QueryHit is one hit record in the NDJSON stream of POST
+// /v1/{index}/query. For trajectories-kind queries Offset is -1.
+// EnteredAt is present only for interval-constrained queries.
+type QueryHit struct {
+	Trajectory int    `json:"trajectory"`
+	Offset     int    `json:"offset"`
+	EnteredAt  *int64 `json:"enteredAt,omitempty"`
+}
+
+// QuerySummary is the final NDJSON record of POST /v1/{index}/query:
+// done marks a complete stream, count is the hit count (or the full
+// occurrence count for count-kind queries), cursor — when present —
+// resumes the query past the last streamed hit, and error carries a
+// mid-stream failure (in which case done is false and the earlier
+// records form a valid prefix of the result).
+type QuerySummary struct {
+	Done   bool   `json:"done"`
+	Count  int    `json:"count"`
+	Cursor string `json:"cursor,omitempty"`
+	Error  string `json:"error,omitempty"`
 }
 
 // ReloadResponse is the body of POST /v1/{index}/reload.

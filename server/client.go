@@ -1,10 +1,13 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -14,12 +17,19 @@ import (
 	"cinct/internal/engine"
 )
 
+// DefaultPageSize is the page length Client.Search requests per POST
+// when the caller did not bound the query (Limit 0) or set PageSize.
+const DefaultPageSize = 1000
+
 // Client speaks the cinctd wire protocol; it is what cmd/cinct's
 // -remote mode uses, and its method set deliberately mirrors
 // engine.Engine so a CLI command can target either transparently.
 type Client struct {
 	base string
 	hc   *http.Client
+	// PageSize bounds each page Client.Search fetches while draining an
+	// unbounded query; 0 means DefaultPageSize. Set before first use.
+	PageSize int
 }
 
 // NewClient targets a daemon at base (e.g. "http://localhost:8132").
@@ -171,6 +181,139 @@ func (c *Client) CountInInterval(ctx context.Context, index string, path []uint3
 		return 0, err
 	}
 	return resp.Count, nil
+}
+
+// QueryPage is one decoded page of POST /v1/{index}/query: the hits in
+// canonical order, the count reported by the summary record, and the
+// resume cursor ("" when the server exhausted the stream).
+type QueryPage struct {
+	Hits   []cinct.Hit
+	Count  int
+	Cursor string
+}
+
+// queryLine is the union shape of an NDJSON stream record: a summary
+// line carries done/count/cursor/error, a hit line carries
+// trajectory/offset/enteredAt. The pointer fields disambiguate.
+type queryLine struct {
+	Trajectory *int   `json:"trajectory"`
+	Offset     *int   `json:"offset"`
+	EnteredAt  *int64 `json:"enteredAt"`
+	Done       *bool  `json:"done"`
+	Count      *int   `json:"count"`
+	Cursor     string `json:"cursor"`
+	Error      string `json:"error"`
+}
+
+// SearchPage executes exactly one Query page against the daemon,
+// decoding the NDJSON stream as it arrives. Most callers want Search,
+// which follows cursors transparently.
+func (c *Client) SearchPage(ctx context.Context, index string, q cinct.Query) (*QueryPage, error) {
+	body, err := json.Marshal(WireQuery(q))
+	if err != nil {
+		return nil, err
+	}
+	u := c.base + "/v1/" + url.PathEscape(index) + "/query"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var er ErrorResponse
+		if json.Unmarshal(msg, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	page := &QueryPage{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawSummary := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec queryLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("server: bad stream record: %w", err)
+		}
+		switch {
+		case rec.Done != nil || rec.Error != "":
+			if rec.Error != "" {
+				return nil, fmt.Errorf("server: %s", rec.Error)
+			}
+			if rec.Count != nil {
+				page.Count = *rec.Count
+			}
+			page.Cursor = rec.Cursor
+			sawSummary = true
+		case rec.Trajectory != nil && rec.Offset != nil:
+			h := cinct.Hit{Match: cinct.Match{Trajectory: *rec.Trajectory, Offset: *rec.Offset}}
+			if rec.EnteredAt != nil {
+				h.EnteredAt = *rec.EnteredAt
+			}
+			page.Hits = append(page.Hits, h)
+		default:
+			return nil, fmt.Errorf("server: unrecognized stream record %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawSummary {
+		return nil, fmt.Errorf("server: truncated query stream (no summary record)")
+	}
+	return page, nil
+}
+
+// Search executes a Query against the daemon and returns a lazy hit
+// iterator that pages transparently: it fetches cursor-linked pages of
+// at most PageSize hits until the stream is exhausted or Limit hits
+// have been yielded, so iterating an unbounded query never holds more
+// than one page in memory. For CountOnly queries the iterator yields
+// nothing; use SearchPage (or Count) for the number. A transport or
+// server failure is yielded once as the final element's error.
+func (c *Client) Search(ctx context.Context, index string, q cinct.Query) iter.Seq2[cinct.Hit, error] {
+	return func(yield func(cinct.Hit, error) bool) {
+		pageSize := c.PageSize
+		if pageSize <= 0 {
+			pageSize = DefaultPageSize
+		}
+		yielded := 0
+		cursor := q.Cursor
+		for {
+			pq := q
+			pq.Cursor = cursor
+			pq.Limit = pageSize
+			if q.Limit > 0 && q.Limit-yielded < pageSize {
+				pq.Limit = q.Limit - yielded
+			}
+			page, err := c.SearchPage(ctx, index, pq)
+			if err != nil {
+				yield(cinct.Hit{}, err)
+				return
+			}
+			for _, h := range page.Hits {
+				if !yield(h, nil) {
+					return
+				}
+			}
+			yielded += len(page.Hits)
+			if q.Kind == cinct.CountOnly || page.Cursor == "" ||
+				len(page.Hits) == 0 || (q.Limit > 0 && yielded >= q.Limit) {
+				return
+			}
+			cursor = page.Cursor
+		}
+	}
 }
 
 // Reload asks the daemon to re-read one index from disk; it returns

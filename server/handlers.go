@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -60,6 +62,7 @@ type queryRouter struct {
 
 func (qr *queryRouter) Routes() []Route {
 	return []Route{
+		{Method: http.MethodPost, Pattern: "/v1/{index}/query", Handler: qr.query},
 		{Method: http.MethodGet, Pattern: "/v1/{index}/count", Handler: qr.count},
 		{Method: http.MethodGet, Pattern: "/v1/{index}/find", Handler: qr.find},
 		{Method: http.MethodGet, Pattern: "/v1/{index}/trajectory/{id}", Handler: qr.trajectory},
@@ -67,6 +70,85 @@ func (qr *queryRouter) Routes() []Route {
 		{Method: http.MethodGet, Pattern: "/v1/{index}/temporal/find", Handler: qr.temporalFind},
 		{Method: http.MethodGet, Pattern: "/v1/{index}/temporal/count", Handler: qr.temporalCount},
 	}
+}
+
+// maxQueryBody bounds the POST /v1/{index}/query request body.
+const maxQueryBody = 1 << 20
+
+// query serves the unified streaming endpoint: the body is a
+// QueryRequest, the response is NDJSON — one QueryHit per line in
+// canonical order, then one QuerySummary carrying the count and, for
+// bounded pages with more results, the opaque resume cursor. Hits are
+// written (and flushed) as the engine's iterator produces them, so a
+// large result set streams without the server materializing it beyond
+// what the cache layer retains. Errors before the first byte map to
+// normal JSON error responses; a mid-stream failure terminates the
+// stream with an error-carrying summary record.
+func (qr *queryRouter) query(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	var req QueryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxQueryBody)).Decode(&req); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	if len(req.Path) == 0 {
+		return fmt.Errorf("%w: missing or empty path", errBadRequest)
+	}
+	q, err := req.Query()
+	if err != nil {
+		return err
+	}
+	res, err := qr.eng.Search(ctx, name, q)
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	writeRecord := func(v any) error {
+		body, err := EncodeJSON(v)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	var streamErr error
+	for h, herr := range res.All() {
+		if herr != nil {
+			streamErr = herr
+			break
+		}
+		rec := QueryHit{Trajectory: h.Trajectory, Offset: h.Offset}
+		if q.Interval != nil {
+			at := h.EnteredAt
+			rec.EnteredAt = &at
+		}
+		if err := writeRecord(rec); err != nil {
+			// The client went away mid-stream; nothing left to tell it.
+			return nil
+		}
+	}
+	sum := QuerySummary{}
+	if streamErr != nil {
+		sum.Error = streamErr.Error()
+	} else {
+		n, cerr := res.Count()
+		if cerr != nil {
+			sum.Error = cerr.Error()
+		} else {
+			sum.Done = true
+			sum.Count = n
+			sum.Cursor = res.Cursor()
+		}
+	}
+	writeRecord(sum) //nolint:errcheck // stream is best-effort past this point
+	return nil
 }
 
 // temporalParams parses the shared strict-path-query parameters; a

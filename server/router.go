@@ -42,10 +42,11 @@ func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, engine.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, engine.ErrOutOfRange), errors.Is(err, errBadRequest):
+	case errors.Is(err, engine.ErrOutOfRange), errors.Is(err, errBadRequest),
+		errors.Is(err, cinct.ErrBadQuery), errors.Is(err, cinct.ErrBadCursor):
 		return http.StatusBadRequest
 	case errors.Is(err, engine.ErrNotTemporal), errors.Is(err, engine.ErrNoFile),
-		errors.Is(err, cinct.ErrNoLocate):
+		errors.Is(err, cinct.ErrNoLocate), errors.Is(err, cinct.ErrNoTimestamps):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

@@ -1,6 +1,7 @@
 package cinct
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -108,20 +109,6 @@ func (si *ShardedIndex) shardOf(g int) (shard, local int) {
 	return s, g - si.bounds[s]
 }
 
-// fanOut runs fn concurrently for every shard and waits. fn receives
-// the shard number and its index.
-func (si *ShardedIndex) fanOut(fn func(s int, ix *Index)) {
-	var wg sync.WaitGroup
-	wg.Add(len(si.shards))
-	for s, ix := range si.shards {
-		go func(s int, ix *Index) {
-			defer wg.Done()
-			fn(s, ix)
-		}(s, ix)
-	}
-	wg.Wait()
-}
-
 // NumShards returns the number of partitions.
 func (si *ShardedIndex) NumShards() int { return len(si.shards) }
 
@@ -148,85 +135,42 @@ func (si *ShardedIndex) Len() int {
 	return n
 }
 
+// facade wraps the sharded index in the Index query surface, the form
+// Search executes against. The shared streaming core (per-shard
+// candidate collection, canonical k-way heap merge) lives behind
+// Search; every ShardedIndex query method is a thin delegation.
+func (si *ShardedIndex) facade() *Index {
+	return &Index{sharded: si, hasLoc: si.hasLoc}
+}
+
+// Search executes a Query over the sharded index: per-shard candidate
+// collection runs in parallel, and hits stream through a canonical
+// (Trajectory, Offset) k-way merge under global trajectory IDs. See
+// Index.Search.
+func (si *ShardedIndex) Search(ctx context.Context, q Query) (*Results, error) {
+	return si.facade().Search(ctx, q)
+}
+
 // Count fans the count query out over all shards in parallel and sums.
 // Occurrences cannot span trajectories, so the sum equals the
 // monolithic count.
 func (si *ShardedIndex) Count(path []uint32) int {
-	counts := make([]int, len(si.shards))
-	si.fanOut(func(s int, ix *Index) { counts[s] = ix.Count(path) })
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return total
+	return si.facade().Count(path)
 }
 
-// Find fans out over shards, rewrites shard-local trajectory IDs to
-// global ones, merges into canonical (Trajectory, Offset) order, and
-// only then applies the limit — guaranteeing the first-K hits equal
-// the monolithic index's regardless of shard count or layout. With a
-// positive limit each shard still returns at most its own first limit
-// matches (a superset of its contribution to the global first limit),
-// so the merge handles at most K·limit matches — though each shard
-// still locates every occurrence in its suffix range before
-// truncating, exactly as Index.Find documents. Semantics match
-// Index.Find exactly.
+// Find returns up to limit occurrences in canonical (Trajectory,
+// Offset) order under global trajectory IDs — identical to the
+// monolithic index's answer regardless of shard count or layout.
+// Semantics match Index.Find exactly; both delegate to Search, whose
+// streaming merge applies the limit globally, never per shard.
 func (si *ShardedIndex) Find(path []uint32, limit int) ([]Match, error) {
-	if !si.hasLoc {
-		return nil, ErrNoLocate
-	}
-	parts := make([][]Match, len(si.shards))
-	errs := make([]error, len(si.shards))
-	si.fanOut(func(s int, ix *Index) {
-		parts[s], errs[s] = ix.Find(path, limit)
-	})
-	var out []Match
-	for s, part := range parts {
-		if errs[s] != nil {
-			return nil, errs[s]
-		}
-		for _, m := range part {
-			m.Trajectory += si.bounds[s]
-			out = append(out, m)
-		}
-	}
-	// The truncation must happen after the canonical merge, never
-	// per-shard: shard order happens to coincide with global order
-	// today (shards own contiguous ascending ID ranges), but the
-	// first-K guarantee must not hinge on that layout invariant.
-	sortMatches(out)
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out, nil
+	return si.facade().Find(path, limit)
 }
 
-// FindTrajectories fans out, rewrites IDs, merges into ascending
-// order, and applies the limit after the merge (same reasoning as
-// Find). Semantics match Index.FindTrajectories.
+// FindTrajectories returns up to limit distinct trajectory IDs in
+// ascending global order. Semantics match Index.FindTrajectories.
 func (si *ShardedIndex) FindTrajectories(path []uint32, limit int) ([]int, error) {
-	if !si.hasLoc {
-		return nil, ErrNoLocate
-	}
-	parts := make([][]int, len(si.shards))
-	errs := make([]error, len(si.shards))
-	si.fanOut(func(s int, ix *Index) {
-		parts[s], errs[s] = ix.FindTrajectories(path, limit)
-	})
-	out := make([]int, 0) // non-nil like Index.FindTrajectories
-	for s, part := range parts {
-		if errs[s] != nil {
-			return nil, errs[s]
-		}
-		for _, id := range part {
-			out = append(out, id+si.bounds[s])
-		}
-	}
-	sort.Ints(out)
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out, nil
+	return si.facade().FindTrajectories(path, limit)
 }
 
 // Trajectory reconstructs trajectory id (global ID) in travel order.

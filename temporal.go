@@ -3,11 +3,11 @@ package cinct
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 
 	"cinct/internal/tempo"
@@ -106,181 +106,53 @@ func (t *TemporalIndex) storeFor(id int) (*tempo.Store, int) {
 	return t.stores[0], id
 }
 
-// findInIntervalOne answers the strict path query against one
-// monolithic spatial index and its store, streaming the time filter
-// into the locate loop instead of materializing a sorted full hit set
-// first:
-//
-//  1. every located occurrence is pruned against the trajectory's
-//     (min, max) time summary before any timestamp decode, so a
-//     selective interval discards most candidates without touching the
-//     compressed blob;
-//  2. survivors are sorted canonically and only then timestamp-decoded
-//     (O(BlockSize) per probe via checkpoints), stopping as soon as
-//     limit matches are confirmed — the decode work, the dominant cost
-//     of the old path, is bounded by the limit instead of the hit
-//     count.
-//
-// Like Index.Find, every occurrence in the suffix range is still
-// located once; limit bounds the filtering, not the locate scan.
-// Results are the first limit temporal matches in (Trajectory, Offset)
-// order — identical to filtering the full sorted hit set.
-func findInIntervalOne(ix *Index, ts *tempo.Store, path []uint32, from, to int64, limit int) ([]TemporalMatch, error) {
-	cands, err := intervalCandidates(ix, ts, path, from, to)
-	if err != nil || len(cands) == 0 {
-		return nil, err
-	}
-	sortMatches(cands)
-	var out []TemporalMatch
-	for _, m := range cands {
-		at := ts.At(m.Trajectory, m.Offset)
-		if at < from || at > to {
-			continue
-		}
-		out = append(out, TemporalMatch{Match: m, EnteredAt: at})
-		if limit > 0 && len(out) >= limit {
-			break
-		}
-	}
-	return out, nil
-}
-
-// countInIntervalOne counts strict-path-query matches against one
-// monolithic spatial index and its store. Order is irrelevant for a
-// count, so candidates are probed straight out of the locate loop —
-// no sort, no materialized matches.
-func countInIntervalOne(ix *Index, ts *tempo.Store, path []uint32, from, to int64) (int, error) {
-	cands, err := intervalCandidates(ix, ts, path, from, to)
-	if err != nil {
-		return 0, err
-	}
-	n := 0
-	for _, m := range cands {
-		if at := ts.At(m.Trajectory, m.Offset); at >= from && at <= to {
-			n++
-		}
-	}
-	return n, nil
-}
-
-// intervalCandidates locates every occurrence of path whose trajectory
-// (min, max) time summary intersects [from, to]. Trajectories entirely
-// outside the interval are skipped before any timestamp decode.
-func intervalCandidates(ix *Index, ts *tempo.Store, path []uint32, from, to int64) ([]Match, error) {
-	var cands []Match
-	err := ix.locateOccurrences(path, func(doc, offset int) {
-		if lo, hi := ts.MinMax(doc); hi < from || lo > to {
-			return
-		}
-		cands = append(cands, Match{Trajectory: doc, Offset: offset})
-	})
-	return cands, err
-}
-
 // FindInInterval runs a strict path query: occurrences of path whose
 // first edge was entered at a time in [from, to]. limit <= 0 returns
 // all. Matches are sorted by (Trajectory, Offset) and a positive limit
 // keeps the first limit matches in that order, so answers are
 // identical whether the index is sharded or not.
+//
+// FindInInterval is the legacy form of Search with an Interval and
+// Kind Occurrences; new code should prefer Search. The pushdown
+// behavior is Search's: every located occurrence is pruned against the
+// trajectory's (min, max) time summary before any timestamp decode,
+// survivors are sorted canonically, and timestamps are then decoded
+// lazily (O(BlockSize) per probe via checkpoints) while streaming, so
+// the decode work — the dominant cost of the pre-pushdown path — is
+// bounded by the limit instead of the hit count. Like Index.Find,
+// every occurrence in the suffix range is still located once; limit
+// bounds the filtering, not the locate scan.
 func (t *TemporalIndex) FindInInterval(path []uint32, from, to int64, limit int) ([]TemporalMatch, error) {
-	if t.aligned() {
-		si := t.Index.sharded
-		if len(si.shards) == 1 {
-			return findInIntervalOne(si.shards[0], t.stores[0], path, from, to, limit)
-		}
-		parts := make([][]TemporalMatch, len(si.shards))
-		errs := make([]error, len(si.shards))
-		si.fanOut(func(s int, ix *Index) {
-			parts[s], errs[s] = findInIntervalOne(ix, t.stores[s], path, from, to, limit)
-		})
-		var out []TemporalMatch
-		for s, part := range parts {
-			if errs[s] != nil {
-				return nil, errs[s]
-			}
-			for _, m := range part {
-				m.Trajectory += si.bounds[s]
-				out = append(out, m)
-			}
-		}
-		// Truncate only after the canonical merge, mirroring
-		// ShardedIndex.Find: each shard returned a superset of its
-		// contribution to the global first-limit.
-		sortTemporalMatches(out)
-		if limit > 0 && len(out) > limit {
-			out = out[:limit]
-		}
-		return out, nil
+	if limit < 0 {
+		limit = 0
 	}
-	if t.Index.sharded == nil {
-		return findInIntervalOne(t.Index, t.stores[0], path, from, to, limit)
-	}
-	return t.legacyFindInInterval(path, from, to, limit)
-}
-
-// legacyFindInInterval handles the one layout a build can no longer
-// produce: a sharded spatial index paired with a single corpus-wide
-// store (files written before stores were sharded). The spatial fan-out
-// still runs sharded; the time filter runs over global IDs with the
-// same summary pruning, checkpointed probes, and limit early exit.
-func (t *TemporalIndex) legacyFindInInterval(path []uint32, from, to int64, limit int) ([]TemporalMatch, error) {
-	hits, err := t.Find(path, 0) // canonical (Trajectory, Offset) order
+	q := Query{Path: path, Interval: &Interval{From: from, To: to}, Kind: Occurrences, Limit: limit}
+	r, err := t.Search(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
-	ts := t.stores[0]
 	var out []TemporalMatch
-	for _, h := range hits {
-		if lo, hi := ts.MinMax(h.Trajectory); hi < from || lo > to {
-			continue
+	for h, herr := range r.All() {
+		if herr != nil {
+			return nil, herr
 		}
-		at := ts.At(h.Trajectory, h.Offset)
-		if at < from || at > to {
-			continue
-		}
-		out = append(out, TemporalMatch{Match: h, EnteredAt: at})
-		if limit > 0 && len(out) >= limit {
-			break
-		}
+		out = append(out, TemporalMatch{Match: h.Match, EnteredAt: h.EnteredAt})
 	}
 	return out, nil
 }
 
 // CountInInterval counts strict-path-query matches: occurrences of
 // path whose first edge was entered at a time in [from, to].
+//
+// CountInInterval is the legacy form of Search with an Interval and
+// Kind CountOnly; new code should prefer Search.
 func (t *TemporalIndex) CountInInterval(path []uint32, from, to int64) (int, error) {
-	if t.aligned() {
-		si := t.Index.sharded
-		counts := make([]int, len(si.shards))
-		errs := make([]error, len(si.shards))
-		si.fanOut(func(s int, ix *Index) {
-			counts[s], errs[s] = countInIntervalOne(ix, t.stores[s], path, from, to)
-		})
-		total := 0
-		for s, c := range counts {
-			if errs[s] != nil {
-				return 0, errs[s]
-			}
-			total += c
-		}
-		return total, nil
+	q := Query{Path: path, Interval: &Interval{From: from, To: to}, Kind: CountOnly}
+	r, err := t.Search(context.Background(), q)
+	if err != nil {
+		return 0, err
 	}
-	if t.Index.sharded == nil {
-		return countInIntervalOne(t.Index, t.stores[0], path, from, to)
-	}
-	hits, err := t.legacyFindInInterval(path, from, to, 0)
-	return len(hits), err
-}
-
-// sortTemporalMatches orders matches by (Trajectory, Offset) — the
-// canonical order FindInInterval promises.
-func sortTemporalMatches(ms []TemporalMatch) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Trajectory != ms[j].Trajectory {
-			return ms[i].Trajectory < ms[j].Trajectory
-		}
-		return ms[i].Offset < ms[j].Offset
-	})
+	return r.Count()
 }
 
 // Timestamps returns the full timestamp column of a trajectory.
