@@ -518,7 +518,15 @@ func Load(r io.Reader) (*Index, error) {
 	return loadOne(br)
 }
 
-// loadOne reads the single-index (seed v1) format.
+// ErrCorruptIndex reports an index stream whose corpus metadata and
+// compressed core disagree — each half parsed, but pairing them would
+// let a query walk out of bounds.
+var ErrCorruptIndex = errors.New("cinct: corpus metadata inconsistent with core index")
+
+// loadOne reads the single-index (seed v1) format and cross-validates
+// the halves: the document tables must describe exactly the text the
+// core index was built over, so shape corruption fails the load
+// instead of panicking inside a query.
 func loadOne(br *bufio.Reader) (*Index, error) {
 	corpus, err := trajstr.LoadMeta(br)
 	if err != nil {
@@ -527,6 +535,14 @@ func loadOne(br *bufio.Reader) (*Index, error) {
 	ci, err := core.Load(br)
 	if err != nil {
 		return nil, err
+	}
+	if got, want := ci.Len(), corpus.TextLenFromTables(); got != want {
+		return nil, fmt.Errorf("%w: core holds %d symbols, document tables imply %d",
+			ErrCorruptIndex, got, want)
+	}
+	if got, want := ci.Sigma(), corpus.Sigma; got != want {
+		return nil, fmt.Errorf("%w: core alphabet %d, corpus alphabet %d",
+			ErrCorruptIndex, got, want)
 	}
 	return &Index{corpus: corpus, core: ci, hasLoc: ci.SampleRate() > 0}, nil
 }

@@ -16,6 +16,8 @@
 //	cinct verify -in corpus.txt -index corpus.cinct
 //	cinct find-interval -index corpus.tcinct -path "17 42" -from 0 -to 999
 //	cinct count-interval -index corpus.tcinct -path "17 42" -from 0 -to 999
+//	cinct ingest -remote http://localhost:8132 -name corpus -in more.txt [-times more-times.txt] [-seal]
+//	cinct ingest -index corpus.cinct -in more.txt   (appends, seals, persists in place)
 //
 // Any query subcommand accepts -remote URL -name INDEX instead of
 // -index FILE to run against a cinctd daemon:
@@ -75,6 +77,8 @@ func main() {
 		err = cmdFindInterval(args)
 	case "count-interval":
 		err = cmdCountInterval(args)
+	case "ingest":
+		err = cmdIngest(args)
 	default:
 		usage()
 	}
@@ -86,7 +90,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval} [flags]")
+		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval|ingest} [flags]")
 	os.Exit(2)
 }
 
@@ -552,6 +556,125 @@ func cmdCountInterval(args []string) error {
 	}
 	fmt.Printf("%d occurrences in [%d, %d] (%v)\n", res.count, *from, *to, time.Since(t0))
 	return nil
+}
+
+// cmdIngest appends trajectories from a corpus file to a live index —
+// remotely through the daemon's NDJSON /v1/{index}/ingest endpoint,
+// or locally by loading the index file, appending, sealing, and
+// letting the engine persist the sealed result back to the same file
+// (local mode always seals: an unsealed delta would die with the
+// process).
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	in := fs.String("in", "", "corpus file of trajectories to append")
+	timesPath := fs.String("times", "", "timestamps file aligned with -in (required for temporal indexes)")
+	seal := fs.Bool("seal", false, "compact the delta into a sealed shard after appending (implied in -index mode)")
+	batch := fs.Int("batch", 500, "records per append batch")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	if *batch <= 0 {
+		return fmt.Errorf("-batch must be > 0")
+	}
+	trajs, err := readCorpus(*in)
+	if err != nil {
+		return err
+	}
+	var times [][]int64
+	if *timesPath != "" {
+		tf, err := os.Open(*timesPath)
+		if err != nil {
+			return err
+		}
+		times, err = trajio.ReadTimes(tf)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+		if len(times) != len(trajs) {
+			return fmt.Errorf("%d timestamp lines for %d trajectories", len(times), len(trajs))
+		}
+	}
+	ctx := context.Background()
+	t0 := time.Now()
+
+	switch {
+	case *t.remote != "" && *t.index != "":
+		return fmt.Errorf("-index and -remote are mutually exclusive")
+	case *t.remote != "":
+		if *t.name == "" {
+			return fmt.Errorf("-name is required with -remote")
+		}
+		c := server.NewClient(*t.remote, nil)
+		appended := 0
+		for lo := 0; lo < len(trajs); lo += *batch {
+			hi := lo + *batch
+			if hi > len(trajs) {
+				hi = len(trajs)
+			}
+			recs := make([]server.IngestRecord, hi-lo)
+			for i := range recs {
+				recs[i] = server.IngestRecord{Edges: trajs[lo+i]}
+				if times != nil {
+					recs[i].Times = times[lo+i]
+				}
+			}
+			resp, err := c.Ingest(ctx, *t.name, recs, false)
+			if err != nil {
+				return err
+			}
+			appended += resp.Appended
+		}
+		fmt.Printf("appended %d trajectories in %v\n", appended, time.Since(t0).Round(time.Millisecond))
+		if *seal {
+			sres, err := c.Seal(ctx, *t.name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("sealed %d trajectories (delta now %d, generation %d)\n",
+				sres.Sealed, sres.Delta, sres.Generation)
+		}
+		return nil
+	case *t.index != "":
+		eng := engine.New(engine.Options{SealThreshold: -1})
+		const name = "local"
+		temporal := *timesPath != "" || strings.HasSuffix(*t.index, ".tcinct")
+		var lerr error
+		if temporal {
+			lerr = eng.LoadTemporal(name, *t.index)
+		} else {
+			lerr = eng.Load(name, *t.index)
+		}
+		if lerr != nil {
+			return lerr
+		}
+		appended := 0
+		for lo := 0; lo < len(trajs); lo += *batch {
+			hi := lo + *batch
+			if hi > len(trajs) {
+				hi = len(trajs)
+			}
+			var bt [][]int64
+			if times != nil {
+				bt = times[lo:hi]
+			}
+			res, err := eng.Append(ctx, name, trajs[lo:hi], bt)
+			if err != nil {
+				return err
+			}
+			appended += res.Appended
+		}
+		sres, err := eng.Seal(ctx, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("appended %d trajectories, sealed %d, persisted to %s (%v)\n",
+			appended, sres.Sealed, *t.index, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+	return fmt.Errorf("-index (local file) or -remote (daemon URL) is required")
 }
 
 // cmdVerify cross-checks the index against the original corpus: counts

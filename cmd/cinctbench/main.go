@@ -18,7 +18,12 @@
 // latency percentiles and allocated bytes per query at limit 10, 1000
 // and unlimited.
 //
-//	cinctbench -out BENCH_PR4.json -trajs 4000 -queries 2000 -shards 0
+// The ingestion section measures the live write path: per-row and
+// batched append throughput into a Writer's delta, query p50/p99 with
+// the delta hot (every appended row still uncompressed), the latency
+// of one full seal, and the same queries after compaction.
+//
+//	cinctbench -out BENCH_PR5.json -trajs 4000 -queries 2000 -shards 0
 package main
 
 import (
@@ -62,6 +67,28 @@ type report struct {
 	Latency       map[string]percentiles `json:"latency"`
 	Temporal      *temporalReport        `json:"temporal,omitempty"`
 	Streaming     *streamingReport       `json:"streaming,omitempty"`
+	Ingest        *ingestReport          `json:"ingest,omitempty"`
+}
+
+// ingestReport summarizes the live write path: append throughput into
+// the memtable delta, seal latency (delta → compressed shard), and
+// query latency with a hot (unsealed) delta versus the same data
+// sealed.
+type ingestReport struct {
+	BaseTrajectories int `json:"baseTrajectories"`
+	Appended         int `json:"appended"`
+	// AppendsPerSecond is single-threaded Append throughput (row at a
+	// time — the worst case; batches amortize the lock).
+	AppendsPerSecond float64 `json:"appendsPerSecond"`
+	// BatchAppendsPerSecond is AppendBatch throughput at batch 500.
+	BatchAppendsPerSecond float64 `json:"batchAppendsPerSecond"`
+	// SealSeconds is the latency of compacting the full delta into one
+	// CiNCT-compressed shard (build + swap).
+	SealSeconds float64 `json:"sealSeconds"`
+	// Latency keys: append (per-row), search.{count,find}.hotdelta
+	// (every appended row still uncompressed), search.{count,find}.sealed
+	// (same data after compaction).
+	Latency map[string]percentiles `json:"latency"`
 }
 
 // streamStat is one streaming-benchmark distribution: latency
@@ -111,7 +138,7 @@ type temporalReport struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR4.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR5.json", "output JSON file")
 		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
 		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
 		queries = flag.Int("queries", 2000, "queries per latency distribution")
@@ -124,12 +151,15 @@ func main() {
 		tmeanLen = flag.Int("tmeanlen", 1600, "temporal corpus mean trajectory length (long: high match offsets)")
 		tqueries = flag.Int("tqueries", 300, "temporal queries per latency distribution")
 		tsample  = flag.Int("tsample", 2, "temporal index SA sample rate (dense: locate must not mask the filter)")
+
+		itrajs = flag.Int("itrajs", 2000, "trajectories appended in the ingestion section (0 skips it)")
 	)
 	flag.Parse()
 	cfg := benchConfig{
 		out: *out, trajs: *trajs, meanLen: *meanLen, queries: *queries,
 		qlen: *qlen, limit: *limit, shards: *shards, seed: *seed,
 		ttrajs: *ttrajs, tmeanLen: *tmeanLen, tqueries: *tqueries, tsample: *tsample,
+		itrajs: *itrajs,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "cinctbench: %v\n", err)
@@ -144,6 +174,113 @@ type benchConfig struct {
 	seed                       int64
 	ttrajs, tmeanLen, tqueries int
 	tsample                    int
+	itrajs                     int
+}
+
+// runIngest benchmarks the live write path against the main corpus:
+// per-row and batched append throughput into the delta, query latency
+// while every appended row is still uncompressed (the hot-delta worst
+// case), one full seal, and the same queries against the sealed
+// result.
+func runIngest(cfg benchConfig, base [][]uint32, workload [][]uint32) (*ingestReport, error) {
+	fmt.Fprintf(os.Stderr, "ingest: appending %d trajectories...\n", cfg.itrajs)
+	opts := cinct.DefaultOptions()
+	opts.Shards = cfg.shards
+	ix, err := cinct.Build(base, opts)
+	if err != nil {
+		return nil, err
+	}
+	w, err := cinct.NewWriterAt(ix, cinct.WriterConfig{Build: opts})
+	if err != nil {
+		return nil, err
+	}
+	gcfg := trajgen.Config{GridW: 26, GridH: 26, NumTrajs: cfg.itrajs, MeanLen: cfg.meanLen, Seed: cfg.seed + 21}
+	extra := trajgen.Singapore2(gcfg).Trajs
+
+	ir := &ingestReport{
+		BaseTrajectories: len(base),
+		Appended:         len(extra),
+		Latency:          map[string]percentiles{},
+	}
+	t0 := time.Now()
+	// measure() iterates a path workload; here each "path" is a row to
+	// append, so the distribution is per-row append latency.
+	if ir.Latency["append"], err = measure(extra, func(row []uint32) error {
+		_, aerr := w.Append(row, nil)
+		return aerr
+	}); err != nil {
+		return nil, err
+	}
+	ir.AppendsPerSecond = float64(len(extra)) / time.Since(t0).Seconds()
+
+	ctx := context.Background()
+	if ir.Latency["search.count.hotdelta"], err = measure(workload, func(p []uint32) error {
+		r, serr := w.Search(ctx, cinct.Query{Path: p, Kind: cinct.CountOnly})
+		if serr != nil {
+			return serr
+		}
+		_, serr = r.Count()
+		return serr
+	}); err != nil {
+		return nil, err
+	}
+	if ir.Latency["search.find.hotdelta"], err = measure(workload, func(p []uint32) error {
+		r, serr := w.Search(ctx, cinct.Query{Path: p, Kind: cinct.Occurrences, Limit: cfg.limit})
+		if serr != nil {
+			return serr
+		}
+		_, serr = r.Count()
+		return serr
+	}); err != nil {
+		return nil, err
+	}
+
+	t0 = time.Now()
+	if _, err := w.Seal(); err != nil {
+		return nil, err
+	}
+	ir.SealSeconds = time.Since(t0).Seconds()
+
+	if ir.Latency["search.count.sealed"], err = measure(workload, func(p []uint32) error {
+		r, serr := w.Search(ctx, cinct.Query{Path: p, Kind: cinct.CountOnly})
+		if serr != nil {
+			return serr
+		}
+		_, serr = r.Count()
+		return serr
+	}); err != nil {
+		return nil, err
+	}
+	if ir.Latency["search.find.sealed"], err = measure(workload, func(p []uint32) error {
+		r, serr := w.Search(ctx, cinct.Query{Path: p, Kind: cinct.Occurrences, Limit: cfg.limit})
+		if serr != nil {
+			return serr
+		}
+		_, serr = r.Count()
+		return serr
+	}); err != nil {
+		return nil, err
+	}
+
+	// Batched appends on a fresh writer: the throughput shape servers
+	// see from NDJSON ingest.
+	w2, err := cinct.NewWriterAt(ix, cinct.WriterConfig{Build: opts})
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	const batch = 500
+	for lo := 0; lo < len(extra); lo += batch {
+		hi := lo + batch
+		if hi > len(extra) {
+			hi = len(extra)
+		}
+		if _, err := w2.AppendBatch(extra[lo:hi], nil); err != nil {
+			return nil, err
+		}
+	}
+	ir.BatchAppendsPerSecond = float64(len(extra)) / time.Since(t0).Seconds()
+	return ir, nil
 }
 
 func run(cfg benchConfig) error {
@@ -153,6 +290,7 @@ func run(cfg benchConfig) error {
 	if shards == 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
+	cfg.shards = shards // sections below (ingest) reuse the resolved count
 	rep := report{
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Shards:     shards,
@@ -268,6 +406,13 @@ func run(cfg benchConfig) error {
 			return err
 		}
 		rep.Streaming = sr
+	}
+	if cfg.itrajs > 0 {
+		ir, err := runIngest(cfg, corpus, workload)
+		if err != nil {
+			return err
+		}
+		rep.Ingest = ir
 	}
 
 	body, err := json.MarshalIndent(rep, "", "  ")

@@ -13,7 +13,14 @@
 //	GET  /v1/{index}/trajectory/{id}       full reconstruction
 //	GET  /v1/{index}/subpath?traj=5&from=2&to=9
 //	GET  /v1/{index}/temporal/find?path=1,2&from=0&to=999&limit=10
+//	POST /v1/{index}/ingest                NDJSON append batch (live ingestion)
+//	POST /v1/{index}/seal                  compact the delta, persist to the data dir
 //	POST /v1/{index}/reload                re-read from disk, bump generation
+//
+// Appended trajectories live in an in-memory delta (immediately
+// queryable); once the delta reaches -seal-threshold trajectories a
+// background seal compacts it into a compressed shard and persists
+// the sealed index back to its file in the data dir.
 package main
 
 import (
@@ -37,6 +44,8 @@ func main() {
 		data    = flag.String("data", "", "directory of *.cinct / *.tcinct index files (required)")
 		workers = flag.Int("workers", 0, "max concurrent index traversals (0 = GOMAXPROCS)")
 		cache   = flag.Int("cache", 0, "result cache entries (0 = default 4096, negative = off)")
+		sealAt  = flag.Int("seal-threshold", 0,
+			"auto-seal an index's ingest delta at this many trajectories (0 = default 4096, negative = manual sealing only)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout (negative = none)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	)
@@ -46,7 +55,10 @@ func main() {
 		logger.Fatal("-data is required")
 	}
 
-	eng := engine.New(engine.Options{Workers: *workers, CacheEntries: *cache})
+	eng := engine.New(engine.Options{
+		Workers: *workers, CacheEntries: *cache,
+		SealThreshold: *sealAt, Logf: logger.Printf,
+	})
 	defer eng.CloseAll()
 	names, err := eng.OpenDir(*data)
 	if err != nil {

@@ -1,0 +1,199 @@
+package cinct
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// The fuzz fortress pins the container-format and cursor surfaces:
+// arbitrary bytes fed to Load / LoadTemporal / Query.Cursor must
+// never panic and never allocate unboundedly — they either produce a
+// working index or fail with a typed error. Seed corpora live under
+// testdata/fuzz/ (regenerate with scripts/genfuzzseeds).
+
+// maxFuzzInput bounds one fuzz input; larger blobs only slow
+// exploration down without reaching new code.
+const maxFuzzInput = 1 << 18
+
+// fuzzCorpus is the deterministic corpus behind every generated seed
+// and the FuzzCursor search target.
+func fuzzCorpus() ([][]uint32, [][]int64) {
+	trajs := [][]uint32{
+		{1, 2, 3, 4},
+		{2, 3, 4},
+		{5, 1, 2, 3},
+		{3, 4, 5, 1, 2},
+		{9},
+		{2, 3},
+	}
+	times := make([][]int64, len(trajs))
+	for k, tr := range trajs {
+		col := make([]int64, len(tr))
+		for i := range col {
+			col[i] = int64(100*k + 10*i)
+		}
+		times[k] = col
+	}
+	return trajs, times
+}
+
+// exerciseLoaded pokes a successfully loaded index: the metadata and
+// query surface must hold up whatever bytes produced it.
+func exerciseLoaded(t *testing.T, ix *Index) {
+	t.Helper()
+	_ = ix.NumTrajectories()
+	_ = ix.NumEdges()
+	_ = ix.Len()
+	_ = ix.Shards()
+	_ = ix.Stats()
+	_ = ix.Count([]uint32{1, 2})
+	if ix.NumTrajectories() > 0 {
+		_ = ix.TrajectoryLen(0)
+	}
+	r, err := ix.Search(context.Background(), Query{Path: []uint32{2, 3}, Kind: Occurrences, Limit: 4})
+	if err != nil {
+		if !errors.Is(err, ErrNoLocate) {
+			t.Fatalf("Search on loaded index: unexpected error %v", err)
+		}
+		return
+	}
+	for _, herr := range r.All() {
+		if herr != nil {
+			t.Fatalf("stream on loaded index: %v", herr)
+		}
+	}
+}
+
+// FuzzLoadSharded pins Load (both the sharded container and the
+// single-index layout it falls back to): arbitrary bytes must load or
+// fail typed — never panic, never allocate past a small multiple of
+// the input.
+func FuzzLoadSharded(f *testing.F) {
+	trajs, _ := fuzzCorpus()
+	for _, shards := range []int{1, 3} {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		ix, err := Build(trajs, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		full := buf.Bytes()
+		f.Add(append([]byte(nil), full...))
+		f.Add(append([]byte(nil), full[:len(full)/2]...)) // truncation
+	}
+	f.Add([]byte(shardMagic))
+	f.Add([]byte("CNCTshrd\x01\x03"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzInput {
+			t.Skip()
+		}
+		ix, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		exerciseLoaded(t, ix)
+	})
+}
+
+// FuzzLoadTemporal pins LoadTemporal over the CNCTtemp container and
+// the legacy unversioned layout.
+func FuzzLoadTemporal(f *testing.F) {
+	trajs, times := fuzzCorpus()
+	for _, shards := range []int{1, 2} {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		tix, err := BuildTemporal(trajs, times, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tix.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		full := buf.Bytes()
+		f.Add(append([]byte(nil), full...))
+		f.Add(append([]byte(nil), full[:2*len(full)/3]...))
+	}
+	f.Add([]byte(temporalMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzInput {
+			t.Skip()
+		}
+		tix, err := LoadTemporal(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		exerciseLoaded(t, tix.Index)
+		if tix.NumTrajectories() > 0 {
+			_ = tix.Timestamps(0)
+		}
+		if _, err := tix.CountInInterval([]uint32{2, 3}, 0, 1<<40); err != nil && !errors.Is(err, ErrNoLocate) {
+			t.Fatalf("CountInInterval on loaded index: %v", err)
+		}
+	})
+}
+
+// FuzzCursor pins the cursor surface: any token string handed to
+// Search either resumes a stream or fails with ErrBadCursor — no
+// panics, no silently wrong pages. The first input byte selects the
+// query shape so foreign-shape tokens are exercised too.
+func FuzzCursor(f *testing.F) {
+	trajs, times := fuzzCorpus()
+	tix, err := BuildTemporal(trajs, times, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+	// Seed with genuine cursors from bounded searches of both shapes.
+	for _, q := range []Query{
+		{Path: []uint32{2, 3}, Kind: Occurrences, Limit: 1},
+		{Path: []uint32{2, 3}, Kind: Trajectories, Limit: 1, Interval: &Interval{From: 0, To: 1 << 40}},
+	} {
+		r, err := tix.Search(ctx, q)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, herr := range r.All() {
+			if herr != nil {
+				f.Fatal(herr)
+			}
+			break
+		}
+		f.Add([]byte("\x00" + r.Cursor()))
+	}
+	f.Add([]byte("\x01garbage-token"))
+	f.Add([]byte{0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > maxFuzzInput {
+			t.Skip()
+		}
+		sel, token := data[0], string(data[1:])
+		q := Query{Path: []uint32{2, 3}, Kind: Kind(sel % 3), Limit: int(sel>>2) % 8, Cursor: token}
+		if sel&1 != 0 {
+			q.Interval = &Interval{From: 0, To: 1 << 40}
+		}
+		r, err := tix.Search(ctx, q)
+		if err != nil {
+			if !errors.Is(err, ErrBadCursor) {
+				t.Fatalf("Search(cursor=%q): err = %v, want ErrBadCursor", token, err)
+			}
+			return
+		}
+		last := Match{Trajectory: -1, Offset: -1}
+		for h, herr := range r.All() {
+			if herr != nil {
+				t.Fatalf("stream: %v", herr)
+			}
+			if q.Kind != Trajectories && !matchLess(last, h.Match) {
+				t.Fatalf("resumed stream out of canonical order: %v then %v", last, h.Match)
+			}
+			last = h.Match
+		}
+	})
+}

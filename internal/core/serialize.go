@@ -120,8 +120,29 @@ func (ix *Index) Save(w io.Writer) (int64, error) {
 	return cw.n, cw.w.Flush()
 }
 
-// Load reads an index previously written by Save.
-func Load(r io.Reader) (*Index, error) {
+// minCap bounds an initial slice capacity by a declared-but-untrusted
+// count: allocation then grows with the data actually parsed, so a
+// lying header cannot make Load allocate more than a small multiple
+// of the real input size.
+func minCap(declared, cap int) int {
+	if declared < cap {
+		return declared
+	}
+	return cap
+}
+
+// Load reads an index previously written by Save. It is hardened
+// against arbitrary bytes: declared counts never translate into
+// upfront allocations (slices grow with the data actually parsed),
+// structural invariants are checked before use, and any residual
+// panic from inconsistent-but-parseable structures is converted into
+// ErrBadFormat — corrupt input yields a typed error, never a crash.
+func Load(r io.Reader) (ix *Index, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ix, err = nil, fmt.Errorf("%w: %v", ErrBadFormat, rec)
+		}
+	}()
 	br := bufio.NewReader(r)
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
@@ -146,37 +167,44 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("%w: implausible header (n=%d sigma=%d maxLabel=%d)",
 			ErrBadFormat, n, sigma, maxLabel)
 	}
-	ix := &Index{
+	spec := wavelet.BitvecSpec{Kind: wavelet.BitvecKind(hdr[3]), Block: int(hdr[4])}
+	switch {
+	case spec.Kind == wavelet.PlainBits:
+	case spec.Kind == wavelet.RRRBits && (spec.Block == 15 || spec.Block == 31 || spec.Block == 63):
+	default:
+		return nil, fmt.Errorf("%w: unknown bit-vector spec (kind=%d block=%d)", ErrBadFormat, hdr[3], hdr[4])
+	}
+	ix = &Index{
 		n: n, sigma: sigma, maxLabel: maxLabel,
 		opt: Options{
-			Spec:     wavelet.BitvecSpec{Kind: wavelet.BitvecKind(hdr[3]), Block: int(hdr[4])},
+			Spec:     spec,
 			Strategy: etgraph.Strategy(hdr[5]),
 			Seed:     int64(hdr[6]),
 			SASample: int(hdr[7]),
 		},
 		sampleRate: int(hdr[7]),
 	}
-	rawC := make([]uint64, sigma+1)
+	rawC := make([]uint64, 1, minCap(sigma+1, 1<<16))
 	for w := 0; w < sigma; w++ {
 		d, err := readU()
 		if err != nil {
 			return nil, fmt.Errorf("%w: C array: %v", ErrBadFormat, err)
 		}
-		rawC[w+1] = rawC[w] + d
+		rawC = append(rawC, rawC[w]+d)
 	}
 	if rawC[sigma] != uint64(n) {
 		return nil, fmt.Errorf("%w: C array sums to %d, want %d", ErrBadFormat, rawC[sigma], n)
 	}
 	ix.c = bitvec.PackInts(rawC)
 	// ET-graph.
-	adj := make([][]etgraph.Edge, sigma)
+	adj := make([][]etgraph.Edge, 0, minCap(sigma, 1<<16))
 	for wp := 0; wp < sigma; wp++ {
 		deg, err := readU()
 		if err != nil || deg > uint64(sigma) {
 			return nil, fmt.Errorf("%w: adjacency of %d", ErrBadFormat, wp)
 		}
-		es := make([]etgraph.Edge, deg)
-		for i := range es {
+		es := make([]etgraph.Edge, 0, minCap(int(deg), 1<<12))
+		for i := 0; i < int(deg); i++ {
 			to, err := readU()
 			if err != nil || to >= uint64(sigma) {
 				return nil, fmt.Errorf("%w: edge target", ErrBadFormat)
@@ -185,9 +213,9 @@ func Load(r io.Reader) (*Index, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%w: edge Z", ErrBadFormat)
 			}
-			es[i] = etgraph.Edge{To: uint32(to), Z: z}
+			es = append(es, etgraph.Edge{To: uint32(to), Z: z})
 		}
-		adj[wp] = es
+		adj = append(adj, es)
 	}
 	ix.graph = etgraph.FromAdjacency(adj)
 	if ix.graph.MaxOutDegree() != maxLabel {
@@ -195,26 +223,56 @@ func Load(r io.Reader) (*Index, error) {
 			ErrBadFormat, ix.graph.MaxOutDegree(), maxLabel)
 	}
 	ix.graph.Compact()
-	// Labeled BWT.
-	lengths := make([]uint8, maxLabel+1)
-	if _, err := io.ReadFull(br, lengths); err != nil {
-		return nil, fmt.Errorf("%w: code lengths: %v", ErrBadFormat, err)
+	// Labeled BWT. The code-length table is read in bounded chunks (a
+	// lying maxLabel dies at the first truncated read, not at a huge
+	// make), and every length is validated against the 63-bit code
+	// bound FromLengths enforces by panic.
+	lengths := make([]uint8, 0, minCap(maxLabel+1, 1<<16))
+	var chunk [4096]byte
+	for len(lengths) < maxLabel+1 {
+		k := maxLabel + 1 - len(lengths)
+		if k > len(chunk) {
+			k = len(chunk)
+		}
+		if _, err := io.ReadFull(br, chunk[:k]); err != nil {
+			return nil, fmt.Errorf("%w: code lengths: %v", ErrBadFormat, err)
+		}
+		lengths = append(lengths, chunk[:k]...)
+	}
+	for s, l := range lengths {
+		if l > 63 {
+			return nil, fmt.Errorf("%w: code length %d for label %d", ErrBadFormat, l, s)
+		}
 	}
 	cb := huffman.FromLengths(lengths)
 	nbits, err := readU()
 	if err != nil {
 		return nil, fmt.Errorf("%w: bit count: %v", ErrBadFormat, err)
 	}
-	words := make([]uint64, (nbits+63)/64)
+	// Every Huffman code is at least one bit (a single-symbol alphabet
+	// gets length 1), so n > nbits is corrupt — and rejecting it here
+	// bounds the label allocation by the bit stream actually read.
+	if uint64(n) > nbits {
+		return nil, fmt.Errorf("%w: %d symbols in %d bits", ErrBadFormat, n, nbits)
+	}
+	nwords := int(nbits / 64)
+	if nbits%64 != 0 {
+		nwords++
+	}
+	words := make([]uint64, 0, minCap(nwords+1, 1<<16))
 	var wb [8]byte
-	for i := range words {
+	for i := 0; i < nwords; i++ {
 		if _, err := io.ReadFull(br, wb[:]); err != nil {
 			return nil, fmt.Errorf("%w: bit stream: %v", ErrBadFormat, err)
 		}
-		words[i] = binary.LittleEndian.Uint64(wb[:])
+		words = append(words, binary.LittleEndian.Uint64(wb[:]))
 	}
+	// Guard word: a corrupt stream can send the decoder walking up to
+	// 63 bits past nbits before the overrun check fires; the pad keeps
+	// that walk in bounds so it fails as ErrBadFormat, not a panic.
+	words = append(words, 0)
 	dec := huffman.NewDecoder(cb)
-	labels := make([]uint32, n)
+	labels := make([]uint32, 0, minCap(n, 1<<20))
 	pos := 0
 	for j := 0; j < n; j++ {
 		var sym int
@@ -222,7 +280,21 @@ func Load(r io.Reader) (*Index, error) {
 		if pos > int(nbits) {
 			return nil, fmt.Errorf("%w: bit stream overrun", ErrBadFormat)
 		}
-		labels[j] = uint32(sym)
+		labels = append(labels, uint32(sym))
+	}
+	// Every row's label must be decodable in its context (rows with
+	// context w occupy C[w]..C[w+1); labels are 1-based ranks into the
+	// context's out-edges): a label outside [1, outdeg] would panic
+	// deep inside a query's LF step — on a fan-out goroutine no
+	// recover can reach — so reject it here.
+	for w := 0; w < sigma; w++ {
+		deg := uint32(ix.graph.OutDegree(uint32(w)))
+		for j := rawC[w]; j < rawC[w+1]; j++ {
+			if labels[j] < 1 || labels[j] > deg {
+				return nil, fmt.Errorf("%w: label %d at row %d outside [1,%d] for context %d",
+					ErrBadFormat, labels[j], j, deg, w)
+			}
+		}
 	}
 	freqs := make([]uint64, maxLabel+1)
 	for _, l := range labels {
@@ -232,27 +304,39 @@ func Load(r io.Reader) (*Index, error) {
 	ix.h0Labeled = entropy.H0Freqs(freqs)
 	// Rebuild locate structures by walking the LF permutation once
 	// (O(n) rank operations): the walk from row 0 (SA[0] = n−1) visits
-	// every row and reveals its suffix position.
+	// every row and reveals its suffix position — and doubles as the
+	// permutation check: an LF that revisits a row before covering all
+	// n would strand later Locate walks on unsampled cycles.
 	if ix.sampleRate > 0 {
-		ix.rebuildLocate()
+		if err := ix.rebuildLocate(); err != nil {
+			return nil, err
+		}
 	}
 	return ix, nil
 }
 
 // rebuildLocate reconstructs the sampled-row bit vector, the SA samples
 // and the ISA samples from the loaded structures alone — the index is a
-// self-index, so the suffix positions are implicit in LF.
-func (ix *Index) rebuildLocate() {
+// self-index, so the suffix positions are implicit in LF. It fails with
+// ErrBadFormat when the LF walk is not a single n-cycle: a corrupt
+// stream can parse into a mapping that collapses onto a short cycle,
+// leaving rows no Locate walk could ever escape from.
+func (ix *Index) rebuildLocate() error {
 	rate := ix.sampleRate
 	saOfRow := make([]int32, ix.n) // only filled at sampled rows; -1 elsewhere
 	for i := range saOfRow {
 		saOfRow[i] = -1
 	}
+	visited := make([]bool, ix.n)
 	ix.isaSamples = make([]int32, (ix.n+rate-1)/rate)
 	j := int64(0)
 	pos := int64(ix.n - 1) // SA[0] = n-1: the terminator suffix
 	wPrime := ix.contextOf(j)
 	for k := 0; k < ix.n; k++ {
+		if visited[j] {
+			return fmt.Errorf("%w: LF mapping revisits row %d after %d steps", ErrBadFormat, j, k)
+		}
+		visited[j] = true
 		if pos%int64(rate) == 0 {
 			saOfRow[j] = int32(pos)
 			ix.isaSamples[pos/int64(rate)] = int32(j)
@@ -272,4 +356,5 @@ func (ix *Index) rebuildLocate() {
 		}
 	}
 	ix.mark = bld.Plain()
+	return nil
 }

@@ -47,6 +47,12 @@ var (
 	// state; the panic is contained at the engine boundary so one bad
 	// index degrades its own requests instead of the whole process.
 	ErrCorrupt = errors.New("engine: corrupt index state")
+	// ErrStaleCursor reports a resume cursor minted before the index
+	// was reloaded or replaced: the trajectory-ID space may have been
+	// renumbered, so resuming would silently page through wrong data.
+	// Re-issue the query without a cursor. Cursors survive Append and
+	// Seal — only wholesale swaps invalidate them.
+	ErrStaleCursor = errors.New("engine: stale cursor (index reloaded since it was issued)")
 )
 
 // entry is one named index in the catalog. The immutable cinct index
@@ -65,10 +71,28 @@ type entry struct {
 	// read path's mu free during the expensive file read.
 	loadMu sync.Mutex
 
-	mu      sync.RWMutex
-	gen     uint64
+	mu  sync.RWMutex
+	gen uint64
+	// epoch tracks the identity of the trajectory-ID space: it bumps
+	// only when the binding is replaced wholesale (Reload, or a Load
+	// over the same name), never on Append or Seal — those extend the
+	// ID space without renumbering. Cursors are bound to the epoch
+	// they were minted in (see wrapCursor), so a resume against a
+	// reloaded index fails with ErrStaleCursor instead of silently
+	// paging through renumbered data, while a resume across a seal
+	// keeps working.
+	epoch   uint64
 	spatial *cinct.Index
 	temp    *cinct.TemporalIndex // non-nil iff temporal
+	// w is the live ingestion writer, created lazily on the first
+	// Append. Once present it supersedes spatial/temp (which remain
+	// the writer's original base) as the query target.
+	w *cinct.Writer
+	// sealErr records the outcome of the most recent seal's
+	// persistence attempt (nil on success or when there is nothing to
+	// persist). Engine.Seal returns it so a failed disk write is never
+	// reported as a successful compaction.
+	sealErr error
 	closed  bool
 }
 
@@ -76,18 +100,38 @@ type entry struct {
 type view struct {
 	name     string
 	gen      uint64
+	epoch    uint64
 	spatial  *cinct.Index
 	temp     *cinct.TemporalIndex
+	w        *cinct.Writer
 	temporal bool
 }
 
 // index returns the spatial index backing the snapshot (a temporal
-// index embeds one).
+// index embeds one). It is the query target only when the snapshot
+// has no live writer.
 func (v view) index() *cinct.Index {
 	if v.temp != nil {
 		return v.temp.Index
 	}
 	return v.spatial
+}
+
+// numTrajectories returns the snapshot's trajectory-ID space size,
+// including any unsealed delta rows.
+func (v view) numTrajectories() int {
+	if v.w != nil {
+		return v.w.NumTrajectories()
+	}
+	return v.index().NumTrajectories()
+}
+
+// isTemporal reports whether the snapshot answers interval queries.
+func (v view) isTemporal() bool {
+	if v.w != nil {
+		return v.w.Temporal()
+	}
+	return v.temp != nil
 }
 
 // snapshot captures the entry's current binding, failing if closed.
@@ -97,12 +141,16 @@ func (en *entry) snapshot() (view, error) {
 	if en.closed {
 		return view{}, fmt.Errorf("%w: %q", ErrNotFound, en.name)
 	}
-	return view{name: en.name, gen: en.gen, spatial: en.spatial, temp: en.temp, temporal: en.temporal}, nil
+	return view{name: en.name, gen: en.gen, epoch: en.epoch,
+		spatial: en.spatial, temp: en.temp, w: en.w, temporal: en.temporal}, nil
 }
 
-// swap installs a freshly loaded index and bumps the generation,
-// orphaning every cached result computed against the old one. It
-// returns the new generation.
+// swap installs a freshly loaded index, bumps the generation
+// (orphaning every cached result computed against the old one) and
+// the epoch (invalidating outstanding cursors — the reloaded file may
+// hold arbitrarily different data), and discards any live writer: an
+// unsealed delta does not survive a reload. It returns the new
+// generation.
 func (en *entry) swap(ix *cinct.Index, t *cinct.TemporalIndex) (uint64, error) {
 	en.mu.Lock()
 	defer en.mu.Unlock()
@@ -110,8 +158,20 @@ func (en *entry) swap(ix *cinct.Index, t *cinct.TemporalIndex) (uint64, error) {
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, en.name)
 	}
 	en.gen++
+	en.epoch++
 	en.spatial, en.temp = ix, t
+	en.w = nil
 	return en.gen, nil
+}
+
+// bumpGen advances the generation after a data change (Append),
+// orphaning cached results; the epoch is untouched because appended
+// IDs extend, never renumber, the ID space.
+func (en *entry) bumpGen() uint64 {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	en.gen++
+	return en.gen
 }
 
 // loadFromFile reads the entry's backing file into a fresh index pair.
@@ -166,25 +226,28 @@ func (c *Catalog) view(name string) (view, error) {
 }
 
 // install publishes a new or replacement entry under name. A
-// replacement continues the old entry's generation sequence — the
-// cache keys embed (name, generation), so a Load over an existing
-// name must orphan the old results exactly like Reload does.
+// replacement continues the old entry's generation and epoch
+// sequences — the cache keys embed (name, generation) and cursors
+// embed the epoch, so a Load over an existing name must orphan old
+// results and cursors exactly like Reload does.
 func (c *Catalog) install(en *entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if old, ok := c.entries[en.name]; ok {
-		en.gen = old.markClosed() + 1
+		gen, epoch := old.markClosed()
+		en.gen, en.epoch = gen+1, epoch+1
 	}
 	c.entries[en.name] = en
 }
 
-// markClosed closes the entry and returns its final generation.
-func (en *entry) markClosed() uint64 {
+// markClosed closes the entry and returns its final generation and
+// epoch.
+func (en *entry) markClosed() (gen, epoch uint64) {
 	en.mu.Lock()
 	defer en.mu.Unlock()
 	en.closed = true
-	en.spatial, en.temp = nil, nil
-	return en.gen
+	en.spatial, en.temp, en.w = nil, nil, nil
+	return en.gen, en.epoch
 }
 
 // remove closes and unregisters name.

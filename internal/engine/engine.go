@@ -2,9 +2,12 @@ package engine
 
 import (
 	"context"
+	"encoding/base64"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"iter"
+	"os"
 	"runtime"
 
 	"cinct"
@@ -19,6 +22,14 @@ type Options struct {
 	// CacheEntries is the LRU capacity for Count/Find results across
 	// all indexes. 0 means 4096; negative disables caching.
 	CacheEntries int
+	// SealThreshold starts a background seal whenever an Append leaves
+	// an index's delta holding at least this many trajectories. 0
+	// means 4096; negative disables auto-sealing (Seal must be called
+	// explicitly).
+	SealThreshold int
+	// Logf, when non-nil, receives operational log lines (background
+	// seals, persistence failures). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) workers() int {
@@ -38,24 +49,42 @@ func (o Options) cacheEntries() int {
 	return 4096
 }
 
+func (o Options) sealThreshold() int {
+	switch {
+	case o.SealThreshold > 0:
+		return o.SealThreshold
+	case o.SealThreshold < 0:
+		return 0
+	}
+	return 4096
+}
+
 // Engine serves queries over a Catalog of named indexes. It is the
 // single concurrency point of the system: every transport (HTTP
 // daemon, CLI, tests) funnels through the same bounded worker pool and
 // shares the same result cache, so answers and load behavior cannot
 // diverge between in-process and remote callers.
 type Engine struct {
-	cat   *Catalog
-	cache *queryCache
-	sem   chan struct{}
+	cat    *Catalog
+	cache  *queryCache
+	sem    chan struct{}
+	sealAt int
+	logf   func(format string, args ...any)
 }
 
 // New creates an empty engine; load indexes with OpenDir, Load or
 // Register.
 func New(opts Options) *Engine {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
 	return &Engine{
-		cat:   newCatalog(),
-		cache: newQueryCache(opts.cacheEntries()),
-		sem:   make(chan struct{}, opts.workers()),
+		cat:    newCatalog(),
+		cache:  newQueryCache(opts.cacheEntries()),
+		sem:    make(chan struct{}, opts.workers()),
+		sealAt: opts.sealThreshold(),
+		logf:   logf,
 	}
 }
 
@@ -91,7 +120,7 @@ func (e *Engine) OpenDir(dir string) ([]string, error) {
 		if err != nil {
 			return names, err
 		}
-		en.gen = 1
+		en.gen, en.epoch = 1, 1
 		en.spatial, en.temp = ix, t
 		e.cat.install(en)
 		names = append(names, en.name)
@@ -124,7 +153,7 @@ func (e *Engine) loadAs(name, path string, temporal bool) error {
 	if err != nil {
 		return err
 	}
-	en.gen = 1
+	en.gen, en.epoch = 1, 1
 	en.spatial, en.temp = ix, t
 	e.cat.install(en)
 	return nil
@@ -133,12 +162,12 @@ func (e *Engine) loadAs(name, path string, temporal bool) error {
 // Register publishes an in-memory spatial index under name (no backing
 // file; Reload will fail with ErrNoFile).
 func (e *Engine) Register(name string, ix *cinct.Index) {
-	e.cat.install(&entry{name: name, gen: 1, spatial: ix})
+	e.cat.install(&entry{name: name, gen: 1, epoch: 1, spatial: ix})
 }
 
 // RegisterTemporal publishes an in-memory temporal index under name.
 func (e *Engine) RegisterTemporal(name string, t *cinct.TemporalIndex) {
-	e.cat.install(&entry{name: name, gen: 1, temp: t, temporal: true})
+	e.cat.install(&entry{name: name, gen: 1, epoch: 1, temp: t, temporal: true})
 }
 
 // Reload re-reads name's backing file, atomically swaps the new index
@@ -184,6 +213,12 @@ type Info struct {
 	Temporal   bool   `json:"temporal"`
 	Path       string `json:"path,omitempty"`
 	Generation uint64 `json:"generation"`
+	// Epoch identifies the trajectory-ID space: it advances on Reload
+	// and replacement (invalidating cursors) but not on Append/Seal.
+	Epoch uint64 `json:"epoch"`
+	// Delta is the number of appended trajectories still in the
+	// uncompressed delta (live-ingestion entries only).
+	Delta int `json:"deltaTrajectories,omitempty"`
 	// TimestampBits is the compressed temporal store size (temporal
 	// indexes only).
 	TimestampBits int         `json:"timestampBits,omitempty"`
@@ -207,17 +242,267 @@ func (e *Engine) Info(name string) (Info, error) {
 		Temporal:   v.temporal,
 		Path:       en.path,
 		Generation: v.gen,
-		Stats:      v.index().Stats(),
+		Epoch:      v.epoch,
 	}
+	if v.w != nil {
+		info.Stats = v.w.Stats()
+		info.Delta = v.w.DeltaTrajectories()
+		if _, t := v.w.Snapshot(); t != nil {
+			info.TimestampBits = t.TimestampBits()
+		}
+		return info, nil
+	}
+	info.Stats = v.index().Stats()
 	if v.temp != nil {
 		info.TimestampBits = v.temp.TimestampBits()
 	}
 	return info, nil
 }
 
+// AppendResult summarizes one accepted ingest batch.
+type AppendResult struct {
+	// FirstID is the global trajectory ID assigned to the batch's
+	// first row; rows get consecutive IDs.
+	FirstID int `json:"firstId"`
+	// Appended is the number of rows accepted (the whole batch — a
+	// batch is atomic).
+	Appended int `json:"appended"`
+	// Delta is the number of trajectories in the uncompressed delta
+	// after the batch landed.
+	Delta int `json:"deltaTrajectories"`
+	// Generation is the index generation after the batch; every cached
+	// result of earlier generations is orphaned.
+	Generation uint64 `json:"generation"`
+}
+
+// Append ingests a batch of trajectories into index name, creating
+// the live writer on first use (the index's current state becomes the
+// writer's sealed base). The batch is atomic and immediately
+// queryable; the generation bump orphans every cached result computed
+// before it. times must be nil for a spatial index and row-aligned
+// for a temporal one. When the delta crosses the engine's seal
+// threshold a background seal compacts it (and persists the sealed
+// state for file-backed entries) without blocking queries or appends.
+func (e *Engine) Append(ctx context.Context, name string, trajs [][]uint32, times [][]int64) (AppendResult, error) {
+	if err := ctx.Err(); err != nil {
+		return AppendResult{}, err
+	}
+	en, err := e.cat.get(name)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	w, err := e.writerFor(en)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	first, err := w.AppendBatch(trajs, times)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	gen := en.bumpGen()
+	return AppendResult{FirstID: first, Appended: len(trajs), Delta: w.DeltaTrajectories(), Generation: gen}, nil
+}
+
+// writerFor returns the entry's live writer, creating it on first use
+// with the engine's seal threshold and the persistence hook.
+func (e *Engine) writerFor(en *entry) (*cinct.Writer, error) {
+	en.mu.Lock()
+	defer en.mu.Unlock()
+	if en.closed {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, en.name)
+	}
+	if en.w != nil {
+		return en.w, nil
+	}
+	cfg := cinct.WriterConfig{
+		SealThreshold: e.sealAt,
+		OnSeal:        func(n int) { e.afterSeal(en, n) },
+	}
+	var w *cinct.Writer
+	var err error
+	if en.temporal {
+		w, err = cinct.NewTemporalWriterAt(en.temp, cfg)
+	} else {
+		w, err = cinct.NewWriterAt(en.spatial, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	en.w = w
+	return w, nil
+}
+
+// SealResult summarizes one compaction.
+type SealResult struct {
+	// Sealed is the number of delta trajectories compacted (0 when the
+	// delta was already empty).
+	Sealed int `json:"sealed"`
+	// Delta is the number of trajectories still unsealed afterwards
+	// (rows appended while the seal ran).
+	Delta int `json:"deltaTrajectories"`
+	// Generation is the entry generation after the seal. Sealing does
+	// not bump it: query answers are unchanged by compaction, so
+	// cached results stay valid.
+	Generation uint64 `json:"generation"`
+}
+
+// Seal compacts index name's delta into a compressed shard and, for
+// file-backed entries, persists the new sealed state to the backing
+// file (atomic tmp+rename). Queries and appends proceed throughout.
+// An index with no live writer (nothing ever appended) seals
+// trivially. A compaction whose persistence failed — disk error, or a
+// concurrent Reload that discarded the writer mid-seal — returns that
+// error rather than reporting durable success.
+func (e *Engine) Seal(ctx context.Context, name string) (SealResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SealResult{}, err
+	}
+	en, err := e.cat.get(name)
+	if err != nil {
+		return SealResult{}, err
+	}
+	v, err := en.snapshot()
+	if err != nil {
+		return SealResult{}, err
+	}
+	if v.w == nil {
+		return SealResult{Generation: v.gen}, nil
+	}
+	n, err := v.w.Seal() // afterSeal (the OnSeal hook) persists
+	if err != nil {
+		return SealResult{}, err
+	}
+	en.mu.RLock()
+	gen, perr := en.gen, en.sealErr
+	en.mu.RUnlock()
+	res := SealResult{Sealed: n, Delta: v.w.DeltaTrajectories(), Generation: gen}
+	if perr != nil {
+		// Retry persistence — this covers both a failure during this
+		// seal and one left behind by an earlier background seal — and
+		// report the outcome instead of a silently non-durable success.
+		e.afterSeal(en, n)
+		en.mu.RLock()
+		perr = en.sealErr
+		en.mu.RUnlock()
+		if perr != nil {
+			return res, perr
+		}
+	}
+	return res, nil
+}
+
+// afterSeal is every writer's OnSeal hook: it logs the compaction and
+// persists the sealed state for file-backed entries, recording the
+// outcome in entry.sealErr so Engine.Seal can surface it. It
+// deliberately leaves the generation alone — a seal changes the
+// representation, not the answers, so cached pages and outstanding
+// cursors both stay valid.
+func (e *Engine) afterSeal(en *entry, sealed int) {
+	en.mu.RLock()
+	closed, path, w := en.closed, en.path, en.w
+	en.mu.RUnlock()
+	e.logf("engine: %q sealed %d trajectories", en.name, sealed)
+	var err error
+	switch {
+	case closed || w == nil:
+		// A Reload or Close raced the seal and discarded the writer:
+		// the compacted rows exist only in the orphaned writer and will
+		// not reach disk.
+		err = fmt.Errorf("engine: %q was reloaded or closed during the seal; %d sealed trajectories were discarded",
+			en.name, sealed)
+	case path == "":
+		// Memory-registered entry: nothing to persist, by design.
+	default:
+		if perr := persistWriter(w, path); perr != nil {
+			err = fmt.Errorf("engine: persisting %q after seal: %w", en.name, perr)
+		}
+	}
+	if err != nil {
+		e.logf("%v", err)
+	}
+	en.mu.Lock()
+	en.sealErr = err
+	en.mu.Unlock()
+}
+
+// persistWriter saves the writer's sealed snapshot to path via a
+// temporary file and an atomic rename, so readers of the data dir
+// never observe a torn index file.
+func persistWriter(w *cinct.Writer, path string) error {
+	ix, t := w.Snapshot()
+	if ix == nil && t == nil {
+		return nil
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if t != nil {
+		_, err = t.Save(f)
+	} else {
+		_, err = ix.Save(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // CacheStats reports the shared result cache's lifetime counters.
 func (e *Engine) CacheStats() (hits, misses uint64, entries int) {
 	return e.cache.stats()
+}
+
+// Engine cursors are the library's opaque tokens wrapped in an
+// envelope binding them to the epoch of the index binding they were
+// minted against. The library token positions into a result sequence
+// by (trajectory, offset); that position keeps meaning across Append
+// and Seal (IDs only ever extend) but not across Reload, where the
+// file may hold renumbered data and a resume would return silently
+// wrong pages. The envelope lets the engine detect that case and fail
+// with ErrStaleCursor instead.
+//
+// 0xE1, not 1: the library's own tokens start with their version byte
+// 1, and the envelope byte must not collide with them or a bare
+// library token would "unwrap" into garbage instead of failing as
+// ErrBadCursor.
+const engineCursorVersion = 0xE1
+
+// wrapCursor envelopes a library cursor token with the epoch it was
+// minted in. Empty tokens (exhausted streams) stay empty.
+func wrapCursor(epoch uint64, token string) string {
+	if token == "" {
+		return ""
+	}
+	b := make([]byte, 0, 1+binary.MaxVarintLen64+len(token))
+	b = append(b, engineCursorVersion)
+	b = binary.AppendUvarint(b, epoch)
+	b = append(b, token...)
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// unwrapCursor decodes an engine cursor envelope back into the inner
+// library token and its minting epoch. Malformed envelopes (including
+// bare library tokens, which never leave the engine) fail with
+// cinct.ErrBadCursor; shape validation of the inner token stays with
+// the library.
+func unwrapCursor(s string) (epoch uint64, token string, err error) {
+	raw, derr := base64.RawURLEncoding.DecodeString(s)
+	if derr != nil || len(raw) < 2 || raw[0] != engineCursorVersion {
+		return 0, "", fmt.Errorf("%w: not an engine cursor", cinct.ErrBadCursor)
+	}
+	epoch, n := binary.Uvarint(raw[1:])
+	if n <= 0 || len(raw) == 1+n {
+		// An envelope with no inner token would silently restart the
+		// query from page one instead of resuming it.
+		return 0, "", fmt.Errorf("%w: malformed engine cursor", cinct.ErrBadCursor)
+	}
+	return epoch, string(raw[1+n:]), nil
 }
 
 // page is the materialized, immutable form of one Search run — the
@@ -238,9 +523,10 @@ type page struct {
 // the legacy wrappers and the HTTP handler, get the release for free).
 // Not safe for concurrent use.
 type Results struct {
-	q    cinct.Query
-	page *page // replay source; nil while live
-	pos  int
+	q     cinct.Query
+	epoch uint64 // epoch the search ran at; binds handed-out cursors
+	page  *page  // replay source; nil while live
+	pos   int
 
 	live *cinct.Results
 	pull func() (cinct.Hit, error, bool)
@@ -396,20 +682,24 @@ func (r *Results) Count() (int, error) {
 
 // Cursor returns the token that resumes the query just past the last
 // hit yielded, or "" when the stream is known exhausted (or nothing
-// has been yielded). Semantics mirror cinct.Results.Cursor.
+// has been yielded). Semantics mirror cinct.Results.Cursor, except
+// that engine cursors carry the epoch envelope: resuming after a
+// Reload fails with ErrStaleCursor instead of paging through
+// renumbered data, while resuming across Append or Seal keeps
+// working.
 func (r *Results) Cursor() string {
 	if r.err != nil {
 		return ""
 	}
 	if r.live != nil {
-		return r.live.Cursor()
+		return wrapCursor(r.epoch, r.live.Cursor())
 	}
 	if r.page != nil {
 		if r.pos >= len(r.page.hits) {
-			return r.page.cursor
+			return wrapCursor(r.epoch, r.page.cursor)
 		}
 		if r.hasLast {
-			return r.q.CursorAfter(r.last)
+			return wrapCursor(r.epoch, r.q.CursorAfter(r.last))
 		}
 	}
 	return ""
@@ -427,27 +717,43 @@ func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Resul
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	enc, err := q.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
 	v, err := e.cat.view(name)
 	if err != nil {
 		return nil, err
 	}
-	if q.Interval != nil && v.temp == nil {
+	if q.Cursor != "" {
+		epoch, inner, cerr := unwrapCursor(q.Cursor)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if epoch != v.epoch {
+			return nil, fmt.Errorf("%w: %q epoch %d, cursor epoch %d", ErrStaleCursor, v.name, v.epoch, epoch)
+		}
+		// The library sees only its own token; the cache key is built
+		// from the unwrapped form so a page is reusable whatever epoch
+		// envelope it arrived in.
+		q.Cursor = inner
+	}
+	enc, err := q.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if q.Interval != nil && !v.isTemporal() {
 		return nil, fmt.Errorf("%w: %q", ErrNotTemporal, v.name)
 	}
 	key := searchKey(v.name, v.gen, enc)
 	if val, ok := e.cache.get(key); ok {
-		return &Results{q: q, page: val.(*page)}, nil
+		return &Results{q: q, epoch: v.epoch, page: val.(*page)}, nil
 	}
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	lr, err := func() (lr *cinct.Results, err error) {
 		defer recoverQuery(&err)
-		if v.temp != nil {
+		switch {
+		case v.w != nil:
+			return v.w.Search(ctx, q)
+		case v.temp != nil:
 			return v.temp.Search(ctx, q)
 		}
 		return v.spatial.Search(ctx, q)
@@ -464,9 +770,9 @@ func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Resul
 		}
 		p := &page{count: n}
 		e.cache.put(key, p)
-		return &Results{q: q, page: p}, nil
+		return &Results{q: q, epoch: v.epoch, page: p}, nil
 	}
-	return &Results{q: q, live: lr, e: e, key: key, held: true, acc: make([]cinct.Hit, 0, 16)}, nil
+	return &Results{q: q, epoch: v.epoch, live: lr, e: e, key: key, held: true, acc: make([]cinct.Hit, 0, 16)}, nil
 }
 
 // Count returns the number of occurrences of path in index name.
@@ -524,11 +830,12 @@ func (e *Engine) FindTrajectories(ctx context.Context, name string, path []uint3
 	return ids, nil
 }
 
-// checkTrajectory validates a trajectory ID against the snapshot,
-// converting the library's documented panic-on-bad-ID contract into an
-// error a server can map to a 4xx.
+// checkTrajectory validates a trajectory ID against the snapshot
+// (including unsealed delta rows), converting the library's
+// documented panic-on-bad-ID contract into an error a server can map
+// to a 4xx.
 func checkTrajectory(v view, id int) error {
-	if n := v.index().NumTrajectories(); id < 0 || id >= n {
+	if n := v.numTrajectories(); id < 0 || id >= n {
 		return fmt.Errorf("%w: trajectory %d not in [0,%d)", ErrOutOfRange, id, n)
 	}
 	return nil
@@ -547,6 +854,9 @@ func (e *Engine) Trajectory(ctx context.Context, name string, id int) ([]uint32,
 		return nil, err
 	}
 	defer e.release()
+	if v.w != nil {
+		return v.w.Trajectory(id)
+	}
 	return v.index().Trajectory(id)
 }
 
@@ -563,7 +873,12 @@ func (e *Engine) SubPath(ctx context.Context, name string, id, from, to int) ([]
 		return nil, err
 	}
 	defer e.release()
-	sub, err := v.index().SubPath(id, from, to)
+	var sub []uint32
+	if v.w != nil {
+		sub, err = v.w.SubPath(id, from, to)
+	} else {
+		sub, err = v.index().SubPath(id, from, to)
+	}
 	if err != nil {
 		if errors.Is(err, cinct.ErrNoLocate) {
 			// Index capability, not bad parameters — don't blame the

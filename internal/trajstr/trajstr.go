@@ -92,6 +92,19 @@ func (c *Corpus) NumTrajectories() int { return len(c.docStarts) }
 // Len returns the trajectory string length |T|.
 func (c *Corpus) Len() int { return len(c.Text) }
 
+// TextLenFromTables returns |T| as implied by the document tables
+// alone (equal to Len when the text is present): all documents with
+// their '$' separators, plus the trailing '#'. Loaders use it to
+// cross-check corpus metadata against the self-index it was paired
+// with.
+func (c *Corpus) TextLenFromTables() int {
+	k := len(c.docStarts) - 1
+	if k < 0 {
+		return 1
+	}
+	return int(c.docStarts[k]) + int(c.docLens[k]) + 2
+}
+
 // NumEdges returns the number of distinct road edges.
 func (c *Corpus) NumEdges() int { return len(c.symToEdge) }
 

@@ -1,0 +1,133 @@
+// Command genfuzzseeds regenerates the committed fuzz seed corpora
+// under testdata/fuzz/ and server/testdata/fuzz/: valid container
+// files (monolithic, sharded, temporal), truncations, bare magics,
+// genuine cursors and representative query bodies — the structured
+// starting points that let short CI fuzz runs reach deep parser
+// states immediately. Run from the repo root:
+//
+//	go run ./scripts/genfuzzseeds
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"cinct"
+)
+
+// corpus mirrors fuzzCorpus in fuzz_test.go.
+func corpus() ([][]uint32, [][]int64) {
+	trajs := [][]uint32{
+		{1, 2, 3, 4},
+		{2, 3, 4},
+		{5, 1, 2, 3},
+		{3, 4, 5, 1, 2},
+		{9},
+		{2, 3},
+	}
+	times := make([][]int64, len(trajs))
+	for k, tr := range trajs {
+		col := make([]int64, len(tr))
+		for i := range col {
+			col[i] = int64(100*k + 10*i)
+		}
+		times[k] = col
+	}
+	return trajs, times
+}
+
+func writeSeed(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d input bytes)\n", filepath.Join(dir, name), len(data))
+}
+
+func main() {
+	trajs, times := corpus()
+
+	// FuzzLoadSharded: monolithic + sharded containers and truncations.
+	dir := filepath.Join("testdata", "fuzz", "FuzzLoadSharded")
+	for _, shards := range []int{1, 3} {
+		opts := cinct.DefaultOptions()
+		opts.Shards = shards
+		ix, err := cinct.Build(trajs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.Save(&buf); err != nil {
+			log.Fatal(err)
+		}
+		writeSeed(dir, fmt.Sprintf("valid-shards%d", shards), buf.Bytes())
+		writeSeed(dir, fmt.Sprintf("truncated-shards%d", shards), buf.Bytes()[:buf.Len()/2])
+	}
+	writeSeed(dir, "magic-only", []byte("CNCTshrd"))
+
+	// FuzzLoadTemporal: current container, legacy-shaped prefix, magic.
+	dir = filepath.Join("testdata", "fuzz", "FuzzLoadTemporal")
+	for _, shards := range []int{1, 2} {
+		opts := cinct.DefaultOptions()
+		opts.Shards = shards
+		tix, err := cinct.BuildTemporal(trajs, times, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := tix.Save(&buf); err != nil {
+			log.Fatal(err)
+		}
+		writeSeed(dir, fmt.Sprintf("valid-shards%d", shards), buf.Bytes())
+		writeSeed(dir, fmt.Sprintf("truncated-shards%d", shards), buf.Bytes()[:2*buf.Len()/3])
+	}
+	writeSeed(dir, "magic-only", []byte("CNCTtemp"))
+
+	// FuzzCursor: genuine resume tokens (selector byte + token) and junk.
+	dir = filepath.Join("testdata", "fuzz", "FuzzCursor")
+	tix, err := cinct.BuildTemporal(trajs, times, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	queries := []cinct.Query{
+		{Path: []uint32{2, 3}, Kind: cinct.Occurrences, Limit: 1},
+		{Path: []uint32{2, 3}, Kind: cinct.Trajectories, Limit: 1,
+			Interval: &cinct.Interval{From: 0, To: 1 << 40}},
+	}
+	for i, q := range queries {
+		r, err := tix.Search(ctx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, herr := range r.All() {
+			if herr != nil {
+				log.Fatal(herr)
+			}
+			break
+		}
+		writeSeed(dir, fmt.Sprintf("valid-cursor%d", i), []byte("\x00"+r.Cursor()))
+	}
+	writeSeed(dir, "garbage", []byte("\x01garbage-token"))
+	writeSeed(dir, "empty-token", []byte{0x02})
+
+	// FuzzQueryUnmarshal: representative wire bodies.
+	dir = filepath.Join("server", "testdata", "fuzz", "FuzzQueryUnmarshal")
+	for i, body := range []string{
+		`{"path":[1,2,3]}`,
+		`{"path":[1],"kind":"count","limit":10}`,
+		`{"path":[2,3],"kind":"trajectories","from":0,"to":999,"cursor":"AQ"}`,
+		`{"path":[4294967295],"limit":-1}`,
+		`{"kind":"nosuch"}`,
+		`{`,
+	} {
+		writeSeed(dir, fmt.Sprintf("seed%d", i), []byte(body))
+	}
+}

@@ -178,6 +178,69 @@ echo "== CLI -remote round-trip"
 "$bindir/cinct" verify -remote "$base" -name smoke -in "$workdir/corpus.txt" -samples 40 \
   || { echo "smoke: remote verify failed" >&2; exit 1; }
 
+echo "== live ingestion"
+# A marker path that cannot pre-exist (trajgen edge IDs are small).
+mpath="900001,900002"
+mjson="[${mpath//,/, }]"
+pre=$(curl -sf "$base/v1/smoke/count?path=$mpath" | jq .count)
+[ "$pre" = 0 ] || { echo "smoke: marker path pre-exists ($pre)" >&2; exit 1; }
+
+# Ingest two trajectories carrying the marker into the spatial index.
+ingest=$(printf '{"edges":[7,900001,900002]}\n{"edges":[900001,900002]}\n' \
+  | curl -sf -X POST -H 'Content-Type: application/x-ndjson' --data-binary @- "$base/v1/smoke/ingest")
+echo "$ingest" | jq -e '.appended == 2 and .firstId == 400 and .deltaTrajectories == 2' >/dev/null \
+  || { echo "smoke: ingest response drift: $ingest" >&2; exit 1; }
+echo "ok POST /v1/smoke/ingest (2 rows into the delta)"
+
+# The delta is immediately queryable — legacy and unified endpoints.
+post=$(curl -sf "$base/v1/smoke/count?path=$mpath" | jq .count)
+[ "$post" = 2 ] || { echo "smoke: delta not queryable: count $post, want 2" >&2; exit 1; }
+qc=$(qpost smoke "{\"path\":$mjson,\"kind\":\"count\"}" | jq -r 'select(.done == true).count')
+[ "$qc" = 2 ] || { echo "smoke: unified query misses delta: $qc" >&2; exit 1; }
+curl -sf "$base/v1/smoke/trajectory/401" | jq -e '.edges == [900001, 900002]' >/dev/null \
+  || { echo "smoke: delta trajectory not reconstructible" >&2; exit 1; }
+echo "ok delta queryable (count=2, reconstruction OK)"
+
+# Seal: counts unchanged, delta drained, sealed shards persisted.
+sealed=$(curl -sf -X POST "$base/v1/smoke/seal")
+echo "$sealed" | jq -e '.sealed == 2 and .deltaTrajectories == 0' >/dev/null \
+  || { echo "smoke: seal response drift: $sealed" >&2; exit 1; }
+post=$(curl -sf "$base/v1/smoke/count?path=$mpath" | jq .count)
+[ "$post" = 2 ] || { echo "smoke: seal changed count to $post" >&2; exit 1; }
+echo "ok POST /v1/smoke/seal (counts stable across compaction)"
+
+# Reload re-reads the persisted file: the ingested rows must survive.
+curl -sf -X POST "$base/v1/smoke/reload" >/dev/null
+post=$(curl -sf "$base/v1/smoke/count?path=$mpath" | jq .count)
+[ "$post" = 2 ] || { echo "smoke: sealed rows lost after reload ($post)" >&2; exit 1; }
+curl -sf "$base/v1/indexes" | jq -e '(.indexes[] | select(.name=="smoke") | .stats.trajectories) == 402' >/dev/null \
+  || { echo "smoke: reloaded index lost ingested trajectories" >&2; exit 1; }
+echo "ok sealed shards persisted (402 trajectories after reload)"
+
+# Temporal ingest with inline seal + interval check over the new row.
+tingest=$(printf '{"edges":[900001,900002],"times":[5000000,5000010]}\n' \
+  | curl -sf -X POST --data-binary @- "$base/v1/tsmoke/ingest?seal=true")
+echo "$tingest" | jq -e '.appended == 1 and .sealed == 1' >/dev/null \
+  || { echo "smoke: temporal ingest drift: $tingest" >&2; exit 1; }
+tcount=$(curl -sf "$base/v1/tsmoke/temporal/count?path=$mpath&from=4999999&to=5000001" | jq .count)
+[ "$tcount" = 1 ] || { echo "smoke: temporal interval misses ingested row ($tcount)" >&2; exit 1; }
+echo "ok temporal ingest + interval query over ingested timestamps"
+
+# CLI ingest round trip against the daemon.
+printf '7 900001 900002\n' > "$workdir/more.txt"
+"$bindir/cinct" ingest -remote "$base" -name smoke -in "$workdir/more.txt" -seal | grep 'sealed' >/dev/null \
+  || { echo "smoke: cinct ingest -remote failed" >&2; exit 1; }
+post=$(curl -sf "$base/v1/smoke/count?path=$mpath" | jq .count)
+[ "$post" = 3 ] || { echo "smoke: CLI ingest not visible (count $post, want 3)" >&2; exit 1; }
+echo "ok cinct ingest -remote (count now 3)"
+
+# Bad batches are 400s.
+status=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary '{"edges":[]}' "$base/v1/smoke/ingest")
+[ "$status" = 400 ] || { echo "smoke: empty-edges ingest returned $status, want 400" >&2; exit 1; }
+status=$(curl -s -o /dev/null -w '%{http_code}' -X POST --data-binary '{"edges":[1]}' "$base/v1/tsmoke/ingest")
+[ "$status" = 400 ] || { echo "smoke: missing-times ingest returned $status, want 400" >&2; exit 1; }
+echo "ok 400 on malformed ingest batches"
+
 echo "== graceful shutdown"
 kill -TERM "$daemon_pid"
 for i in $(seq 1 50); do

@@ -160,6 +160,16 @@ func (t *TemporalIndex) Search(ctx context.Context, q Query) (*Results, error) {
 }
 
 func search(ctx context.Context, q Query, ix *Index, t *TemporalIndex) (*Results, error) {
+	return runSearch(ctx, q, assembleUnits(ix, t), ix.hasLoc)
+}
+
+// runSearch is the transport between a compiled query and the
+// streaming merge, shared by the immutable indexes and the live
+// Writer: the units may be compressed shards, a delta snapshot, or
+// any mix — each contributes candidates through the same collect /
+// advance protocol. hasLoc reports whether the compressed units can
+// locate (delta units always can).
+func runSearch(ctx context.Context, q Query, units []*unitCursor, hasLoc bool) (*Results, error) {
 	c, err := compile(q)
 	if err != nil {
 		return nil, err
@@ -167,7 +177,6 @@ func search(ctx context.Context, q Query, ix *Index, t *TemporalIndex) (*Results
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	units := assembleUnits(ix, t)
 	if c.kind == CountOnly {
 		n, err := countUnits(ctx, c, units)
 		if err != nil {
@@ -175,7 +184,7 @@ func search(ctx context.Context, q Query, ix *Index, t *TemporalIndex) (*Results
 		}
 		return &Results{q: q, count: n, exhausted: true}, nil
 	}
-	if !ix.hasLoc {
+	if !hasLoc {
 		return nil, ErrNoLocate
 	}
 	runUnits(units, func(_ int, u *unitCursor) { u.err = u.collect(ctx, c) })
@@ -203,11 +212,15 @@ func search(ctx context.Context, q Query, ix *Index, t *TemporalIndex) (*Results
 // unitCursor is one shard's contribution to a Search: an index over a
 // contiguous global-ID range, its timestamp store (when temporal), the
 // canonically sorted candidate set produced by collect, and the lazy
-// iteration state advanced during the merge.
+// iteration state advanced during the merge. A unit is backed either
+// by a compressed monolithic index (ix) or by a live delta snapshot
+// (d) — the collect/advance protocol is identical, only the locate
+// and timestamp probes dispatch differently.
 type unitCursor struct {
-	ix   *Index // monolithic shard index
-	base int    // global ID of the unit's first trajectory
-	n    int    // trajectories in the unit
+	ix   *Index     // monolithic shard index; nil for a delta unit
+	d    *deltaSnap // uncompressed delta snapshot; nil for sealed units
+	base int        // global ID of the unit's first trajectory
+	n    int        // trajectories in the unit
 	// ts is the timestamp store probed for interval queries; nil for
 	// purely spatial searches. tsGlobal marks the legacy layout where a
 	// single corpus-wide store is shared by all units and probed with
@@ -231,6 +244,42 @@ func (u *unitCursor) probeID(local int) int {
 		return local + u.base
 	}
 	return local
+}
+
+// locate enumerates every occurrence of path in the unit — the
+// backward-search + SA-sample walk for compressed units, a plain scan
+// for the delta.
+func (u *unitCursor) locate(ctx context.Context, path []uint32, visit func(doc, offset int)) error {
+	if u.d != nil {
+		return u.d.locate(ctx, path, visit)
+	}
+	return u.ix.locateOccurrences(ctx, path, visit)
+}
+
+// countPath answers the no-interval CountOnly contribution of the
+// unit.
+func (u *unitCursor) countPath(path []uint32) int {
+	if u.d != nil {
+		return u.d.count(path)
+	}
+	return u.ix.countOne(path)
+}
+
+// tsMinMax returns the (min, max) timestamp summary of a shard-local
+// trajectory; tsAt probes one timestamp. Valid only under an interval
+// query, where every unit carries temporal data.
+func (u *unitCursor) tsMinMax(local int) (int64, int64) {
+	if u.d != nil {
+		return u.d.minMax(local)
+	}
+	return u.ts.MinMax(u.probeID(local))
+}
+
+func (u *unitCursor) tsAt(local, offset int) int64 {
+	if u.d != nil {
+		return u.d.at(local, offset)
+	}
+	return u.ts.At(u.probeID(local), offset)
 }
 
 // assembleUnits flattens an index (and its optional temporal stores)
@@ -286,16 +335,15 @@ func countUnits(ctx context.Context, c compiled, units []*unitCursor) (int, erro
 	errs := make([]error, len(units))
 	runUnits(units, func(i int, u *unitCursor) {
 		if !c.hasInterval {
-			counts[i] = u.ix.countOne(c.path)
+			counts[i] = u.countPath(c.path)
 			return
 		}
 		n := 0
-		errs[i] = u.ix.locateOccurrences(ctx, c.path, func(doc, offset int) {
-			id := u.probeID(doc)
-			if lo, hi := u.ts.MinMax(id); hi < c.from || lo > c.to {
+		errs[i] = u.locate(ctx, c.path, func(doc, offset int) {
+			if lo, hi := u.tsMinMax(doc); hi < c.from || lo > c.to {
 				return
 			}
-			if at := u.ts.At(id, offset); at >= c.from && at <= c.to {
+			if at := u.tsAt(doc, offset); at >= c.from && at <= c.to {
 				n++
 			}
 		})
@@ -356,12 +404,12 @@ func (u *unitCursor) skipByCursor(c compiled, doc, offset int) bool {
 // reject candidates later, so the working set cannot be bounded by the
 // limit up front.
 func (u *unitCursor) collectAll(ctx context.Context, c compiled) error {
-	err := u.ix.locateOccurrences(ctx, c.path, func(doc, offset int) {
+	err := u.locate(ctx, c.path, func(doc, offset int) {
 		if u.skipByCursor(c, doc, offset) {
 			return
 		}
 		if c.hasInterval {
-			if lo, hi := u.ts.MinMax(u.probeID(doc)); hi < c.from || lo > c.to {
+			if lo, hi := u.tsMinMax(doc); hi < c.from || lo > c.to {
 				return
 			}
 		}
@@ -380,7 +428,7 @@ func (u *unitCursor) collectAll(ctx context.Context, c compiled) error {
 // candidate is a definite hit (no interval filter).
 func (u *unitCursor) collectBounded(ctx context.Context, c compiled) error {
 	h := matchHeap{}
-	err := u.ix.locateOccurrences(ctx, c.path, func(doc, offset int) {
+	err := u.locate(ctx, c.path, func(doc, offset int) {
 		if u.skipByCursor(c, doc, offset) {
 			return
 		}
@@ -411,7 +459,7 @@ func (u *unitCursor) collectBounded(ctx context.Context, c compiled) error {
 func (u *unitCursor) collectDistinct(ctx context.Context, c compiled) error {
 	seen := make(map[int]struct{})
 	h := matchHeap{}
-	err := u.ix.locateOccurrences(ctx, c.path, func(doc, offset int) {
+	err := u.locate(ctx, c.path, func(doc, offset int) {
 		if u.skipByCursor(c, doc, offset) {
 			return
 		}
@@ -466,7 +514,7 @@ func (u *unitCursor) advance(s *searchShared) {
 		}
 		h := Hit{Match: Match{Trajectory: global, Offset: m.Offset}}
 		if c.hasInterval {
-			at := u.ts.At(u.probeID(m.Trajectory), m.Offset)
+			at := u.tsAt(m.Trajectory, m.Offset)
 			if at < c.from || at > c.to {
 				continue
 			}

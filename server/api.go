@@ -154,6 +154,38 @@ type ReloadResponse struct {
 	Generation uint64 `json:"generation"`
 }
 
+// IngestRecord is one NDJSON line of POST /v1/{index}/ingest: a
+// trajectory's edges in travel order and, for temporal indexes, the
+// aligned entry-timestamp column.
+type IngestRecord struct {
+	Edges []uint32 `json:"edges"`
+	Times []int64  `json:"times,omitempty"`
+}
+
+// IngestResponse is the body of POST /v1/{index}/ingest. The batch is
+// atomic: either every record was appended (with consecutive global
+// IDs starting at FirstID) or none was.
+type IngestResponse struct {
+	Index    string `json:"index"`
+	Appended int    `json:"appended"`
+	FirstID  int    `json:"firstId"`
+	// Delta is the uncompressed delta's size after the batch (and
+	// after the optional seal).
+	Delta      int    `json:"deltaTrajectories"`
+	Generation uint64 `json:"generation"`
+	// Sealed is the number of trajectories compacted when the request
+	// asked for ?seal=true.
+	Sealed int `json:"sealed,omitempty"`
+}
+
+// SealResponse is the body of POST /v1/{index}/seal.
+type SealResponse struct {
+	Index      string `json:"index"`
+	Sealed     int    `json:"sealed"`
+	Delta      int    `json:"deltaTrajectories"`
+	Generation uint64 `json:"generation"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -325,3 +325,57 @@ func (c *Client) Reload(ctx context.Context, index string) (uint64, error) {
 	}
 	return resp.Generation, nil
 }
+
+// Ingest appends a batch of trajectories to a live index over the
+// daemon's NDJSON write endpoint. The batch is atomic and immediately
+// queryable; with seal the server compacts the delta before replying.
+// Temporal indexes require every record to carry Times.
+func (c *Client) Ingest(ctx context.Context, index string, recs []IngestRecord, seal bool) (*IngestResponse, error) {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			return nil, err
+		}
+	}
+	u := c.base + "/v1/" + url.PathEscape(index) + "/ingest"
+	if seal {
+		u += "?seal=true"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			return nil, fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var out IngestResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Seal asks the daemon to compact one index's delta into a compressed
+// shard (persisting it for file-backed indexes).
+func (c *Client) Seal(ctx context.Context, index string) (*SealResponse, error) {
+	var resp SealResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/"+url.PathEscape(index)+"/seal", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

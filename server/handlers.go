@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -29,7 +31,91 @@ func (sr *systemRouter) Routes() []Route {
 	return []Route{
 		{Method: http.MethodGet, Pattern: "/v1/indexes", Handler: sr.listIndexes},
 		{Method: http.MethodPost, Pattern: "/v1/{index}/reload", Handler: sr.reloadIndex},
+		{Method: http.MethodPost, Pattern: "/v1/{index}/ingest", Handler: sr.ingest},
+		{Method: http.MethodPost, Pattern: "/v1/{index}/seal", Handler: sr.seal},
 	}
+}
+
+// maxIngestBody bounds one NDJSON ingest batch; maxIngestLine bounds
+// one record.
+const (
+	maxIngestBody = 64 << 20
+	maxIngestLine = 1 << 20
+)
+
+// ingest serves the write path: the body is an NDJSON batch of
+// IngestRecord lines, appended atomically to the named index's live
+// delta and queryable as soon as the response is written. With
+// ?seal=true the delta is compacted into a compressed shard before
+// replying (useful for scripted loads that want durability per
+// batch); otherwise sealing is left to the background sealer or an
+// explicit POST /v1/{index}/seal.
+func (sr *systemRouter) ingest(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	var trajs [][]uint32
+	var times [][]int64
+	sawTimes := false
+	sc := bufio.NewScanner(io.LimitReader(r.Body, maxIngestBody))
+	sc.Buffer(make([]byte, 0, 64*1024), maxIngestLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec IngestRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("%w: record %d: %v", errBadRequest, len(trajs), err)
+		}
+		if len(rec.Edges) == 0 {
+			return fmt.Errorf("%w: record %d: missing or empty edges", errBadRequest, len(trajs))
+		}
+		trajs = append(trajs, rec.Edges)
+		times = append(times, rec.Times)
+		if rec.Times != nil {
+			sawTimes = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	if len(trajs) == 0 {
+		return fmt.Errorf("%w: empty ingest batch", errBadRequest)
+	}
+	if !sawTimes {
+		times = nil // spatial batch: the engine expects no column slice at all
+	}
+	res, err := sr.eng.Append(ctx, name, trajs, times)
+	if err != nil {
+		return err
+	}
+	resp := IngestResponse{
+		Index:      name,
+		Appended:   res.Appended,
+		FirstID:    res.FirstID,
+		Delta:      res.Delta,
+		Generation: res.Generation,
+	}
+	if seal := r.URL.Query().Get("seal"); seal == "true" || seal == "1" {
+		sres, err := sr.eng.Seal(ctx, name)
+		if err != nil {
+			return err
+		}
+		resp.Sealed = sres.Sealed
+		resp.Delta = sres.Delta
+		resp.Generation = sres.Generation
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+func (sr *systemRouter) seal(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	res, err := sr.eng.Seal(ctx, name)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, SealResponse{
+		Index: name, Sealed: res.Sealed, Delta: res.Delta, Generation: res.Generation,
+	})
 }
 
 func (sr *systemRouter) listIndexes(ctx context.Context, w http.ResponseWriter, r *http.Request) error {

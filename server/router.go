@@ -43,10 +43,15 @@ func httpStatus(err error) int {
 	case errors.Is(err, engine.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, engine.ErrOutOfRange), errors.Is(err, errBadRequest),
-		errors.Is(err, cinct.ErrBadQuery), errors.Is(err, cinct.ErrBadCursor):
+		errors.Is(err, cinct.ErrBadQuery), errors.Is(err, cinct.ErrBadCursor),
+		errors.Is(err, cinct.ErrBadAppend):
 		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrStaleCursor):
+		// The cursor was valid once; the index it pointed into is gone.
+		return http.StatusGone
 	case errors.Is(err, engine.ErrNotTemporal), errors.Is(err, engine.ErrNoFile),
-		errors.Is(err, cinct.ErrNoLocate), errors.Is(err, cinct.ErrNoTimestamps):
+		errors.Is(err, cinct.ErrNoLocate), errors.Is(err, cinct.ErrNoTimestamps),
+		errors.Is(err, cinct.ErrNotAppendable):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout

@@ -1,0 +1,573 @@
+package cinct
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cinct/internal/tempo"
+	"cinct/internal/trajstr"
+)
+
+// ErrNotAppendable reports an index layout that cannot accept new
+// sealed shards: the legacy temporal container pairing a sharded
+// spatial index with one corpus-wide timestamp store (rebuild it with
+// BuildTemporal to migrate), or a locate-capability mismatch between
+// the existing shards and the writer's build options.
+var ErrNotAppendable = errors.New("cinct: index layout not appendable")
+
+// asSharded returns the index's sharded form, wrapping a monolithic
+// index as a single-shard ShardedIndex so a seal can always extend by
+// shard concatenation. The wrapper shares the underlying immutable
+// core, so promotion is O(1).
+func (ix *Index) asSharded() *ShardedIndex {
+	if ix.sharded != nil {
+		return ix.sharded
+	}
+	return &ShardedIndex{
+		shards: []*Index{ix},
+		bounds: []int{0, ix.corpus.NumTrajectories()},
+		edges:  ix.corpus.NumEdges(),
+		hasLoc: ix.hasLoc,
+	}
+}
+
+// withShard returns a new ShardedIndex: si's shards plus one more
+// (already built) shard owning the next contiguous global-ID range.
+// si itself is unchanged — extension is copy-on-write, so in-flight
+// queries against the old value stay correct.
+func (si *ShardedIndex) withShard(shard *Index) (*ShardedIndex, error) {
+	if shard.hasLoc != si.hasLoc {
+		return nil, fmt.Errorf("%w: existing shards and new shard disagree on locate support", ErrNotAppendable)
+	}
+	shards := make([]*Index, 0, len(si.shards)+1)
+	shards = append(append(shards, si.shards...), shard)
+	bounds := make([]int, 0, len(si.bounds)+1)
+	bounds = append(append(bounds, si.bounds...), si.bounds[len(si.bounds)-1]+shard.NumTrajectories())
+	// The distinct-edge union is recomputed over all shards: the count
+	// alone cannot be merged incrementally (overlap with the new shard
+	// is unknown), and the map build is dwarfed by the compression
+	// build that preceded every call here.
+	corpora := make([]*trajstr.Corpus, len(shards))
+	for i, s := range shards {
+		corpora[i] = s.corpus
+	}
+	return &ShardedIndex{
+		shards: shards,
+		bounds: bounds,
+		edges:  trajstr.CountDistinctEdges(corpora),
+		hasLoc: si.hasLoc,
+	}, nil
+}
+
+// withShard extends a temporal index with one sealed shard and its
+// timestamp store, promoting a monolithic base to the sharded layout.
+// The legacy layout (sharded spatial index, single global store)
+// cannot be extended: its store is indexed by global IDs and cannot
+// absorb a per-shard column range.
+func (t *TemporalIndex) withShard(shard *Index, store *tempo.Store) (*TemporalIndex, error) {
+	if t.Index.sharded != nil && !t.aligned() {
+		return nil, fmt.Errorf("%w: legacy single-store temporal layout", ErrNotAppendable)
+	}
+	nsi, err := t.Index.asSharded().withShard(shard)
+	if err != nil {
+		return nil, err
+	}
+	stores := make([]*tempo.Store, 0, len(t.stores)+1)
+	stores = append(append(stores, t.stores...), store)
+	return &TemporalIndex{Index: &Index{sharded: nsi, hasLoc: nsi.hasLoc}, stores: stores}, nil
+}
+
+// sealShard compacts validated rows into one compressed monolithic
+// index — the unit a seal appends.
+func sealShard(trajs [][]uint32, opts *Options) (*Index, error) {
+	corpus, err := trajstr.New(trajs)
+	if err != nil {
+		return nil, err
+	}
+	return buildOne(corpus, opts), nil
+}
+
+// AppendSealed compacts trajs into one additional CiNCT-compressed
+// shard and returns a new ShardedIndex serving the old corpus plus
+// the new trajectories (global IDs continue past the existing range).
+// si is unchanged: indexes stay immutable, so concurrent readers of
+// the old value are unaffected — swap the returned value in wherever
+// the old one was published. Live, incrementally queryable ingestion
+// is Writer's job; AppendSealed is its compaction primitive.
+func (si *ShardedIndex) AppendSealed(trajs [][]uint32, opts *Options) (*ShardedIndex, error) {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	shard, err := sealShard(trajs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return si.withShard(shard)
+}
+
+// AppendSealed compacts trajs with their timestamp columns into one
+// additional shard (spatial index + tempo store) and returns a new
+// TemporalIndex serving the union. Semantics mirror
+// ShardedIndex.AppendSealed.
+func (t *TemporalIndex) AppendSealed(trajs [][]uint32, times [][]int64, opts *Options) (*TemporalIndex, error) {
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if opts.SampleRate == 0 {
+		return nil, fmt.Errorf("cinct: temporal index requires SampleRate > 0")
+	}
+	if len(times) != len(trajs) {
+		return nil, fmt.Errorf("cinct: %d timestamp columns for %d trajectories", len(times), len(trajs))
+	}
+	for k := range trajs {
+		if len(times[k]) != len(trajs[k]) {
+			return nil, fmt.Errorf("cinct: trajectory %d has %d edges but %d timestamps",
+				k, len(trajs[k]), len(times[k]))
+		}
+	}
+	shard, err := sealShard(trajs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return t.withShard(shard, tempo.New(times))
+}
+
+// WriterConfig tunes a Writer. The zero value is valid: default build
+// options, manual sealing only.
+type WriterConfig struct {
+	// Build tunes the compression of sealed shards (nil means
+	// DefaultOptions; Shards is ignored — each seal produces exactly
+	// one shard).
+	Build *Options
+	// SealThreshold starts a background seal whenever an Append leaves
+	// the delta holding at least this many trajectories. 0 disables
+	// auto-sealing (call Seal explicitly).
+	SealThreshold int
+	// OnSeal, when non-nil, is called after every successful seal with
+	// the number of trajectories compacted — the hook serving layers
+	// use to invalidate caches and persist the new sealed state. It
+	// runs on the sealing goroutine with no Writer locks held.
+	OnSeal func(sealed int)
+}
+
+// Writer is the live ingestion layer: an immutable sealed index
+// (growing one compressed shard per seal) plus an uncompressed
+// in-memory delta shard absorbing appends. Appended trajectories are
+// queryable immediately — Search merges delta hits with sealed hits
+// in canonical (Trajectory, Offset) order through the same streaming
+// core every index uses — and are assigned stable global IDs that
+// survive sealing: a seal only moves rows from the delta
+// representation to a compressed shard, never renumbers them.
+//
+// All methods are safe for concurrent use. Seal compacts without
+// blocking readers or appenders: the build runs off-lock against a
+// snapshot, and only the final generation swap takes the write lock
+// (the same swap pattern the serving engine uses for reloads).
+//
+// Durability: the delta lives in memory only. Sealed state can be
+// persisted with Snapshot + Save; anything still in the delta at
+// process exit is lost unless the caller seals first.
+type Writer struct {
+	opts      *Options
+	temporal  bool
+	threshold int
+	onSeal    func(int)
+
+	// mu guards the published (sealed, temp, delta, gen) binding.
+	// sealed/temp are immutable values swapped wholesale; delta is
+	// append-only with the snapshot protocol described in deltaShard.
+	mu     sync.RWMutex
+	sealed *Index         // nil until the first seal (when starting empty)
+	temp   *TemporalIndex // non-nil iff temporal with sealed state
+	delta  *deltaShard
+	gen    uint64
+
+	sealMu  sync.Mutex  // serializes seals; never held with mu
+	sealing atomic.Bool // gates background-seal spawning
+	// bgMu orders background-seal spawns against Close: Add only runs
+	// under bgMu with bgClosed unset, and Close sets bgClosed before
+	// Wait — satisfying the WaitGroup contract that an Add from a zero
+	// counter must not race a Wait.
+	bgMu     sync.Mutex
+	bgClosed bool
+	bg       sync.WaitGroup
+}
+
+// NewWriter returns an empty spatial writer.
+func NewWriter(cfg WriterConfig) (*Writer, error) {
+	return newWriter(nil, nil, false, cfg)
+}
+
+// NewTemporalWriter returns an empty temporal writer: every Append
+// must carry a timestamp column, and interval queries are supported.
+func NewTemporalWriter(cfg WriterConfig) (*Writer, error) {
+	return newWriter(nil, nil, true, cfg)
+}
+
+// NewWriterAt returns a spatial writer whose sealed state starts at an
+// existing index (monolithic or sharded); appended trajectories take
+// global IDs after ix's.
+func NewWriterAt(ix *Index, cfg WriterConfig) (*Writer, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("cinct: NewWriterAt requires an index (use NewWriter to start empty)")
+	}
+	return newWriter(ix, nil, false, cfg)
+}
+
+// NewTemporalWriterAt returns a temporal writer over an existing
+// temporal index.
+func NewTemporalWriterAt(t *TemporalIndex, cfg WriterConfig) (*Writer, error) {
+	if t == nil {
+		return nil, fmt.Errorf("cinct: NewTemporalWriterAt requires an index (use NewTemporalWriter to start empty)")
+	}
+	return newWriter(t.Index, t, true, cfg)
+}
+
+func newWriter(ix *Index, t *TemporalIndex, temporal bool, cfg WriterConfig) (*Writer, error) {
+	opts := cfg.Build
+	if opts == nil {
+		opts = DefaultOptions()
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	if opts.SampleRate == 0 {
+		// A count-only writer would answer occurrence queries from the
+		// delta and then lose that ability at the first (possibly
+		// background) seal — query behavior must not flip across a
+		// compaction, so locate support is mandatory.
+		return nil, fmt.Errorf("%w: writer requires SampleRate > 0", ErrNotAppendable)
+	}
+	base := 0
+	if ix != nil {
+		if ix.hasLoc != (opts.SampleRate > 0) {
+			return nil, fmt.Errorf("%w: base index locate support (%v) disagrees with build options (SampleRate %d)",
+				ErrNotAppendable, ix.hasLoc, opts.SampleRate)
+		}
+		if t != nil && ix.sharded != nil && !t.aligned() {
+			return nil, fmt.Errorf("%w: legacy single-store temporal layout", ErrNotAppendable)
+		}
+		base = ix.NumTrajectories()
+	}
+	return &Writer{
+		opts:      opts,
+		temporal:  temporal,
+		threshold: cfg.SealThreshold,
+		onSeal:    cfg.OnSeal,
+		sealed:    ix,
+		temp:      t,
+		delta:     newDeltaShard(base, temporal),
+		gen:       1,
+	}, nil
+}
+
+// Temporal reports whether the writer stores timestamps.
+func (w *Writer) Temporal() bool { return w.temporal }
+
+// Generation returns the writer's data generation: it advances on
+// every Append batch and every seal, so serving layers can key caches
+// on it.
+func (w *Writer) Generation() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.gen
+}
+
+// Append adds one trajectory (with its timestamp column on a temporal
+// writer; times must be nil on a spatial one) and returns its global
+// ID. The trajectory is immediately visible to Search.
+func (w *Writer) Append(edges []uint32, times []int64) (int, error) {
+	if err := validateAppend(edges, times, w.temporal); err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	id := w.delta.base + len(w.delta.trajs)
+	w.delta.append(edges, times)
+	w.gen++
+	n := len(w.delta.trajs)
+	w.mu.Unlock()
+	w.maybeAutoSeal(n)
+	return id, nil
+}
+
+// AppendBatch appends trajectories atomically: either every row is
+// accepted (returning the first assigned ID; rows get consecutive
+// IDs) or none is. times must be nil for a spatial writer, and
+// row-aligned for a temporal one.
+func (w *Writer) AppendBatch(trajs [][]uint32, times [][]int64) (int, error) {
+	if w.temporal != (times != nil) || (times != nil && len(times) != len(trajs)) {
+		return 0, fmt.Errorf("%w: %d timestamp columns for %d trajectories on a %s writer",
+			ErrBadAppend, len(times), len(trajs), map[bool]string{true: "temporal", false: "spatial"}[w.temporal])
+	}
+	for k, tr := range trajs {
+		var col []int64
+		if w.temporal {
+			col = times[k]
+		}
+		if err := validateAppend(tr, col, w.temporal); err != nil {
+			return 0, fmt.Errorf("row %d: %w", k, err)
+		}
+	}
+	if len(trajs) == 0 {
+		w.mu.RLock()
+		defer w.mu.RUnlock()
+		return w.delta.base + len(w.delta.trajs), nil
+	}
+	w.mu.Lock()
+	first := w.delta.base + len(w.delta.trajs)
+	for k, tr := range trajs {
+		var col []int64
+		if w.temporal {
+			col = times[k]
+		}
+		w.delta.append(tr, col)
+	}
+	w.gen++
+	n := len(w.delta.trajs)
+	w.mu.Unlock()
+	w.maybeAutoSeal(n)
+	return first, nil
+}
+
+// maybeAutoSeal spawns at most one background seal once the delta
+// crosses the configured threshold.
+func (w *Writer) maybeAutoSeal(deltaLen int) {
+	if w.threshold <= 0 || deltaLen < w.threshold {
+		return
+	}
+	if !w.sealing.CompareAndSwap(false, true) {
+		return
+	}
+	w.bgMu.Lock()
+	if w.bgClosed {
+		w.bgMu.Unlock()
+		w.sealing.Store(false)
+		return
+	}
+	w.bg.Add(1)
+	w.bgMu.Unlock()
+	go func() {
+		defer w.bg.Done()
+		defer w.sealing.Store(false)
+		w.Seal() //nolint:errcheck // rows were validated on Append; Seal cannot fail on them
+	}()
+}
+
+// Seal compacts the current delta into one CiNCT-compressed shard and
+// swaps it into the sealed index, returning the number of
+// trajectories compacted (0 when the delta was empty). Appends and
+// searches proceed during the compaction: the build runs against a
+// snapshot of the delta prefix, rows appended meanwhile simply remain
+// in the (rebased) delta, and readers observe either the old state or
+// the new one — never a mix — because the swap is a single
+// write-locked pointer update. Global IDs are unchanged by sealing.
+func (w *Writer) Seal() (int, error) {
+	w.sealMu.Lock()
+	defer w.sealMu.Unlock()
+	// Capture the delta prefix (slice headers and length) under the
+	// lock: the header fields themselves are rewritten by concurrent
+	// appends, and only the captured prefix is immutable.
+	w.mu.RLock()
+	d := w.delta
+	n := len(d.trajs)
+	trajs := d.trajs[:n:n]
+	var times [][]int64
+	if w.temporal {
+		times = d.times[:n:n]
+	}
+	sealedIx, sealedT := w.sealed, w.temp
+	w.mu.RUnlock()
+	if n == 0 {
+		return 0, nil
+	}
+	shard, err := sealShard(trajs, w.opts)
+	if err != nil {
+		return 0, err
+	}
+	var newIx *Index
+	var newT *TemporalIndex
+	if w.temporal {
+		store := tempo.New(times)
+		if sealedT == nil {
+			newT = &TemporalIndex{Index: shard, stores: []*tempo.Store{store}}
+			newIx = shard
+		} else {
+			newT, err = sealedT.withShard(shard, store)
+			if err != nil {
+				return 0, err
+			}
+			newIx = newT.Index
+		}
+	} else {
+		if sealedIx == nil {
+			newIx = shard
+		} else {
+			nsi, werr := sealedIx.asSharded().withShard(shard)
+			if werr != nil {
+				return 0, werr
+			}
+			newIx = &Index{sharded: nsi, hasLoc: nsi.hasLoc}
+		}
+	}
+	w.mu.Lock()
+	w.sealed, w.temp = newIx, newT
+	w.delta = d.tail(n)
+	w.gen++
+	w.mu.Unlock()
+	if w.onSeal != nil {
+		w.onSeal(n)
+	}
+	return n, nil
+}
+
+// Close stops the background sealer (later threshold crossings no
+// longer spawn seals) and waits for any in-flight one to finish. It
+// does not seal the remaining delta — the writer stays usable, with
+// manual Seal only; call Seal first if that data should be compacted
+// (and persisted by your OnSeal hook).
+func (w *Writer) Close() {
+	w.bgMu.Lock()
+	w.bgClosed = true
+	w.bgMu.Unlock()
+	w.bg.Wait()
+}
+
+// view captures a consistent (sealed, temporal, delta) triple.
+func (w *Writer) view() (*Index, *TemporalIndex, *deltaSnap) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.sealed, w.temp, w.delta.snap()
+}
+
+// Search executes a Query over the union of sealed shards and the
+// live delta: per-shard candidate collection runs in parallel, the
+// delta contributes one more unit (brute-force scanned, summary-pruned
+// under intervals), and hits stream through the canonical
+// (Trajectory, Offset) k-way merge. Results reflect a consistent
+// snapshot taken at call time; appends that land later are not seen
+// by an already-running iteration. Interval queries require a
+// temporal writer.
+func (w *Writer) Search(ctx context.Context, q Query) (*Results, error) {
+	if q.Interval != nil && !w.temporal {
+		return nil, ErrNoTimestamps
+	}
+	ix, t, snap := w.view()
+	var units []*unitCursor
+	hasLoc := true
+	if ix != nil {
+		units = assembleUnits(ix, t)
+		hasLoc = ix.hasLoc
+	}
+	if snap.len() > 0 {
+		units = append(units, &unitCursor{d: snap, base: snap.base, n: snap.len()})
+	}
+	return runSearch(ctx, q, units, hasLoc)
+}
+
+// NumTrajectories returns the total trajectory count: sealed plus
+// delta.
+func (w *Writer) NumTrajectories() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.delta.base + len(w.delta.trajs)
+}
+
+// SealedTrajectories returns the number of trajectories living in
+// compressed shards.
+func (w *Writer) SealedTrajectories() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.delta.base
+}
+
+// DeltaTrajectories returns the number of trajectories still in the
+// uncompressed delta.
+func (w *Writer) DeltaTrajectories() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.delta.trajs)
+}
+
+// Snapshot returns the current sealed state: the spatial index and,
+// for temporal writers, the temporal index wrapping it. Both are nil
+// while nothing has been sealed. The returned values are immutable —
+// safe to Save concurrently with further appends and seals.
+func (w *Writer) Snapshot() (*Index, *TemporalIndex) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.sealed, w.temp
+}
+
+// Stats reports the sealed index's breakdown with Trajectories
+// covering the delta too (the delta's rows are uncompressed and
+// contribute nothing to the size fields).
+func (w *Writer) Stats() Stats {
+	w.mu.RLock()
+	ix := w.sealed
+	deltaN := len(w.delta.trajs)
+	w.mu.RUnlock()
+	var s Stats
+	if ix != nil {
+		s = ix.Stats()
+	}
+	s.Trajectories += deltaN
+	return s
+}
+
+// Trajectory reconstructs trajectory id — decompressed from a sealed
+// shard, or copied out of the delta.
+func (w *Writer) Trajectory(id int) ([]uint32, error) {
+	ix, _, snap := w.view()
+	sealedN := snap.base
+	switch {
+	case id < 0 || id >= sealedN+snap.len():
+		return nil, fmt.Errorf("cinct: trajectory %d out of range [0,%d)", id, sealedN+snap.len())
+	case id < sealedN:
+		return ix.Trajectory(id)
+	}
+	row := snap.trajs[id-sealedN]
+	out := make([]uint32, len(row))
+	copy(out, row)
+	return out, nil
+}
+
+// TrajectoryLen returns the edge count of trajectory id, or -1 when
+// id is out of range.
+func (w *Writer) TrajectoryLen(id int) int {
+	ix, _, snap := w.view()
+	switch {
+	case id < 0 || id >= snap.base+snap.len():
+		return -1
+	case id < snap.base:
+		return ix.TrajectoryLen(id)
+	}
+	return len(snap.trajs[id-snap.base])
+}
+
+// SubPath extracts edges [from, to) of trajectory id.
+func (w *Writer) SubPath(id, from, to int) ([]uint32, error) {
+	ix, _, snap := w.view()
+	sealedN := snap.base
+	switch {
+	case id < 0 || id >= sealedN+snap.len():
+		return nil, fmt.Errorf("cinct: trajectory %d out of range [0,%d)", id, sealedN+snap.len())
+	case id < sealedN:
+		return ix.SubPath(id, from, to)
+	}
+	row := snap.trajs[id-sealedN]
+	if from < 0 || to > len(row) || from > to {
+		return nil, fmt.Errorf("cinct: SubPath[%d,%d) out of range [0,%d)", from, to, len(row))
+	}
+	out := make([]uint32, to-from)
+	copy(out, row[from:to])
+	return out, nil
+}
