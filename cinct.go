@@ -58,6 +58,7 @@ import (
 
 	"cinct/internal/core"
 	"cinct/internal/etgraph"
+	"cinct/internal/mmapfile"
 	"cinct/internal/trajstr"
 	"cinct/internal/wavelet"
 )
@@ -125,6 +126,11 @@ type Index struct {
 	corpus *trajstr.Corpus
 	core   *core.Index
 	hasLoc bool
+
+	// backing pins the memory-mapped v3 container this index reads
+	// from (nil for heap-loaded indexes). The mapping is released by
+	// the garbage collector once the index is unreachable.
+	backing *mmapfile.File
 }
 
 // Match is one occurrence of a query path.
@@ -248,7 +254,8 @@ func (ix *Index) Len() int {
 func (ix *Index) Count(path []uint32) int {
 	r, err := ix.Search(context.Background(), Query{Path: path, Kind: CountOnly})
 	if err != nil {
-		// A CountOnly query over a background context cannot fail.
+		// A CountOnly query over a background context fails only when
+		// a corrupt mapped index panics under the backward search.
 		return 0
 	}
 	n, _ := r.Count()
@@ -415,10 +422,16 @@ func (ix *Index) SubPath(id, from, to int) ([]uint32, error) {
 	start := int64(ix.corpus.DocStart(id))
 	a := start + int64(ln-to)
 	b := start + int64(ln-from)
-	syms := ix.core.ExtractRange(a, b)
-	out := make([]uint32, len(syms))
-	for i, s := range syms {
-		out[len(syms)-1-i] = ix.corpus.EdgeFor(s)
+	var out []uint32
+	if err := containCorrupt(func() error {
+		syms := ix.core.ExtractRange(a, b)
+		out = make([]uint32, len(syms))
+		for i, s := range syms {
+			out[len(syms)-1-i] = ix.corpus.EdgeFor(s)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -500,14 +513,18 @@ func (ix *Index) saveOne(w io.Writer) (int64, error) {
 	return n1 + n2, err
 }
 
-// Load reads an index written by Save — either format: the sharded
-// container is recognized by its magic, anything else is parsed as the
-// original single-index layout.
+// Load reads an index written by Save or SaveV3 — any format: the
+// sharded and v3 containers are recognized by their magics, anything
+// else is parsed as the original single-index layout.
 func Load(r io.Reader) (*Index, error) {
 	// One shared buffered reader: the sub-loaders each call
 	// bufio.NewReader, which returns this same object rather than
 	// wrapping again — so no bytes are lost to read-ahead.
 	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(v3Magic)); err == nil && isV3Magic(magic) {
+		ix, _, err := loadV3(br, v3FlavorSpatial)
+		return ix, err
+	}
 	if magic, err := br.Peek(len(shardMagic)); err == nil && string(magic) == shardMagic {
 		si, err := LoadSharded(br)
 		if err != nil {

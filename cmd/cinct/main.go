@@ -18,6 +18,7 @@
 //	cinct count-interval -index corpus.tcinct -path "17 42" -from 0 -to 999
 //	cinct ingest -remote http://localhost:8132 -name corpus -in more.txt [-times more-times.txt] [-seal]
 //	cinct ingest -index corpus.cinct -in more.txt   (appends, seals, persists in place)
+//	cinct convert -in corpus.cinct -out corpus3.cinct [-temporal]
 //
 // Any query subcommand accepts -remote URL -name INDEX instead of
 // -index FILE to run against a cinctd daemon:
@@ -35,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -79,6 +81,8 @@ func main() {
 		err = cmdCountInterval(args)
 	case "ingest":
 		err = cmdIngest(args)
+	case "convert":
+		err = cmdConvert(args)
 	default:
 		usage()
 	}
@@ -90,7 +94,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval|ingest} [flags]")
+		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval|ingest|convert} [flags]")
 	os.Exit(2)
 }
 
@@ -767,4 +771,59 @@ func parsePath(s string) ([]uint32, error) {
 		out[i] = uint32(v)
 	}
 	return out, nil
+}
+
+// cmdConvert rewrites a v1/v2 (or v3) index file into the v3
+// page-aligned container, the format cinctd -mmap and OpenMapped
+// serve zero-copy. The write goes through a temp file and an atomic
+// rename, so an interrupted convert never leaves a torn output.
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input index file (v1/v2/v3)")
+	out := fs.String("out", "", "output v3 container file")
+	temporal := fs.Bool("temporal", false,
+		"treat the input as a temporal index (implied by a .tcinct extension)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -out are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var save func(w io.Writer) (int64, error)
+	var stats cinct.Stats
+	if *temporal || strings.HasSuffix(*in, engine.ExtTemporal) {
+		tix, err := cinct.LoadTemporal(f)
+		if err != nil {
+			return err
+		}
+		save, stats = tix.SaveV3, tix.Index.Stats()
+	} else {
+		ix, err := cinct.Load(f)
+		if err != nil {
+			return err
+		}
+		save, stats = ix.SaveV3, ix.Stats()
+	}
+	tmp := *out + ".tmp"
+	of, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, err := save(of)
+	if cerr := of.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
+		return err
+	}
+	if err := os.Rename(tmp, *out); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s: %d trajectories, %d shard(s), %d bytes (v3, page-aligned)\n",
+		*in, *out, stats.Trajectories, stats.Shards, n)
+	return nil
 }

@@ -23,7 +23,12 @@
 // the delta hot (every appended row still uncompressed), the latency
 // of one full seal, and the same queries after compaction.
 //
-//	cinctbench -out BENCH_PR5.json -trajs 4000 -queries 2000 -shards 0
+// The serving section compares heap-decoded and mmap'd serving of the
+// same v3 container: open latency (a full decode versus map +
+// O(metadata) validation), Go-heap and process-RSS footprint, and
+// warm query latency.
+//
+//	cinctbench -out BENCH_PR6.json -trajs 4000 -queries 2000 -shards 0
 package main
 
 import (
@@ -36,7 +41,10 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"cinct"
@@ -68,6 +76,36 @@ type report struct {
 	Temporal      *temporalReport        `json:"temporal,omitempty"`
 	Streaming     *streamingReport       `json:"streaming,omitempty"`
 	Ingest        *ingestReport          `json:"ingest,omitempty"`
+	Serving       *servingReport         `json:"serving,omitempty"`
+}
+
+// servingReport compares heap-decoded serving against zero-copy mmap
+// serving of the same index: open latency, resident footprint, and
+// query latency once warm. Open times are medians over openRounds
+// runs; RSS figures come from runtime.ReadMemStats (Go heap) and,
+// where the kernel provides it, /proc/self/smaps_rollup (whole
+// process).
+type servingReport struct {
+	V1Bytes int64 `json:"v1Bytes"`
+	V3Bytes int64 `json:"v3Bytes"`
+	// OpenHeapMs is the median wall time of Load on the v3 container
+	// (full decode onto the heap); OpenMmapMs the median OpenMapped
+	// time (map + O(metadata) validation).
+	OpenHeapMs float64 `json:"openHeapMs"`
+	OpenMmapMs float64 `json:"openMmapMs"`
+	// OpenSpeedup = OpenHeapMs / OpenMmapMs.
+	OpenSpeedup float64 `json:"openSpeedup"`
+	// HeapAllocLoadedBytes / HeapAllocMappedBytes are Go-heap bytes
+	// retained after loading (heap decode vs mapped view).
+	HeapAllocLoadedBytes uint64 `json:"heapAllocLoadedBytes"`
+	HeapAllocMappedBytes uint64 `json:"heapAllocMappedBytes"`
+	// RSS deltas from /proc/self/smaps_rollup across the load, in
+	// bytes; 0 when the kernel interface is unavailable.
+	RSSLoadedBytes int64 `json:"rssLoadedBytes,omitempty"`
+	RSSMappedBytes int64 `json:"rssMappedBytes,omitempty"`
+	// Latency keys: {count,find}.{heap,mmap} — the same workload
+	// straight against both instances, no engine cache.
+	Latency map[string]percentiles `json:"latency"`
 }
 
 // ingestReport summarizes the live write path: append throughput into
@@ -138,7 +176,7 @@ type temporalReport struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR5.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR6.json", "output JSON file")
 		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
 		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
 		queries = flag.Int("queries", 2000, "queries per latency distribution")
@@ -413,6 +451,10 @@ func run(cfg benchConfig) error {
 			return err
 		}
 		rep.Ingest = ir
+	}
+	fmt.Fprintf(os.Stderr, "serving section (heap vs mmap)...\n")
+	if rep.Serving, err = runServing(ix, workload, limit); err != nil {
+		return err
 	}
 
 	body, err := json.MarshalIndent(rep, "", "  ")
@@ -758,4 +800,171 @@ func measure(workload [][]uint32, fn func([]uint32) error) (percentiles, error) 
 		P99Us:  at(0.99),
 		MeanUs: float64(sum.Nanoseconds()) / float64(len(durs)) / 1e3,
 	}, nil
+}
+
+// procRSS reads the process resident set from /proc/self/smaps_rollup
+// (bytes). Returns 0 on platforms or kernels without it.
+func procRSS() int64 {
+	data, err := os.ReadFile("/proc/self/smaps_rollup")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "Rss:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// heapInUse snapshots Go-heap live bytes after a full collection.
+func heapInUse() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// runServing writes the index as both a v1 stream and a v3 container,
+// then compares the two serving modes: decode-onto-heap (Load) versus
+// zero-copy mmap (OpenMapped) — open latency, memory footprint, and
+// warm query latency over the same workload.
+func runServing(ix *cinct.Index, workload [][]uint32, limit int) (*servingReport, error) {
+	const openRounds = 9
+	rep := &servingReport{Latency: map[string]percentiles{}}
+
+	dir, err := os.MkdirTemp("", "cinctbench-serving-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	v1Path := dir + "/index.v1.cinct"
+	v3Path := dir + "/index.v3.cinct"
+	f, err := os.Create(v1Path)
+	if err != nil {
+		return nil, err
+	}
+	rep.V1Bytes, err = ix.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if f, err = os.Create(v3Path); err != nil {
+		return nil, err
+	}
+	rep.V3Bytes, err = ix.SaveV3(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	medianOpen := func(open func() error) (float64, error) {
+		durs := make([]time.Duration, 0, openRounds)
+		for i := 0; i < openRounds; i++ {
+			t0 := time.Now()
+			if err := open(); err != nil {
+				return 0, err
+			}
+			durs = append(durs, time.Since(t0))
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		return float64(durs[openRounds/2].Nanoseconds()) / 1e6, nil
+	}
+	if rep.OpenHeapMs, err = medianOpen(func() error {
+		f, err := os.Open(v3Path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, err = cinct.Load(f)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if rep.OpenMmapMs, err = medianOpen(func() error {
+		m, err := cinct.OpenMapped(v3Path)
+		if err != nil {
+			return err
+		}
+		_ = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if rep.OpenMmapMs > 0 {
+		rep.OpenSpeedup = rep.OpenHeapMs / rep.OpenMmapMs
+	}
+
+	// Footprint: load each instance with a clean heap baseline and
+	// keep it live across the measurement. FreeOSMemory around each
+	// reading forces a GC and returns freed spans to the OS, so the
+	// RSS deltas track the instance rather than collector slack; the
+	// post-load FreeOSMemory also drops transient decode garbage
+	// before the instance is sized.
+	debug.FreeOSMemory()
+	base := heapInUse()
+	baseRSS := procRSS()
+	f, err = os.Open(v3Path)
+	if err != nil {
+		return nil, err
+	}
+	heap, err := cinct.Load(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	debug.FreeOSMemory()
+	rep.HeapAllocLoadedBytes = heapInUse() - base
+	if r := procRSS(); r > 0 && baseRSS > 0 {
+		rep.RSSLoadedBytes = r - baseRSS
+	}
+
+	debug.FreeOSMemory()
+	base = heapInUse()
+	baseRSS = procRSS()
+	mapped, err := cinct.OpenMapped(v3Path)
+	if err != nil {
+		return nil, err
+	}
+	debug.FreeOSMemory()
+	rep.HeapAllocMappedBytes = heapInUse() - base
+	if r := procRSS(); r > 0 && baseRSS > 0 {
+		rep.RSSMappedBytes = r - baseRSS
+	}
+
+	// Warm query latency, no engine, no cache: the raw index surface.
+	for _, tc := range []struct {
+		key string
+		ix  *cinct.Index
+	}{{"heap", heap}, {"mmap", mapped}} {
+		ix := tc.ix
+		if rep.Latency["count."+tc.key], err = measure(workload, func(p []uint32) error {
+			_ = ix.Count(p)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if rep.Latency["find."+tc.key], err = measure(workload, func(p []uint32) error {
+			_, err := ix.Find(p, limit)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	runtime.KeepAlive(heap)
+	runtime.KeepAlive(mapped)
+	return rep, nil
 }

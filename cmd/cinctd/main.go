@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +50,10 @@ func main() {
 			"auto-seal an index's ingest delta at this many trajectories (0 = default 4096, negative = manual sealing only)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout (negative = none)")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+		mmap    = flag.Bool("mmap", false,
+			"serve v3 container files zero-copy via mmap (v1/v2 files still heap-load; convert with `cinct convert`)")
+		pprofAddr = flag.String("pprof", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cinctd: ", log.LstdFlags)
@@ -55,9 +61,20 @@ func main() {
 		logger.Fatal("-data is required")
 	}
 
+	if *pprofAddr != "" {
+		// Profiling stays off the query listener: pprof binds its own
+		// address (keep it loopback in production) with the default
+		// mux, which net/http/pprof's import hooks populate.
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			logger.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
 	eng := engine.New(engine.Options{
 		Workers: *workers, CacheEntries: *cache,
 		SealThreshold: *sealAt, Logf: logger.Printf,
+		Mmap: *mmap,
 	})
 	defer eng.CloseAll()
 	names, err := eng.OpenDir(*data)
@@ -76,8 +93,12 @@ func main() {
 		if info.Temporal {
 			kind = "temporal"
 		}
-		logger.Printf("loaded %q (%s): %d trajectories, %d shard(s), %.2f bits/symbol",
-			name, kind, info.Stats.Trajectories, info.Stats.Shards, info.Stats.BitsPerSymbol)
+		mode := "heap"
+		if info.Mapped {
+			mode = "mmap"
+		}
+		logger.Printf("loaded %q (%s, %s): %d trajectories, %d shard(s), %.2f bits/symbol",
+			name, kind, mode, info.Stats.Trajectories, info.Stats.Shards, info.Stats.BitsPerSymbol)
 	}
 
 	srv := server.New(eng, server.Config{Addr: *addr, RequestTimeout: *timeout, Logger: logger})

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -196,4 +198,100 @@ func FuzzCursor(f *testing.F) {
 			last = h.Match
 		}
 	})
+}
+
+// FuzzLoadMapped pins the v3 zero-copy open path: arbitrary bytes
+// mapped as a container must open or fail with ErrCorrupt — never
+// panic, never fault past the mapping. A successfully opened index is
+// queried; with the structural invariants validated at open, residual
+// semantic corruption must surface as a typed error from the search
+// layer, not a crash.
+func FuzzLoadMapped(f *testing.F) {
+	trajs, times := fuzzCorpus()
+	for _, shards := range []int{1, 2} {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		ix, err := Build(trajs, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.SaveV3(&buf); err != nil {
+			f.Fatal(err)
+		}
+		full := buf.Bytes()
+		f.Add(append([]byte(nil), full...))
+		f.Add(append([]byte(nil), full[:len(full)/2]...)) // truncation
+
+		tix, err := BuildTemporal(trajs, times, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		buf.Reset()
+		if _, err := tix.SaveV3(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), buf.Bytes()...))
+	}
+	f.Add([]byte(v3Magic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzInput {
+			t.Skip()
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.cinct3")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if ix, err := OpenMapped(path); err == nil {
+			exerciseMapped(t, ix, nil)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrCorruptIndex) {
+			t.Fatalf("OpenMapped: untyped error %v", err)
+		}
+		if tix, err := OpenMappedTemporal(path); err == nil {
+			exerciseMapped(t, tix.Index, tix)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrCorruptIndex) &&
+			!errors.Is(err, ErrCorruptTimestamps) {
+			t.Fatalf("OpenMappedTemporal: untyped error %v", err)
+		}
+	})
+}
+
+// exerciseMapped pokes a successfully mapped index. Unlike
+// exerciseLoaded it tolerates typed corruption errors during queries:
+// the open path validates structure, not the O(n) semantic
+// invariants, so a corrupt-but-well-shaped container may first fail
+// inside a search. What it must never do is panic.
+func exerciseMapped(t *testing.T, ix *Index, tix *TemporalIndex) {
+	t.Helper()
+	_ = ix.NumTrajectories()
+	_ = ix.Len()
+	_ = ix.Count([]uint32{2, 3})
+	q := Query{Path: []uint32{2, 3}, Kind: Occurrences, Limit: 4}
+	if tix != nil {
+		q.Interval = &Interval{From: 0, To: 1 << 40}
+	}
+	var r *Results
+	var err error
+	if tix != nil {
+		r, err = tix.Search(context.Background(), q)
+	} else {
+		r, err = ix.Search(context.Background(), q)
+	}
+	if err != nil {
+		if errors.Is(err, ErrNoLocate) || errors.Is(err, ErrCorruptIndex) {
+			return
+		}
+		t.Fatalf("Search on mapped index: unexpected error %v", err)
+	}
+	for _, herr := range r.All() {
+		if herr != nil {
+			if errors.Is(herr, ErrCorruptIndex) {
+				return
+			}
+			t.Fatalf("stream on mapped index: %v", herr)
+		}
+	}
+	if ix.NumTrajectories() > 0 {
+		_, _ = ix.SubPath(0, 0, ix.TrajectoryLen(0))
+	}
 }

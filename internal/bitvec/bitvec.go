@@ -20,6 +20,9 @@ type Vector interface {
 	Rank1(i int) int
 	// Rank0 returns the number of zero bits in [0, i).
 	Rank0(i int) int
+	// Ones returns the total number of set bits, Rank1(Len()), from a
+	// stored field — O(1) for every implementation.
+	Ones() int
 	// AccessRank1 returns (Get(i), Rank1(i)) in one lookup — the
 	// combined operation wavelet-structure access descends on.
 	AccessRank1(i int) (bool, int)

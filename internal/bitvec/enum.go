@@ -167,9 +167,13 @@ func (p *packed) append(v uint64, width uint) {
 	p.lenBits += int(width)
 }
 
-// read extracts `width` bits starting at bit position pos.
+// read extracts `width` bits starting at bit position pos. Reads
+// beyond the stream yield zero rather than faulting: positions are
+// derived from sampled directories, and on a memory-mapped view a
+// corrupt directory must degrade to wrong bits, not an access past
+// the mapping.
 func (p *packed) read(pos int, width uint) uint64 {
-	if width == 0 {
+	if width == 0 || pos < 0 || pos+int(width) > p.lenBits {
 		return 0
 	}
 	return extractBits(p.words, pos, int(width))

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinct/internal/flat"
+)
+
+func TestFlatIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	text, sigma := markovText(rng, 30, 25, 20, 3)
+	for _, opt := range []Options{DefaultOptions(), {Spec: DefaultOptions().Spec}} {
+		orig := Build(text, sigma, opt)
+		w := flat.NewWriter()
+		orig.AppendFlat(w)
+		c := flat.NewCursor(w.Words())
+		view, err := ViewFlat(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Remaining() != 0 {
+			t.Fatalf("%d words left over", c.Remaining())
+		}
+		if view.Len() != orig.Len() || view.Sigma() != orig.Sigma() ||
+			view.MaxLabel() != orig.MaxLabel() || view.SampleRate() != orig.SampleRate() {
+			t.Fatal("viewed header mismatch")
+		}
+		for trial := 0; trial < 200; trial++ {
+			m := 1 + rng.Intn(5)
+			start := rng.Intn(len(text) - m)
+			pat := text[start : start+m]
+			s1, e1, ok1 := orig.SuffixRange(pat)
+			s2, e2, ok2 := view.SuffixRange(pat)
+			if s1 != s2 || e1 != e2 || ok1 != ok2 {
+				t.Fatalf("trial %d: ranges differ: [%d,%d)%v vs [%d,%d)%v",
+					trial, s1, e1, ok1, s2, e2, ok2)
+			}
+		}
+		for trial := 0; trial < 50; trial++ {
+			j := int64(rng.Intn(len(text)))
+			a := orig.Extract(j, 10)
+			b := view.Extract(j, 10)
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("extract differs at row %d", j)
+				}
+			}
+			if opt.SASample > 0 && orig.Locate(j) != view.Locate(j) {
+				t.Fatalf("Locate(%d) differs", j)
+			}
+		}
+	}
+}
+
+// ViewFlat itself must never panic on corrupt words — it either
+// errors or hands back a structurally bounded index. (Semantic
+// corruption may still surface later as a panic inside a query, which
+// the search layer contains; the view must not fault.)
+func TestFlatIndexCorruptView(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	text, sigma := markovText(rng, 15, 12, 10, 3)
+	orig := Build(text, sigma, DefaultOptions())
+	w := flat.NewWriter()
+	orig.AppendFlat(w)
+	base := w.Words()
+	step := 1
+	if len(base) > 4096 {
+		step = len(base) / 4096
+	}
+	for i := 0; i < len(base); i += step {
+		for _, delta := range []uint64{1, ^uint64(0), 1 << 50} {
+			mut := append([]uint64(nil), base...)
+			mut[i] += delta
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("word %d +%#x: panic in ViewFlat: %v", i, delta, r)
+					}
+				}()
+				_, _ = ViewFlat(flat.NewCursor(mut))
+			}()
+		}
+	}
+}

@@ -8,7 +8,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"cinct/internal/bitvec"
@@ -311,9 +310,19 @@ func (ix *Index) Count(pat []uint32) int64 {
 // contextOf returns the symbol w′ with C[w′] ≤ j < C[w′+1]: the first
 // symbol of the j-th sorted suffix (Line 1 of Algorithm 4).
 func (ix *Index) contextOf(j int64) uint32 {
-	// Find the smallest w with C[w+1] > j.
-	w := sort.Search(ix.sigma, func(w int) bool { return ix.cAt(w+1) > j })
-	return uint32(w)
+	// Find the smallest w with C[w+1] > j. Manual binary search: this
+	// runs on every LF step and sort.Search's func value would be the
+	// hot path's only allocation.
+	lo, hi := 0, ix.sigma
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.cAt(mid+1) > j {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint32(lo)
 }
 
 // LF performs one LF-mapping step from BWT row j using only the
@@ -364,6 +373,15 @@ func (ix *Index) Locate(j int64) int64 {
 	wPrime := uint32(0)
 	haveCtx := false
 	for !ix.mark.Get(int(j)) {
+		if steps > int64(ix.n) {
+			// A healthy index marks a row at least every SASample LF
+			// steps; exceeding n steps means the mark bits or the LF
+			// permutation are corrupt (possible only on a mapped view,
+			// whose O(n) invariants are not validated at open). Panic
+			// rather than spin — the search layer converts this to a
+			// typed corruption error.
+			panic("core: Locate walked past n LF steps; corrupt index")
+		}
 		if !haveCtx {
 			wPrime = ix.contextOf(j)
 			haveCtx = true

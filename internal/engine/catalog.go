@@ -12,6 +12,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -66,6 +67,10 @@ type entry struct {
 	name     string
 	path     string // backing file; "" when registered from memory
 	temporal bool
+	// mmap opts the entry into zero-copy serving: v3 container files
+	// open via cinct.OpenMapped / OpenMappedTemporal instead of a heap
+	// decode. Non-v3 files fall back to the heap loaders.
+	mmap bool
 
 	// loadMu serializes disk loads (concurrent Reloads), keeping the
 	// read path's mu free during the expensive file read.
@@ -175,7 +180,27 @@ func (en *entry) bumpGen() uint64 {
 }
 
 // loadFromFile reads the entry's backing file into a fresh index pair.
+// With mmap set and a v3 container on disk, the file is mapped
+// zero-copy; anything else decodes onto the heap.
 func (en *entry) loadFromFile() (*cinct.Index, *cinct.TemporalIndex, error) {
+	if en.mmap {
+		if v3, err := isV3File(en.path); err != nil {
+			return nil, nil, err
+		} else if v3 {
+			if en.temporal {
+				t, err := cinct.OpenMappedTemporal(en.path)
+				if err != nil {
+					return nil, nil, fmt.Errorf("engine: mapping %q from %s: %w", en.name, en.path, err)
+				}
+				return nil, t, nil
+			}
+			ix, err := cinct.OpenMapped(en.path)
+			if err != nil {
+				return nil, nil, fmt.Errorf("engine: mapping %q from %s: %w", en.name, en.path, err)
+			}
+			return ix, nil, nil
+		}
+	}
 	f, err := os.Open(en.path)
 	if err != nil {
 		return nil, nil, err
@@ -193,6 +218,22 @@ func (en *entry) loadFromFile() (*cinct.Index, *cinct.TemporalIndex, error) {
 		return nil, nil, fmt.Errorf("engine: loading %q from %s: %w", en.name, en.path, err)
 	}
 	return ix, nil, nil
+}
+
+// isV3File sniffs the file's magic without reading the body.
+func isV3File(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		// Too short to be any container; let the heap loader produce
+		// its usual typed error.
+		return false, nil
+	}
+	return cinct.IsV3Container(magic[:]), nil
 }
 
 // Catalog maps names to independently loaded indexes. All methods are

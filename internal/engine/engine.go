@@ -30,6 +30,13 @@ type Options struct {
 	// Logf, when non-nil, receives operational log lines (background
 	// seals, persistence failures). nil discards them.
 	Logf func(format string, args ...any)
+	// Mmap serves v3 container files zero-copy via mmap instead of
+	// decoding them onto the heap: open is O(metadata), resident
+	// memory is bounded by the pages a query actually touches, and
+	// seal persistence writes the v3 format so reloads stay mapped.
+	// Files in the v1/v2 formats still heap-load (convert them with
+	// `cinct convert`).
+	Mmap bool
 }
 
 func (o Options) workers() int {
@@ -69,6 +76,7 @@ type Engine struct {
 	cache  *queryCache
 	sem    chan struct{}
 	sealAt int
+	mmap   bool
 	logf   func(format string, args ...any)
 }
 
@@ -84,6 +92,7 @@ func New(opts Options) *Engine {
 		cache:  newQueryCache(opts.cacheEntries()),
 		sem:    make(chan struct{}, opts.workers()),
 		sealAt: opts.sealThreshold(),
+		mmap:   opts.Mmap,
 		logf:   logf,
 	}
 }
@@ -116,6 +125,7 @@ func (e *Engine) OpenDir(dir string) ([]string, error) {
 	}
 	var names []string
 	for _, en := range entries {
+		en.mmap = e.mmap
 		ix, t, err := en.loadFromFile()
 		if err != nil {
 			return names, err
@@ -148,7 +158,7 @@ func (e *Engine) LoadTemporal(name, path string) error {
 }
 
 func (e *Engine) loadAs(name, path string, temporal bool) error {
-	en := &entry{name: name, path: path, temporal: temporal}
+	en := &entry{name: name, path: path, temporal: temporal, mmap: e.mmap}
 	ix, t, err := en.loadFromFile()
 	if err != nil {
 		return err
@@ -221,8 +231,11 @@ type Info struct {
 	Delta int `json:"deltaTrajectories,omitempty"`
 	// TimestampBits is the compressed temporal store size (temporal
 	// indexes only).
-	TimestampBits int         `json:"timestampBits,omitempty"`
-	Stats         cinct.Stats `json:"stats"`
+	TimestampBits int `json:"timestampBits,omitempty"`
+	// Mapped reports that the index is served zero-copy from an
+	// mmap'd v3 container rather than decoded onto the heap.
+	Mapped bool        `json:"mapped,omitempty"`
+	Stats  cinct.Stats `json:"stats"`
 }
 
 // Info reports metadata and size statistics for name.
@@ -253,6 +266,7 @@ func (e *Engine) Info(name string) (Info, error) {
 		return info, nil
 	}
 	info.Stats = v.index().Stats()
+	info.Mapped = v.index().Mapped()
 	if v.temp != nil {
 		info.TimestampBits = v.temp.TimestampBits()
 	}
@@ -413,7 +427,7 @@ func (e *Engine) afterSeal(en *entry, sealed int) {
 	case path == "":
 		// Memory-registered entry: nothing to persist, by design.
 	default:
-		if perr := persistWriter(w, path); perr != nil {
+		if perr := persistWriter(w, path, e.mmap); perr != nil {
 			err = fmt.Errorf("engine: persisting %q after seal: %w", en.name, perr)
 		}
 	}
@@ -428,7 +442,7 @@ func (e *Engine) afterSeal(en *entry, sealed int) {
 // persistWriter saves the writer's sealed snapshot to path via a
 // temporary file and an atomic rename, so readers of the data dir
 // never observe a torn index file.
-func persistWriter(w *cinct.Writer, path string) error {
+func persistWriter(w *cinct.Writer, path string, v3 bool) error {
 	ix, t := w.Snapshot()
 	if ix == nil && t == nil {
 		return nil
@@ -438,9 +452,14 @@ func persistWriter(w *cinct.Writer, path string) error {
 	if err != nil {
 		return err
 	}
-	if t != nil {
+	switch {
+	case t != nil && v3:
+		_, err = t.SaveV3(f)
+	case t != nil:
 		_, err = t.Save(f)
-	} else {
+	case v3:
+		_, err = ix.SaveV3(f)
+	default:
 		_, err = ix.Save(f)
 	}
 	if cerr := f.Close(); err == nil {

@@ -1,0 +1,101 @@
+package flat
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	if !CanView() {
+		t.Skip("flat views require a little-endian host")
+	}
+	var w Writer
+	w.U64(42)
+	w.I64(-7)
+	w.F64(3.5)
+	w.U64s([]uint64{1, 2, 3})
+	w.I64s([]int64{-1, 0, 9})
+	w.U32s([]uint32{10, 20, 30})       // odd length exercises padding
+	w.I32s([]int32{-5, 5, -6, 6, -7})  // odd again
+	w.U8s([]byte("hello, flat world")) // 17 bytes: partial tail word
+	w.U8s(nil)
+	w.U32s(nil)
+
+	c := NewCursor(w.Words())
+	if got := c.U64(); got != 42 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := c.I64(); got != -7 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := c.F64(); got != 3.5 {
+		t.Errorf("F64 = %v", got)
+	}
+	u64s := c.U64s()
+	if len(u64s) != 3 || u64s[0] != 1 || u64s[2] != 3 {
+		t.Errorf("U64s = %v", u64s)
+	}
+	i64s := c.I64s()
+	if len(i64s) != 3 || i64s[0] != -1 || i64s[2] != 9 {
+		t.Errorf("I64s = %v", i64s)
+	}
+	u32s := c.U32s()
+	if len(u32s) != 3 || u32s[0] != 10 || u32s[1] != 20 || u32s[2] != 30 {
+		t.Errorf("U32s = %v", u32s)
+	}
+	i32s := c.I32s()
+	if len(i32s) != 5 || i32s[0] != -5 || i32s[4] != -7 {
+		t.Errorf("I32s = %v", i32s)
+	}
+	if got := string(c.U8s()); got != "hello, flat world" {
+		t.Errorf("U8s = %q", got)
+	}
+	if got := c.U8s(); len(got) != 0 {
+		t.Errorf("empty U8s = %v", got)
+	}
+	if got := c.U32s(); len(got) != 0 {
+		t.Errorf("empty U32s = %v", got)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if c.Remaining() != 0 {
+		t.Errorf("Remaining = %d", c.Remaining())
+	}
+}
+
+func TestCursorOverrun(t *testing.T) {
+	c := NewCursor([]uint64{5}) // declares a 5-word slice with 0 words behind it
+	if s := c.U64s(); s != nil {
+		t.Errorf("overlong U64s = %v", s)
+	}
+	if !errors.Is(c.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", c.Err())
+	}
+	// Latched: every later read stays zero.
+	if v := c.U64(); v != 0 {
+		t.Errorf("post-error U64 = %d", v)
+	}
+}
+
+func TestCursorHugeLength(t *testing.T) {
+	// A length prefix near 2^64 must fail cleanly, not overflow into a
+	// small positive word count.
+	c := NewCursor([]uint64{^uint64(0) - 3, 0, 0})
+	if s := c.U32s(); s != nil {
+		t.Errorf("huge U32s = %v", s)
+	}
+	if !errors.Is(c.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", c.Err())
+	}
+}
+
+func TestCursorEmpty(t *testing.T) {
+	c := NewCursor(nil)
+	if v := c.U64(); v != 0 {
+		t.Errorf("U64 on empty = %d", v)
+	}
+	if !errors.Is(c.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v", c.Err())
+	}
+}

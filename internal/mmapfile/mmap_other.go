@@ -1,0 +1,15 @@
+//go:build !unix
+
+package mmapfile
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("mmapfile: memory mapping not supported on this platform")
+
+// mapFile always fails here; Open falls back to the aligned read.
+func mapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+func unmap([]byte) error { return nil }

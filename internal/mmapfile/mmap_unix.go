@@ -1,0 +1,18 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared, so concurrent
+// cinctd processes serving the same index share physical pages.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

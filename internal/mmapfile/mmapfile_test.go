@@ -1,0 +1,64 @@
+package mmapfile
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenWords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	want := []uint64{0x1122334455667788, 42, ^uint64(0)}
+	buf := make([]byte, 8*len(want))
+	for i, v := range want {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Len() != len(buf) {
+		t.Fatalf("Len = %d, want %d", f.Len(), len(buf))
+	}
+	words := f.Words()
+	if len(words) != len(want) {
+		t.Fatalf("Words len = %d, want %d", len(words), len(want))
+	}
+	for i, v := range want {
+		if words[i] != v {
+			t.Errorf("word %d = %#x, want %#x", i, words[i], v)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.bin")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Len() != 0 || f.Words() != nil {
+		t.Errorf("empty file: Len=%d Words=%v", f.Len(), f.Words())
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error opening a missing file")
+	}
+}

@@ -1,0 +1,42 @@
+package tempo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHotPathAllocs asserts that At (the checkpointed timestamp probe
+// behind every interval-filtered hit) and MinMax (the per-trajectory
+// summary prune) allocate nothing.
+func TestHotPathAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	cols := make([][]int64, 20)
+	for k := range cols {
+		l := 1 + rng.Intn(400)
+		col := make([]int64, l)
+		ts := rng.Int63n(1 << 40)
+		for i := range col {
+			ts += rng.Int63n(1000)
+			col[i] = ts
+		}
+		cols[k] = col
+	}
+	s := New(cols)
+	var sink int64
+	if got := testing.AllocsPerRun(200, func() {
+		for k := range cols {
+			sink += s.At(k, len(cols[k])-1)
+		}
+	}); got != 0 {
+		t.Errorf("At: %v allocs/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		for k := range cols {
+			lo, hi := s.MinMax(k)
+			sink += lo + hi
+		}
+	}); got != 0 {
+		t.Errorf("MinMax: %v allocs/op, want 0", got)
+	}
+	_ = sink
+}

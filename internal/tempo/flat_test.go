@@ -1,0 +1,90 @@
+package tempo
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinct/internal/flat"
+)
+
+func TestFlatStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	times := make([][]int64, 40)
+	for k := range times {
+		col := make([]int64, rng.Intn(300))
+		tm := int64(rng.Intn(1 << 30))
+		for i := range col {
+			tm += int64(rng.Intn(100)) - 3 // mostly increasing, some regressions
+			col[i] = tm
+		}
+		times[k] = col
+	}
+	orig := New(times)
+	w := flat.NewWriter()
+	orig.AppendFlat(w)
+	c := flat.NewCursor(w.Words())
+	view, err := ViewFlat(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Remaining() != 0 {
+		t.Fatalf("%d words left over", c.Remaining())
+	}
+	if view.NumTrajectories() != len(times) {
+		t.Fatalf("NumTrajectories = %d, want %d", view.NumTrajectories(), len(times))
+	}
+	for k, col := range times {
+		if view.Len(k) != len(col) {
+			t.Fatalf("Len(%d) = %d, want %d", k, view.Len(k), len(col))
+		}
+		wantMin, wantMax := orig.MinMax(k)
+		gotMin, gotMax := view.MinMax(k)
+		if gotMin != wantMin || gotMax != wantMax {
+			t.Fatalf("MinMax(%d) = (%d,%d), want (%d,%d)", k, gotMin, gotMax, wantMin, wantMax)
+		}
+		for i, want := range col {
+			if got := view.At(k, i); got != want {
+				t.Fatalf("At(%d,%d) = %d, want %d", k, i, got, want)
+			}
+		}
+	}
+}
+
+// Single-word perturbations must yield ErrCorrupt or a view whose At
+// calls stay in bounds (wrong values are acceptable; faults are not).
+func TestFlatStoreCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	times := make([][]int64, 8)
+	for k := range times {
+		col := make([]int64, 100+rng.Intn(100))
+		for i := range col {
+			col[i] = int64(i * 1000)
+		}
+		times[k] = col
+	}
+	w := flat.NewWriter()
+	New(times).AppendFlat(w)
+	base := w.Words()
+	for i := range base {
+		for _, delta := range []uint64{1, ^uint64(0), 1 << 45} {
+			mut := append([]uint64(nil), base...)
+			mut[i] += delta
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("word %d +%#x: panic: %v", i, delta, r)
+					}
+				}()
+				v, err := ViewFlat(flat.NewCursor(mut))
+				if err != nil {
+					return
+				}
+				for k := 0; k < v.NumTrajectories(); k++ {
+					for j := 0; j < v.Len(k); j += 17 {
+						v.At(k, j)
+					}
+				}
+			}()
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package trajstr
+
+import (
+	"fmt"
+
+	"cinct/internal/flat"
+)
+
+// Flat (v3) form of the corpus metadata: the edge mapping and document
+// tables, without the text (the index is a self-index; Build drops
+// Text once the succinct structures exist). The symbol map is the only
+// piece rebuilt at view time — O(edges) — since Go maps cannot be
+// memory-mapped; everything else is wrapped in place.
+
+// AppendFlatMeta writes the corpus metadata (not the text).
+func (c *Corpus) AppendFlatMeta(w *flat.Writer) {
+	w.U64(uint64(c.Sigma))
+	w.U32s(c.symToEdge)
+	w.I32s(c.docStarts)
+	w.I32s(c.docLens)
+}
+
+// ViewFlatMeta wraps flat corpus metadata. The document tables must
+// describe a contiguous text layout — the invariant DocAtByTables'
+// binary search and SubPath's offset arithmetic rely on.
+func ViewFlatMeta(c *flat.Cursor) (*Corpus, error) {
+	sigma := c.Int()
+	symToEdge := c.U32s()
+	docStarts := c.I32s()
+	docLens := c.I32s()
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if sigma != len(symToEdge)+int(FirstEdgeSym) || len(docStarts) != len(docLens) ||
+		len(docStarts) == 0 {
+		return nil, fmt.Errorf("%w: corpus tables (sigma=%d edges=%d docs=%d/%d)",
+			flat.ErrCorrupt, sigma, len(symToEdge), len(docStarts), len(docLens))
+	}
+	for i := 1; i < len(symToEdge); i++ {
+		if symToEdge[i] <= symToEdge[i-1] {
+			return nil, fmt.Errorf("%w: edge IDs not strictly increasing at %d", flat.ErrCorrupt, i)
+		}
+	}
+	// Only the table's endpoints are validated — a full contiguity
+	// sweep would make opening a mapped container O(trajectories).
+	// An interior row that lies about its start or length misdirects
+	// the binary search or the extraction range; both end in a
+	// bounds-checked panic the query layer contains, or a wrong
+	// answer, never a wild read.
+	last := len(docStarts) - 1
+	if docStarts[0] != 0 || docLens[last] < 1 || docStarts[last] < int32(last) {
+		return nil, fmt.Errorf("%w: document table endpoints (start0=%d lastStart=%d lastLen=%d)",
+			flat.ErrCorrupt, docStarts[0], docStarts[last], docLens[last])
+	}
+	corpus := &Corpus{
+		Sigma:     sigma,
+		edgeToSym: make(map[uint32]uint32, len(symToEdge)),
+		symToEdge: symToEdge,
+		docStarts: docStarts,
+		docLens:   docLens,
+	}
+	for i, e := range symToEdge {
+		corpus.edgeToSym[e] = uint32(i) + FirstEdgeSym
+	}
+	return corpus, nil
+}

@@ -190,7 +190,19 @@ func (c *Corpus) DocAtByTables(pos int) (doc, offset int, ok bool) {
 	if pos < 0 {
 		panic(fmt.Sprintf("trajstr: position %d negative", pos))
 	}
-	k := sort.Search(len(c.docStarts), func(i int) bool { return int(c.docStarts[i]) > pos }) - 1
+	// Manual binary search for the last start <= pos: this runs once
+	// per located occurrence and sort.Search's func value would be the
+	// only allocation on that path.
+	lo, hi := 0, len(c.docStarts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(c.docStarts[mid]) > pos {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	k := lo - 1
 	if k < 0 {
 		return 0, 0, false
 	}

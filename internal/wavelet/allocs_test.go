@@ -1,0 +1,44 @@
+package wavelet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHotPathAllocs asserts that Access, Rank and AccessRank — the
+// per-LF-step wavelet operations behind every backward-search step —
+// allocate nothing, for both the Huffman-shaped tree and the matrix.
+func TestHotPathAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	seq := randSeq(50_000, 40, rng)
+	for _, spec := range []BitvecSpec{PlainSpec, RRRSpec(63)} {
+		h := NewHWT(seq, 41, spec)
+		w := NewWM(seq, 41, spec)
+		var sinkC uint32
+		var sinkR int
+		cases := []struct {
+			name string
+			fn   func()
+		}{
+			{"HWT.Access", func() { sinkC = h.Access(len(seq) / 2) }},
+			{"HWT.Rank", func() { sinkR = h.Rank(seq[7], len(seq)-1) }},
+			{"HWT.AccessRank", func() {
+				c, r := h.AccessRank(len(seq) / 3)
+				sinkC, sinkR = c, r
+			}},
+			{"WM.Access", func() { sinkC = w.Access(len(seq) / 2) }},
+			{"WM.Rank", func() { sinkR = w.Rank(seq[7], len(seq)-1) }},
+			{"WM.AccessRank", func() {
+				c, r := w.AccessRank(len(seq) / 3)
+				sinkC, sinkR = c, r
+			}},
+		}
+		for _, tc := range cases {
+			if got := testing.AllocsPerRun(200, tc.fn); got != 0 {
+				t.Errorf("%s (%v): %v allocs/op, want 0", tc.name, spec.Kind, got)
+			}
+		}
+		_ = sinkC
+		_ = sinkR
+	}
+}

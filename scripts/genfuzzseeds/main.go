@@ -118,6 +118,34 @@ func main() {
 	writeSeed(dir, "garbage", []byte("\x01garbage-token"))
 	writeSeed(dir, "empty-token", []byte{0x02})
 
+	// FuzzLoadMapped: v3 zero-copy containers (spatial and temporal),
+	// truncations, bare magic.
+	dir = filepath.Join("testdata", "fuzz", "FuzzLoadMapped")
+	for _, shards := range []int{1, 2} {
+		opts := cinct.DefaultOptions()
+		opts.Shards = shards
+		ix, err := cinct.Build(trajs, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := ix.SaveV3(&buf); err != nil {
+			log.Fatal(err)
+		}
+		writeSeed(dir, fmt.Sprintf("v3-spatial-shards%d", shards), buf.Bytes())
+		writeSeed(dir, fmt.Sprintf("v3-truncated-shards%d", shards), buf.Bytes()[:buf.Len()/2])
+		tix, err := cinct.BuildTemporal(trajs, times, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf.Reset()
+		if _, err := tix.SaveV3(&buf); err != nil {
+			log.Fatal(err)
+		}
+		writeSeed(dir, fmt.Sprintf("v3-temporal-shards%d", shards), buf.Bytes())
+	}
+	writeSeed(dir, "magic-only", []byte("CNCTidx3"))
+
 	// FuzzQueryUnmarshal: representative wire bodies.
 	dir = filepath.Join("server", "testdata", "fuzz", "FuzzQueryUnmarshal")
 	for i, body := range []string{

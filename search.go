@@ -2,11 +2,30 @@ package cinct
 
 import (
 	"context"
+	"fmt"
 	"iter"
 	"sync"
 
 	"cinct/internal/tempo"
 )
+
+// containCorrupt runs fn and converts any panic escaping it into an
+// ErrCorruptIndex error. View constructors over mmap'd v3 containers
+// validate structural invariants in O(metadata) but deliberately skip
+// O(n) semantic checks (label-in-context, LF-cycle coverage), so deep
+// corruption can first surface as an out-of-bounds panic inside a
+// query. Go guarantees such faults are recoverable panics rather than
+// memory unsafety; this wrapper is the containment boundary that turns
+// them into a typed error at the query API instead of crashing the
+// process.
+func containCorrupt(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: query panicked: %v", ErrCorruptIndex, r)
+		}
+	}()
+	return fn()
+}
 
 // Hit is one streamed Search result. For Occurrences queries it is an
 // occurrence — Match plus, when the query carried an Interval, the
@@ -187,7 +206,9 @@ func runSearch(ctx context.Context, q Query, units []*unitCursor, hasLoc bool) (
 	if !hasLoc {
 		return nil, ErrNoLocate
 	}
-	runUnits(units, func(_ int, u *unitCursor) { u.err = u.collect(ctx, c) })
+	runUnits(units, func(_ int, u *unitCursor) {
+		u.err = containCorrupt(func() error { return u.collect(ctx, c) })
+	})
 	for _, u := range units {
 		if u.err != nil {
 			return nil, u.err
@@ -334,20 +355,23 @@ func countUnits(ctx context.Context, c compiled, units []*unitCursor) (int, erro
 	counts := make([]int, len(units))
 	errs := make([]error, len(units))
 	runUnits(units, func(i int, u *unitCursor) {
-		if !c.hasInterval {
-			counts[i] = u.countPath(c.path)
-			return
-		}
-		n := 0
-		errs[i] = u.locate(ctx, c.path, func(doc, offset int) {
-			if lo, hi := u.tsMinMax(doc); hi < c.from || lo > c.to {
-				return
+		errs[i] = containCorrupt(func() error {
+			if !c.hasInterval {
+				counts[i] = u.countPath(c.path)
+				return nil
 			}
-			if at := u.tsAt(doc, offset); at >= c.from && at <= c.to {
-				n++
-			}
+			n := 0
+			err := u.locate(ctx, c.path, func(doc, offset int) {
+				if lo, hi := u.tsMinMax(doc); hi < c.from || lo > c.to {
+					return
+				}
+				if at := u.tsAt(doc, offset); at >= c.from && at <= c.to {
+					n++
+				}
+			})
+			counts[i] = n
+			return err
 		})
-		counts[i] = n
 	})
 	total := 0
 	for i := range units {
@@ -497,8 +521,16 @@ type searchShared struct {
 // where interval filtering (one checkpointed timestamp probe per
 // candidate) and trajectory deduplication happen. It stops on context
 // cancellation, so an abandoned or cancelled iteration performs no
-// further decodes.
+// further decodes. Timestamp probes against a corrupt mapped store are
+// contained here: a panic surfaces as ErrCorruptIndex on the unit.
 func (u *unitCursor) advance(s *searchShared) {
+	if err := containCorrupt(func() error { u.advanceStep(s); return nil }); err != nil {
+		u.err = err
+		u.hasHead = false
+	}
+}
+
+func (u *unitCursor) advanceStep(s *searchShared) {
 	c := s.c
 	for u.pos < len(u.cands) {
 		if err := s.ctx.Err(); err != nil {

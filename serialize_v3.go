@@ -1,0 +1,402 @@
+package cinct
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"unsafe"
+
+	"cinct/internal/core"
+	"cinct/internal/flat"
+	"cinct/internal/mmapfile"
+	"cinct/internal/tempo"
+	"cinct/internal/trajstr"
+)
+
+// Container format v3: a single flat file readable in place. Where v1
+// streams varints that Load must decode into heap structures, v3 lays
+// every structure out as 64-bit little-endian words so a reader wraps
+// the file's bytes directly — OpenMapped memory-maps the file and
+// serves queries from the mapping (O(1) open, kernel-managed paging,
+// pages shared across processes), and Load falls back to one aligned
+// read of the same layout.
+//
+//	header   8 words (64 bytes)
+//	  [0] magic "CNCTidx3"
+//	  [1] version (3)
+//	  [2] flavor: 1 spatial, 2 temporal
+//	  [3] section count S
+//	  [4] file size in bytes
+//	  [5] K: spatial shard count (0 = monolithic)
+//	  [6] T: timestamp store count (0 for spatial files)
+//	  [7] reserved (0)
+//	TOC      S × 4 words: {kind, shard, byte offset, byte length}
+//	  kind 1: spatial frame (flat corpus metadata ++ flat core index)
+//	  kind 2: timestamp store (flat tempo store)
+//	sections zero-padded to 4096-byte boundaries, in TOC order
+//
+// Every section offset is page-aligned and every length a multiple of
+// 8, so any structure in the file can be viewed as a []uint64 without
+// copying. The file size is a whole number of pages.
+
+const (
+	v3Magic    = "CNCTidx3"
+	v3Version  = 3
+	v3PageSize = 4096
+
+	v3FlavorSpatial  = 1
+	v3FlavorTemporal = 2
+
+	v3KindSpatial = 1
+	v3KindTempo   = 2
+)
+
+// ErrCorrupt reports a malformed v3 container. Errors from OpenMapped,
+// Load and LoadTemporal on v3 files wrap it (possibly alongside the
+// more specific flat/section error).
+var ErrCorrupt = errors.New("cinct: corrupt v3 container")
+
+// isV3Magic reports whether b begins with the v3 container magic.
+func isV3Magic(b []byte) bool {
+	return len(b) >= len(v3Magic) && string(b[:len(v3Magic)]) == v3Magic
+}
+
+// IsV3Container reports whether b (the first bytes of a file, at
+// least 8) begins with the v3 container magic — the sniff callers use
+// to decide between OpenMapped and the streaming loaders.
+func IsV3Container(b []byte) bool { return isV3Magic(b) }
+
+func v3MagicWord() uint64 {
+	var w uint64
+	for i := len(v3Magic) - 1; i >= 0; i-- {
+		w = w<<8 | uint64(v3Magic[i])
+	}
+	return w
+}
+
+// SaveV3 writes the index in container format v3. The v3 file is what
+// OpenMapped serves in place; Load accepts it too (alongside v1/v2).
+func (ix *Index) SaveV3(w io.Writer) (int64, error) {
+	return saveV3(w, ix, nil)
+}
+
+// SaveV3 writes the temporal index in container format v3.
+func (t *TemporalIndex) SaveV3(w io.Writer) (int64, error) {
+	return saveV3(w, t.Index, t.stores)
+}
+
+type v3Section struct {
+	kind  uint64
+	shard uint64
+	words []uint64
+}
+
+func saveV3(w io.Writer, ix *Index, stores []*tempo.Store) (int64, error) {
+	var secs []v3Section
+	appendSpatial := func(one *Index, shard int) {
+		fw := flat.NewWriter()
+		one.corpus.AppendFlatMeta(fw)
+		one.core.AppendFlat(fw)
+		secs = append(secs, v3Section{kind: v3KindSpatial, shard: uint64(shard), words: fw.Words()})
+	}
+	shardCount := uint64(0)
+	if si := ix.sharded; si != nil {
+		shardCount = uint64(len(si.shards))
+		for s, shard := range si.shards {
+			appendSpatial(shard, s)
+		}
+	} else {
+		appendSpatial(ix, 0)
+	}
+	flavor := uint64(v3FlavorSpatial)
+	if stores != nil {
+		flavor = v3FlavorTemporal
+		for s, ts := range stores {
+			fw := flat.NewWriter()
+			ts.AppendFlat(fw)
+			secs = append(secs, v3Section{kind: v3KindTempo, shard: uint64(s), words: fw.Words()})
+		}
+	}
+
+	alignUp := func(n int64) int64 { return (n + v3PageSize - 1) &^ (v3PageSize - 1) }
+	tocBytes := int64(8*8) + int64(len(secs))*4*8
+	offset := alignUp(tocBytes)
+	toc := make([]uint64, 0, len(secs)*4)
+	for _, s := range secs {
+		length := int64(len(s.words)) * 8
+		toc = append(toc, s.kind, s.shard, uint64(offset), uint64(length))
+		offset = alignUp(offset + length)
+	}
+	fileSize := offset
+
+	header := [8]uint64{
+		v3MagicWord(), v3Version, flavor,
+		uint64(len(secs)), uint64(fileSize), shardCount, uint64(len(stores)), 0,
+	}
+
+	bw := bufio.NewWriter(w)
+	var written int64
+	var pad [v3PageSize]byte
+	writeWords := func(words []uint64) error {
+		var buf [8]byte
+		for _, v := range words {
+			buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			buf[4], buf[5], buf[6], buf[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+			written += 8
+		}
+		return nil
+	}
+	padTo := func(target int64) error {
+		for written < target {
+			chunk := target - written
+			if chunk > v3PageSize {
+				chunk = v3PageSize
+			}
+			if _, err := bw.Write(pad[:chunk]); err != nil {
+				return err
+			}
+			written += chunk
+		}
+		return nil
+	}
+	if err := writeWords(header[:]); err != nil {
+		return written, err
+	}
+	if err := writeWords(toc); err != nil {
+		return written, err
+	}
+	for i, s := range secs {
+		if err := padTo(int64(toc[4*i+2])); err != nil {
+			return written, err
+		}
+		if err := writeWords(s.words); err != nil {
+			return written, err
+		}
+	}
+	if err := padTo(fileSize); err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// OpenMapped memory-maps a v3 container and returns an index whose
+// structures read directly from the mapping: open cost is independent
+// of index size, resident memory is whatever the kernel pages in (and
+// can be evicted under pressure), and processes serving the same file
+// share physical pages. The mapping lives as long as the returned
+// Index is reachable; it is released by the garbage collector, so no
+// Close is needed (or offered — queries may outlive any safe close
+// point).
+func OpenMapped(path string) (*Index, error) {
+	f, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, _, err := viewContainer(f.Words(), v3FlavorSpatial)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	ix.retain(f)
+	return ix, nil
+}
+
+// OpenMappedTemporal is OpenMapped for temporal (flavor 2) containers.
+func OpenMappedTemporal(path string) (*TemporalIndex, error) {
+	f, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ix, stores, err := viewContainer(f.Words(), v3FlavorTemporal)
+	if err == nil {
+		t := &TemporalIndex{Index: ix, stores: stores}
+		if err = t.validateStores(); err == nil {
+			ix.retain(f)
+			return t, nil
+		}
+	}
+	f.Close()
+	return nil, err
+}
+
+// retain pins the mapping to the index — and to every shard, since a
+// running query may hold a shard *Index without the facade.
+func (ix *Index) retain(f *mmapfile.File) {
+	ix.backing = f
+	if ix.sharded != nil {
+		for _, shard := range ix.sharded.shards {
+			shard.backing = f
+		}
+	}
+}
+
+// Mapped reports whether the index serves from a memory-mapped v3
+// container (false for heap-loaded indexes, including v3 files read
+// through Load on hosts without mmap).
+func (ix *Index) Mapped() bool { return ix.backing != nil && ix.backing.Mapped() }
+
+// loadV3 reads a whole v3 stream into an aligned heap buffer and views
+// it there — the non-mmap path used by Load/LoadTemporal.
+func loadV3(br *bufio.Reader, flavor uint64) (*Index, []*tempo.Store, error) {
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(data)%8 != 0 {
+		return nil, nil, fmt.Errorf("%w: %d bytes is not a whole number of words", ErrCorrupt, len(data))
+	}
+	words := make([]uint64, len(data)/8)
+	if len(words) > 0 {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(words))), len(data)), data)
+	}
+	return viewContainer(words, flavor)
+}
+
+// viewContainer parses a v3 container from its word image, wrapping
+// (not copying) every structure. wantFlavor distinguishes the spatial
+// and temporal entry points. Every error wraps ErrCorrupt (section
+// errors additionally carry their specific flat/package error).
+func viewContainer(words []uint64, wantFlavor uint64) (ix *Index, stores []*tempo.Store, err error) {
+	defer func() {
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			err = fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
+	}()
+	return viewContainerInner(words, wantFlavor)
+}
+
+func viewContainerInner(words []uint64, wantFlavor uint64) (*Index, []*tempo.Store, error) {
+	if !flat.CanView() {
+		return nil, nil, fmt.Errorf("%w: v3 containers require a little-endian host", ErrCorrupt)
+	}
+	if len(words) < 8 {
+		return nil, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if words[0] != v3MagicWord() || words[1] != v3Version {
+		return nil, nil, fmt.Errorf("%w: bad magic or version", ErrCorrupt)
+	}
+	flavor, nSec := words[2], words[3]
+	fileSize, shardCount, storeCount := words[4], words[5], words[6]
+	if flavor != wantFlavor {
+		kinds := map[uint64]string{v3FlavorSpatial: "spatial", v3FlavorTemporal: "temporal"}
+		return nil, nil, fmt.Errorf("%w: %s container opened as %s",
+			ErrCorrupt, kinds[flavor], kinds[wantFlavor])
+	}
+	if fileSize != uint64(len(words))*8 || fileSize%v3PageSize != 0 {
+		return nil, nil, fmt.Errorf("%w: header claims %d bytes, have %d",
+			ErrCorrupt, fileSize, len(words)*8)
+	}
+	wantSpatial := shardCount
+	if wantSpatial == 0 {
+		wantSpatial = 1
+	}
+	wantStores := storeCount
+	if flavor == v3FlavorSpatial && wantStores != 0 {
+		return nil, nil, fmt.Errorf("%w: spatial container with %d timestamp stores",
+			ErrCorrupt, wantStores)
+	}
+	if flavor == v3FlavorTemporal && wantStores == 0 {
+		return nil, nil, fmt.Errorf("%w: temporal container without timestamp stores", ErrCorrupt)
+	}
+	if nSec != wantSpatial+wantStores || nSec > uint64(len(words)) {
+		return nil, nil, fmt.Errorf("%w: %d sections for %d shards + %d stores",
+			ErrCorrupt, nSec, wantSpatial, wantStores)
+	}
+	tocEnd := 8 + 4*nSec
+	if tocEnd > uint64(len(words)) {
+		return nil, nil, fmt.Errorf("%w: truncated TOC", ErrCorrupt)
+	}
+
+	sectionWords := func(i uint64, wantKind, wantShard uint64) ([]uint64, error) {
+		kind, shard := words[8+4*i], words[8+4*i+1]
+		off, length := words[8+4*i+2], words[8+4*i+3]
+		if kind != wantKind || shard != wantShard {
+			return nil, fmt.Errorf("%w: TOC entry %d is (kind=%d shard=%d), want (%d, %d)",
+				ErrCorrupt, i, kind, shard, wantKind, wantShard)
+		}
+		if off%v3PageSize != 0 || length%8 != 0 || off < tocEnd*8 ||
+			off > fileSize || length > fileSize-off {
+			return nil, fmt.Errorf("%w: TOC entry %d spans [%d,%d+%d) of %d bytes",
+				ErrCorrupt, i, off, off, length, fileSize)
+		}
+		return words[off/8 : off/8+length/8], nil
+	}
+
+	shards := make([]*Index, wantSpatial)
+	corpora := make([]*trajstr.Corpus, wantSpatial)
+	hasLoc := false
+	for s := uint64(0); s < wantSpatial; s++ {
+		sw, err := sectionWords(s, v3KindSpatial, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur := flat.NewCursor(sw)
+		corpus, err := trajstr.ViewFlatMeta(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cinct: shard %d: %w", s, err)
+		}
+		ci, err := core.ViewFlat(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cinct: shard %d: %w", s, err)
+		}
+		if cur.Remaining() != 0 {
+			return nil, nil, fmt.Errorf("%w: shard %d has %d trailing words",
+				ErrCorrupt, s, cur.Remaining())
+		}
+		if got, want := ci.Len(), corpus.TextLenFromTables(); got != want {
+			return nil, nil, fmt.Errorf("%w: shard %d core holds %d symbols, tables imply %d",
+				ErrCorruptIndex, s, got, want)
+		}
+		if got, want := ci.Sigma(), corpus.Sigma; got != want {
+			return nil, nil, fmt.Errorf("%w: shard %d core alphabet %d, corpus alphabet %d",
+				ErrCorruptIndex, s, got, want)
+		}
+		loc := ci.SampleRate() > 0
+		if s > 0 && loc != hasLoc {
+			return nil, nil, fmt.Errorf("%w: shards disagree on locate support", ErrCorrupt)
+		}
+		hasLoc = loc
+		shards[s] = &Index{corpus: corpus, core: ci, hasLoc: loc}
+		corpora[s] = corpus
+	}
+
+	var ix *Index
+	if shardCount == 0 {
+		ix = shards[0]
+	} else {
+		si := &ShardedIndex{shards: shards, bounds: make([]int, 1, wantSpatial+1), hasLoc: hasLoc}
+		total := 0
+		for _, shard := range shards {
+			total += shard.corpus.NumTrajectories()
+			si.bounds = append(si.bounds, total)
+		}
+		si.edges = trajstr.CountDistinctEdges(corpora)
+		ix = &Index{sharded: si, hasLoc: hasLoc}
+	}
+
+	var stores []*tempo.Store
+	if wantStores > 0 {
+		stores = make([]*tempo.Store, wantStores)
+		for s := uint64(0); s < wantStores; s++ {
+			sw, err := sectionWords(wantSpatial+s, v3KindTempo, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur := flat.NewCursor(sw)
+			ts, err := tempo.ViewFlat(cur)
+			if err != nil {
+				return nil, nil, fmt.Errorf("cinct: timestamp store %d: %w", s, err)
+			}
+			if cur.Remaining() != 0 {
+				return nil, nil, fmt.Errorf("%w: store %d has %d trailing words",
+					ErrCorrupt, s, cur.Remaining())
+			}
+			stores[s] = ts
+		}
+	}
+	return ix, stores, nil
+}

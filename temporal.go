@@ -243,6 +243,17 @@ func (t *TemporalIndex) Save(w io.Writer) (int64, error) {
 // the load instead of panicking inside a query.
 func LoadTemporal(r io.Reader) (*TemporalIndex, error) {
 	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(v3Magic)); err == nil && isV3Magic(magic) {
+		ix, stores, err := loadV3(br, v3FlavorTemporal)
+		if err != nil {
+			return nil, err
+		}
+		t := &TemporalIndex{Index: ix, stores: stores}
+		if err := t.validateStores(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
 	if magic, err := br.Peek(len(temporalMagic)); err == nil && string(magic) == temporalMagic {
 		return loadTemporalV2(br)
 	}

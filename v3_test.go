@@ -1,0 +1,365 @@
+package cinct
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// saveV3Bytes serializes via SaveV3 into memory.
+func saveV3Bytes(t *testing.T, ix *Index, tix *TemporalIndex) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	var err error
+	if tix != nil {
+		_, err = tix.SaveV3(&buf)
+	} else {
+		_, err = ix.SaveV3(&buf)
+	}
+	if err != nil {
+		t.Fatalf("SaveV3: %v", err)
+	}
+	if buf.Len()%v3PageSize != 0 {
+		t.Fatalf("v3 container is %d bytes, not page-aligned", buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// mapV3 writes the container to a temp file and opens it zero-copy.
+func mapV3(t *testing.T, data []byte) *Index {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.cinct3")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenMapped(path)
+	if err != nil {
+		t.Fatalf("OpenMapped: %v", err)
+	}
+	return ix
+}
+
+// TestV3RoundTrip pins SaveV3 → Load (heap view) and SaveV3 →
+// OpenMapped (zero-copy view) against the in-memory original, over
+// monolithic and sharded spatial indexes, with and without locate
+// support. All three instances must answer the full PR-4 query matrix
+// identically.
+func TestV3RoundTrip(t *testing.T) {
+	trajs := shardedTestCorpus(t)
+	for _, shards := range []int{1, 4} {
+		for _, sa := range []int{DefaultOptions().SampleRate, 0} {
+			opts := DefaultOptions()
+			opts.Shards = shards
+			opts.SampleRate = sa
+			orig, err := Build(trajs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := saveV3Bytes(t, orig, nil)
+			heap, err := Load(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("shards=%d sa=%d: Load(v3): %v", shards, sa, err)
+			}
+			mapped := mapV3(t, data)
+			if !mapped.Mapped() {
+				t.Fatal("OpenMapped index does not report Mapped")
+			}
+			if heap.Mapped() {
+				t.Fatal("heap-loaded index reports Mapped")
+			}
+			for _, ix := range []*Index{heap, mapped} {
+				if ix.NumTrajectories() != orig.NumTrajectories() ||
+					ix.Shards() != orig.Shards() || ix.Len() != orig.Len() ||
+					ix.NumEdges() != orig.NumEdges() {
+					t.Fatalf("shards=%d sa=%d: metadata mismatch", shards, sa)
+				}
+				checkSameAnswers(t, trajs, orig, ix, sa > 0)
+			}
+		}
+	}
+}
+
+// checkSameAnswers runs the query matrix against want and got and
+// requires byte-identical results.
+func checkSameAnswers(t *testing.T, trajs [][]uint32, want, got *Index, hasLoc bool) {
+	t.Helper()
+	for qi, path := range queryPaths(trajs) {
+		if w, g := want.Count(path), got.Count(path); w != g {
+			t.Fatalf("q%d: Count = %d, want %d", qi, g, w)
+		}
+		if !hasLoc {
+			if _, err := got.Find(path, 0); !errors.Is(err, ErrNoLocate) {
+				t.Fatalf("q%d: no-locate index Find err = %v, want ErrNoLocate", qi, err)
+			}
+			continue
+		}
+		for _, limit := range []int{0, 3} {
+			wm, err := want.Find(path, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gm, err := got.Find(path, limit)
+			if err != nil {
+				t.Fatalf("q%d limit=%d: Find: %v", qi, limit, err)
+			}
+			if len(wm) != len(gm) {
+				t.Fatalf("q%d limit=%d: %d matches, want %d", qi, limit, len(gm), len(wm))
+			}
+			for i := range wm {
+				if wm[i] != gm[i] {
+					t.Fatalf("q%d limit=%d: match %d = %+v, want %+v", qi, limit, i, gm[i], wm[i])
+				}
+			}
+		}
+	}
+	if hasLoc {
+		for id := 0; id < want.NumTrajectories(); id += 7 {
+			w, err := want.Trajectory(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := got.Trajectory(id)
+			if err != nil {
+				t.Fatalf("Trajectory(%d): %v", id, err)
+			}
+			if len(w) != len(g) {
+				t.Fatalf("Trajectory(%d): len %d, want %d", id, len(g), len(w))
+			}
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("Trajectory(%d) differs at %d", id, i)
+				}
+			}
+		}
+	}
+}
+
+// TestV3TemporalRoundTrip pins the temporal container: SaveV3 →
+// LoadTemporal and → OpenMappedTemporal must answer interval queries
+// identically to the original, over aligned sharded stores.
+func TestV3TemporalRoundTrip(t *testing.T) {
+	trajs, times := timedCorpus(11)
+	ctx := context.Background()
+	for _, shards := range []int{1, 3} {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		orig, err := BuildTemporal(trajs, times, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := saveV3Bytes(t, nil, orig)
+		heap, err := LoadTemporal(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("shards=%d: LoadTemporal(v3): %v", shards, err)
+		}
+		path := filepath.Join(t.TempDir(), "index.cinct3")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := OpenMappedTemporal(path)
+		if err != nil {
+			t.Fatalf("shards=%d: OpenMappedTemporal: %v", shards, err)
+		}
+		if !mapped.Index.Mapped() {
+			t.Fatal("mapped temporal index does not report Mapped")
+		}
+		pat := frequentEdge(trajs)
+		queries := []Query{
+			{Path: pat, Kind: CountOnly},
+			{Path: pat, Kind: Occurrences},
+			{Path: pat, Kind: CountOnly, Interval: &Interval{From: 0, To: 1 << 62}},
+			{Path: pat, Kind: Occurrences, Interval: &Interval{From: 200, To: 4000}},
+			{Path: pat, Kind: Trajectories, Interval: &Interval{From: 200, To: 4000}, Limit: 3},
+		}
+		for qi, q := range queries {
+			wr, err := orig.Search(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := drain(t, wr)
+			for _, tix := range []*TemporalIndex{heap, mapped} {
+				gr, err := tix.Search(ctx, q)
+				if err != nil {
+					t.Fatalf("shards=%d q%d: %v", shards, qi, err)
+				}
+				got := drain(t, gr)
+				if len(want) != len(got) {
+					t.Fatalf("shards=%d q%d: %d hits, want %d", shards, qi, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("shards=%d q%d: hit %d = %+v, want %+v", shards, qi, i, got[i], want[i])
+					}
+				}
+			}
+		}
+		// Timestamps must decode identically through the mapped store.
+		for id := 0; id < orig.Index.NumTrajectories(); id += 5 {
+			w := orig.Timestamps(id)
+			g := mapped.Timestamps(id)
+			if len(w) != len(g) {
+				t.Fatalf("Timestamps(%d): len %d, want %d", id, len(g), len(w))
+			}
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("Timestamps(%d) differs at %d", id, i)
+				}
+			}
+		}
+	}
+}
+
+// TestV3LegacyFormatsStillLoad pins backward compatibility: the v1
+// monolithic/sharded container and the v2 temporal container must
+// still load, and must answer the query matrix identically to the v3
+// view of the same index.
+func TestV3LegacyFormatsStillLoad(t *testing.T) {
+	trajs := shardedTestCorpus(t)
+	for _, shards := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		orig, err := Build(trajs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v1 bytes.Buffer
+		if _, err := orig.Save(&v1); err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := Load(bytes.NewReader(v1.Bytes()))
+		if err != nil {
+			t.Fatalf("shards=%d: Load(v1): %v", shards, err)
+		}
+		mapped := mapV3(t, saveV3Bytes(t, orig, nil))
+		checkSameAnswers(t, trajs, legacy, mapped, true)
+	}
+	trajsT, times := timedCorpus(13)
+	origT, err := BuildTemporal(trajsT, times, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if _, err := origT.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTemporal(bytes.NewReader(v2.Bytes())); err != nil {
+		t.Fatalf("LoadTemporal(v2): %v", err)
+	}
+}
+
+// TestV3FlavorMismatch pins the flavor gate: a spatial container must
+// not open as temporal and vice versa.
+func TestV3FlavorMismatch(t *testing.T) {
+	trajs, times := timedCorpus(17)
+	ix, err := Build(trajs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tix, err := BuildTemporal(trajs, times, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spatial := saveV3Bytes(t, ix, nil)
+	temporal := saveV3Bytes(t, nil, tix)
+	if _, err := LoadTemporal(bytes.NewReader(spatial)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LoadTemporal(spatial v3) err = %v, want ErrCorrupt", err)
+	}
+	// A temporal container opened spatially still carries a valid
+	// spatial index, but the flavor gate rejects it outright: the
+	// caller asked for the wrong thing.
+	if _, err := Load(bytes.NewReader(temporal)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load(temporal v3) err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestV3CorruptContainer flips words across the container: every
+// mutation must either fail typed at open or produce an index whose
+// queries fail typed — never a panic escaping the API.
+func TestV3CorruptContainer(t *testing.T) {
+	trajs, times := fuzzCorpus()
+	tix, err := BuildTemporal(trajs, times, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := saveV3Bytes(t, nil, tix)
+	// Sample ~200 word offsets; every mutation runs a full load plus a
+	// query, so an exhaustive sweep belongs to the fuzzer, not CI.
+	step := len(base) / 200 / 8 * 8
+	if step < 8 {
+		step = 8
+	}
+	pat := []uint32{2, 3}
+	for off := 0; off+8 <= len(base); off += step {
+		for _, bit := range []int{0, 17, 63} {
+			mut := append([]byte(nil), base...)
+			mut[off+bit/8] ^= 1 << (bit % 8)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("offset %d bit %d: panic escaped: %v", off, bit, r)
+					}
+				}()
+				got, err := LoadTemporal(bytes.NewReader(mut))
+				if err != nil {
+					// A flip inside the magic diverts to the legacy
+					// loaders, whose own typed errors are fine; with
+					// the v3 magic intact the error must be typed.
+					if isV3Magic(mut[:8]) &&
+						!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrCorruptIndex) &&
+						!errors.Is(err, ErrCorruptTimestamps) {
+						t.Fatalf("offset %d bit %d: untyped error %v", off, bit, err)
+					}
+					return
+				}
+				// Loaded despite the flip: queries must answer or
+				// fail typed, not crash.
+				r, err := got.Search(context.Background(),
+					Query{Path: pat, Kind: Occurrences, Interval: &Interval{From: 0, To: 1 << 62}})
+				if err != nil {
+					return
+				}
+				for _, herr := range r.All() {
+					if herr != nil {
+						return
+					}
+				}
+				_, _ = got.Index.SubPath(0, 0, got.Index.TrajectoryLen(0))
+			}()
+		}
+	}
+}
+
+// TestOpenMappedErrors pins the open-path failure modes.
+func TestOpenMappedErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenMapped(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("OpenMapped(missing) succeeded")
+	}
+	short := filepath.Join(dir, "short")
+	if err := os.WriteFile(short, []byte("CNCTidx3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMapped(short); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenMapped(short) err = %v, want ErrCorrupt", err)
+	}
+	v1 := filepath.Join(dir, "v1")
+	trajs := testCorpus()
+	ix, err := Build(trajs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenMapped(v1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenMapped(v1 container) err = %v, want ErrCorrupt", err)
+	}
+}
