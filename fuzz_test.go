@@ -234,6 +234,10 @@ func FuzzLoadMapped(f *testing.F) {
 		f.Add(append([]byte(nil), buf.Bytes()...))
 	}
 	f.Add([]byte(v3Magic))
+	// Header whose shard+store counts wrap uint64 (regression: the sum
+	// used to be computed before the counts were bounded, panicking in
+	// makeslice instead of returning ErrCorrupt).
+	f.Add(craftedV3Header(v3FlavorTemporal, 0, ^uint64(0), 1))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > maxFuzzInput {
 			t.Skip()

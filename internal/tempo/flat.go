@@ -80,7 +80,9 @@ func ViewFlat(c *flat.Cursor) (*Store, error) {
 				ErrCorrupt, k, s.ckStart[k+1]-s.ckStart[k], nBlocks)
 		}
 		for ck := s.ckStart[k]; ck < s.ckStart[k+1]; ck++ {
-			if s.ckOff[ck] < 0 || s.starts[k]+s.ckOff[ck] > blobLen {
+			// Compare by subtraction from blobLen (starts[k] <= blobLen is
+			// already validated) so a huge ckOff cannot wrap the sum negative.
+			if s.ckOff[ck] < 0 || s.ckOff[ck] > blobLen-s.starts[k] {
 				return nil, fmt.Errorf("%w: column %d checkpoint %d offset %d",
 					ErrCorrupt, k, ck-s.ckStart[k], s.ckOff[ck])
 			}

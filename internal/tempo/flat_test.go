@@ -50,6 +50,29 @@ func TestFlatStoreRoundTrip(t *testing.T) {
 	}
 }
 
+// A checkpoint offset near MaxInt64 must be rejected at ViewFlat
+// (regression: starts[k]+ckOff used to wrap negative and slip past
+// the blob-bound check, deferring the failure to query time).
+func TestFlatStoreCheckpointOffsetOverflow(t *testing.T) {
+	// Two columns longer than BlockSize: column 1 has starts[1] > 0 and
+	// at least one checkpoint, the combination that made the old
+	// additive check wrap.
+	col := make([]int64, 2*BlockSize)
+	for i := range col {
+		col[i] = int64(i)
+	}
+	s := New([][]int64{col, col})
+	if s.ckStart[1] >= s.ckStart[2] || s.starts[1] <= 0 {
+		t.Fatalf("fixture lacks a checkpoint in a non-zero-start column")
+	}
+	s.ckOff[s.ckStart[1]] = int64(^uint64(0) >> 1) // MaxInt64
+	w := flat.NewWriter()
+	s.AppendFlat(w)
+	if _, err := ViewFlat(flat.NewCursor(w.Words())); err == nil {
+		t.Fatal("ViewFlat accepted a checkpoint offset past the blob")
+	}
+}
+
 // Single-word perturbations must yield ErrCorrupt or a view whose At
 // calls stay in bounds (wrong values are acceptable; faults are not).
 func TestFlatStoreCorrupt(t *testing.T) {

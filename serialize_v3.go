@@ -302,7 +302,16 @@ func viewContainerInner(words []uint64, wantFlavor uint64) (*Index, []*tempo.Sto
 	if flavor == v3FlavorTemporal && wantStores == 0 {
 		return nil, nil, fmt.Errorf("%w: temporal container without timestamp stores", ErrCorrupt)
 	}
-	if nSec != wantSpatial+wantStores || nSec > uint64(len(words)) {
+	// Bound every header count before any arithmetic on them: a section
+	// needs at least one TOC word, so nSec (and hence shardCount and
+	// storeCount) can never exceed the file's word count. Checking the
+	// fields individually first keeps wantSpatial+wantStores from
+	// wrapping uint64 on attacker-controlled headers.
+	if nSec > uint64(len(words)) || shardCount > nSec || storeCount > nSec {
+		return nil, nil, fmt.Errorf("%w: header counts (%d sections, %d shards, %d stores) exceed %d words",
+			ErrCorrupt, nSec, shardCount, storeCount, len(words))
+	}
+	if nSec != wantSpatial+wantStores {
 		return nil, nil, fmt.Errorf("%w: %d sections for %d shards + %d stores",
 			ErrCorrupt, nSec, wantSpatial, wantStores)
 	}

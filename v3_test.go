@@ -3,6 +3,7 @@ package cinct
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -361,5 +362,54 @@ func TestOpenMappedErrors(t *testing.T) {
 	f.Close()
 	if _, err := OpenMapped(v1); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("OpenMapped(v1 container) err = %v, want ErrCorrupt", err)
+	}
+}
+
+// craftedV3Header builds a one-page file carrying an otherwise valid
+// v3 header with the given flavor and counts — no TOC, no sections.
+func craftedV3Header(flavor, nSec, shardCount, storeCount uint64) []byte {
+	b := make([]byte, v3PageSize)
+	for i, w := range []uint64{
+		v3MagicWord(), v3Version, flavor, nSec, v3PageSize, shardCount, storeCount, 0,
+	} {
+		binary.LittleEndian.PutUint64(b[8*i:], w)
+	}
+	return b
+}
+
+// TestV3HeaderCountOverflow pins the open-boundary guard against
+// headers whose counts are chosen so shardCount+storeCount wraps
+// uint64 (e.g. 2^64-1 shards + 1 store = 0 sections): the loaders
+// must return ErrCorrupt, not panic sizing a 2^64-1-element slice.
+func TestV3HeaderCountOverflow(t *testing.T) {
+	cases := []struct {
+		name                 string
+		flavor               uint64
+		nSec, shards, stores uint64
+	}{
+		{"wrapping shard count", v3FlavorTemporal, 0, ^uint64(0), 1},
+		{"wrapping store count", v3FlavorTemporal, 0, 0, ^uint64(0)},
+		{"huge section count", v3FlavorSpatial, ^uint64(0), ^uint64(0) - 1, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := craftedV3Header(tc.flavor, tc.nSec, tc.shards, tc.stores)
+			if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Load err = %v, want ErrCorrupt", err)
+			}
+			if _, err := LoadTemporal(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("LoadTemporal err = %v, want ErrCorrupt", err)
+			}
+			path := filepath.Join(t.TempDir(), "crafted.cinct3")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenMapped(path); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("OpenMapped err = %v, want ErrCorrupt", err)
+			}
+			if _, err := OpenMappedTemporal(path); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("OpenMappedTemporal err = %v, want ErrCorrupt", err)
+			}
+		})
 	}
 }
