@@ -18,6 +18,8 @@
 //	cinct count-interval -index corpus.tcinct -path "17 42" -from 0 -to 999
 //	cinct ingest -remote http://localhost:8132 -name corpus -in more.txt [-times more-times.txt] [-seal]
 //	cinct ingest -index corpus.cinct -in more.txt   (appends, seals, persists in place)
+//	cinct compact -index corpus.cinct [-full=false]   (merge sealed shards, persist in place)
+//	cinct compact -remote http://localhost:8132 -name corpus [-full]
 //	cinct convert -in corpus.cinct -out corpus3.cinct [-temporal]
 //
 // Any query subcommand accepts -remote URL -name INDEX instead of
@@ -81,6 +83,8 @@ func main() {
 		err = cmdCountInterval(args)
 	case "ingest":
 		err = cmdIngest(args)
+	case "compact":
+		err = cmdCompact(args)
 	case "convert":
 		err = cmdConvert(args)
 	default:
@@ -94,7 +98,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval|ingest|convert} [flags]")
+		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval|ingest|compact|convert} [flags]")
 	os.Exit(2)
 }
 
@@ -676,6 +680,66 @@ func cmdIngest(args []string) error {
 		}
 		fmt.Printf("appended %d trajectories, sealed %d, persisted to %s (%v)\n",
 			appended, sres.Sealed, *t.index, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+	return fmt.Errorf("-index (local file) or -remote (daemon URL) is required")
+}
+
+// cmdCompact merges an index's sealed shards: against a daemon it
+// calls POST /v1/{index}/compact; against a local file it loads the
+// index, compacts, and persists the result in place. -full merges all
+// the way down to a single shard instead of stopping at the tiered
+// policy's fixpoint.
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	t := addTargetFlags(fs)
+	full := fs.Bool("full", true, "merge down to a single shard (false = default tiered policy)")
+	temporal := fs.Bool("temporal", false, "force temporal loading regardless of file extension (with -index)")
+	fs.Parse(args)
+	ctx := context.Background()
+	t0 := time.Now()
+
+	report := func(merged, rows, before, after int) {
+		if merged == 0 {
+			fmt.Printf("already compact: %d shard(s), nothing to merge (%v)\n",
+				after, time.Since(t0).Round(time.Millisecond))
+			return
+		}
+		fmt.Printf("compacted %d shards down to %d (%d trajectories re-compressed, %v)\n",
+			before, after, rows, time.Since(t0).Round(time.Millisecond))
+	}
+
+	switch {
+	case *t.remote != "" && *t.index != "":
+		return fmt.Errorf("-index and -remote are mutually exclusive")
+	case *t.remote != "":
+		if *t.name == "" {
+			return fmt.Errorf("-name is required with -remote")
+		}
+		c := server.NewClient(*t.remote, nil)
+		resp, err := c.Compact(ctx, *t.name, *full)
+		if err != nil {
+			return err
+		}
+		report(resp.Merged, resp.Rows, resp.ShardsBefore, resp.ShardsAfter)
+		return nil
+	case *t.index != "":
+		eng := engine.New(engine.Options{SealThreshold: -1})
+		const name = "local"
+		var lerr error
+		if *temporal || strings.HasSuffix(*t.index, ".tcinct") {
+			lerr = eng.LoadTemporal(name, *t.index)
+		} else {
+			lerr = eng.Load(name, *t.index)
+		}
+		if lerr != nil {
+			return lerr
+		}
+		res, err := eng.Compact(ctx, name, *full)
+		if err != nil {
+			return err
+		}
+		report(res.Merged, res.Rows, res.ShardsBefore, res.ShardsAfter)
 		return nil
 	}
 	return fmt.Errorf("-index (local file) or -remote (daemon URL) is required")

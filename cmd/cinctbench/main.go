@@ -28,7 +28,15 @@
 // O(metadata) validation), Go-heap and process-RSS footprint, and
 // warm query latency.
 //
-//	cinctbench -out BENCH_PR6.json -trajs 4000 -queries 2000 -shards 0
+// The compaction section measures sealed-shard fan-out degradation:
+// the same corpus split across 1, 4, 16 and 64 seals, query p50/p99
+// and allocated bytes per query at each fan-out, then the 64-shard
+// writer fully compacted and re-measured — plus bits/symbol of 64
+// tiny models versus one merged model, and a WAL crash-replay leg
+// reporting what fraction of acknowledged, unsealed appends a fresh
+// engine recovers.
+//
+//	cinctbench -out BENCH_PR7.json -trajs 4000 -queries 2000 -shards 0
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -77,6 +86,53 @@ type report struct {
 	Streaming     *streamingReport       `json:"streaming,omitempty"`
 	Ingest        *ingestReport          `json:"ingest,omitempty"`
 	Serving       *servingReport         `json:"serving,omitempty"`
+	Compaction    *compactionReport      `json:"compaction,omitempty"`
+}
+
+// compactionReport quantifies sealed-shard fan-out degradation on a
+// long-lived writer and what tiered compaction buys back: the same
+// corpus sealed as 1, 4, 16 and fanseals shards, query latency and
+// allocated bytes per query at each fan-out, then the widest writer
+// fully compacted and re-measured. It also compares the compression
+// rate of many tiny per-seal models against one model over the merged
+// corpus, and carries the WAL crash-replay leg.
+type compactionReport struct {
+	Trajectories int   `json:"trajectories"`
+	Queries      int   `json:"queries"`
+	SealCounts   []int `json:"sealCounts"`
+	// Latency keys: {count,find}.seals{N} for each fan-out in
+	// SealCounts, plus {count,find}.compacted — the widest writer
+	// after full compaction back to a single shard.
+	Latency map[string]streamStat `json:"latency"`
+	// BitsPerSymbolFanned is the compression rate with one tiny model
+	// per seal; BitsPerSymbolCompacted after merging into one model
+	// trained on the whole corpus.
+	BitsPerSymbolFanned    float64 `json:"bitsPerSymbolFanned"`
+	BitsPerSymbolCompacted float64 `json:"bitsPerSymbolCompacted"`
+	// CompactSeconds is the wall time of compacting ShardsBefore
+	// shards down to ShardsAfter (decode + rebuild + swap).
+	CompactSeconds float64 `json:"compactSeconds"`
+	ShardsBefore   int     `json:"shardsBefore"`
+	ShardsAfter    int     `json:"shardsAfter"`
+	// FindP50Speedup / CountP50Speedup divide the p50 at the widest
+	// fan-out by the compacted p50: the headline compaction win.
+	FindP50Speedup  float64          `json:"findP50Speedup"`
+	CountP50Speedup float64          `json:"countP50Speedup"`
+	WAL             *walReplayReport `json:"wal,omitempty"`
+}
+
+// walReplayReport is the crash-replay leg: rows appended (and
+// acknowledged) through an engine running with a WAL, the engine
+// abandoned without sealing or persisting, and a fresh engine opened
+// over the same directory. RecoveredFraction must be 1 — every
+// acknowledged row replayed from the log.
+type walReplayReport struct {
+	AppendedRows      int     `json:"appendedRows"`
+	RecoveredRows     int     `json:"recoveredRows"`
+	RecoveredFraction float64 `json:"recoveredFraction"`
+	// ReplayOpenSeconds is the cold OpenDir time including the replay.
+	ReplayOpenSeconds float64 `json:"replayOpenSeconds"`
+	WALBytes          int64   `json:"walBytes"`
 }
 
 // servingReport compares heap-decoded serving against zero-copy mmap
@@ -176,7 +232,7 @@ type temporalReport struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR6.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR7.json", "output JSON file")
 		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
 		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
 		queries = flag.Int("queries", 2000, "queries per latency distribution")
@@ -191,13 +247,15 @@ func main() {
 		tsample  = flag.Int("tsample", 2, "temporal index SA sample rate (dense: locate must not mask the filter)")
 
 		itrajs = flag.Int("itrajs", 2000, "trajectories appended in the ingestion section (0 skips it)")
+
+		fanseals = flag.Int("fanseals", 64, "max sealed-shard fan-out in the compaction section (0 skips it)")
 	)
 	flag.Parse()
 	cfg := benchConfig{
 		out: *out, trajs: *trajs, meanLen: *meanLen, queries: *queries,
 		qlen: *qlen, limit: *limit, shards: *shards, seed: *seed,
 		ttrajs: *ttrajs, tmeanLen: *tmeanLen, tqueries: *tqueries, tsample: *tsample,
-		itrajs: *itrajs,
+		itrajs: *itrajs, fanseals: *fanseals,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "cinctbench: %v\n", err)
@@ -213,6 +271,7 @@ type benchConfig struct {
 	ttrajs, tmeanLen, tqueries int
 	tsample                    int
 	itrajs                     int
+	fanseals                   int
 }
 
 // runIngest benchmarks the live write path against the main corpus:
@@ -319,6 +378,189 @@ func runIngest(cfg benchConfig, base [][]uint32, workload [][]uint32) (*ingestRe
 	}
 	ir.BatchAppendsPerSecond = float64(len(extra)) / time.Since(t0).Seconds()
 	return ir, nil
+}
+
+// runCompaction benchmarks sealed-shard fan-out: the same corpus
+// sealed as 1, 4, 16 and cfg.fanseals shards (every backward search
+// fans out across all of them), then the widest writer compacted back
+// to one shard and re-measured on the identical workload.
+func runCompaction(cfg benchConfig, corpus [][]uint32, workload [][]uint32) (*compactionReport, error) {
+	var counts []int
+	for _, n := range []int{1, 4, 16, cfg.fanseals} {
+		if n >= 1 && n <= cfg.fanseals && (len(counts) == 0 || n > counts[len(counts)-1]) {
+			counts = append(counts, n)
+		}
+	}
+	cr := &compactionReport{
+		Trajectories: len(corpus),
+		Queries:      len(workload),
+		SealCounts:   counts,
+		Latency:      map[string]streamStat{},
+	}
+	ctx := context.Background()
+	opts := cinct.DefaultOptions()
+	// Dense SA sampling, for the same reason the temporal section uses
+	// it: locate cost is identical at every fan-out, and at the default
+	// rate it masks the per-shard search overhead this section exists
+	// to measure.
+	opts.SampleRate = 4
+	bench := func(w *cinct.Writer, key string) error {
+		var err error
+		if cr.Latency["count."+key], err = measureAlloc(workload, func(p []uint32) error {
+			r, serr := w.Search(ctx, cinct.Query{Path: p, Kind: cinct.CountOnly})
+			if serr != nil {
+				return serr
+			}
+			_, serr = r.Count()
+			return serr
+		}); err != nil {
+			return err
+		}
+		cr.Latency["find."+key], err = measureAlloc(workload, func(p []uint32) error {
+			r, serr := w.Search(ctx, cinct.Query{Path: p, Kind: cinct.Occurrences, Limit: cfg.limit})
+			if serr != nil {
+				return serr
+			}
+			_, serr = r.Count()
+			return serr
+		})
+		return err
+	}
+
+	var widest *cinct.Writer
+	for _, seals := range counts {
+		fmt.Fprintf(os.Stderr, "compaction: sealing corpus as %d shard(s)...\n", seals)
+		w, err := cinct.NewWriter(cinct.WriterConfig{Build: opts})
+		if err != nil {
+			return nil, err
+		}
+		// Near-equal index split: exactly `seals` chunks regardless of
+		// divisibility, so the fan-out on the x-axis is exact.
+		for i := 0; i < seals; i++ {
+			lo, hi := i*len(corpus)/seals, (i+1)*len(corpus)/seals
+			if lo == hi {
+				continue
+			}
+			if _, err := w.AppendBatch(corpus[lo:hi], nil); err != nil {
+				return nil, err
+			}
+			if _, err := w.Seal(); err != nil {
+				return nil, err
+			}
+		}
+		if err := bench(w, fmt.Sprintf("seals%d", seals)); err != nil {
+			return nil, err
+		}
+		widest = w
+	}
+
+	ix, _ := widest.Snapshot()
+	cr.BitsPerSymbolFanned = ix.Stats().BitsPerSymbol
+	cr.ShardsBefore = widest.SealedShards()
+	fmt.Fprintf(os.Stderr, "compaction: merging %d shards...\n", cr.ShardsBefore)
+	t0 := time.Now()
+	for {
+		res, err := widest.Compact(cinct.FullCompaction)
+		if err != nil {
+			return nil, err
+		}
+		if res.Merged == 0 {
+			break
+		}
+	}
+	cr.CompactSeconds = time.Since(t0).Seconds()
+	cr.ShardsAfter = widest.SealedShards()
+	ix, _ = widest.Snapshot()
+	cr.BitsPerSymbolCompacted = ix.Stats().BitsPerSymbol
+	if err := bench(widest, "compacted"); err != nil {
+		return nil, err
+	}
+	maxKey := fmt.Sprintf("seals%d", counts[len(counts)-1])
+	if p := cr.Latency["find.compacted"].P50Us; p > 0 {
+		cr.FindP50Speedup = cr.Latency["find."+maxKey].P50Us / p
+	}
+	if p := cr.Latency["count.compacted"].P50Us; p > 0 {
+		cr.CountP50Speedup = cr.Latency["count."+maxKey].P50Us / p
+	}
+
+	wr, err := runWALReplay(corpus)
+	if err != nil {
+		return nil, err
+	}
+	cr.WAL = wr
+	return cr, nil
+}
+
+// runWALReplay crashes an ingesting engine and measures recovery: a
+// base index on disk, rows appended through an engine running with a
+// WAL that fsyncs before every ack, the engine abandoned with its
+// delta unsealed and unpersisted, and a fresh engine opened over the
+// same directory. Every acknowledged row must come back.
+func runWALReplay(corpus [][]uint32) (*walReplayReport, error) {
+	fmt.Fprintf(os.Stderr, "compaction: WAL crash-replay leg...\n")
+	dir, err := os.MkdirTemp("", "cinctbench-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	base := len(corpus) / 2
+	if base > 512 {
+		base = 512
+	}
+	ix, err := cinct.Build(corpus[:base], cinct.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "bench.cinct"))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ix.Save(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	walOpts := engine.WALOptions{Dir: filepath.Join(dir, "wal"), SyncBytes: -1}
+	e1 := engine.New(engine.Options{SealThreshold: -1, WAL: walOpts})
+	if _, err := e1.OpenDir(dir); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	extra := corpus[base:]
+	const batch = 100
+	for lo := 0; lo < len(extra); lo += batch {
+		hi := lo + batch
+		if hi > len(extra) {
+			hi = len(extra)
+		}
+		if _, err := e1.Append(ctx, "bench", extra[lo:hi], nil); err != nil {
+			return nil, err
+		}
+	}
+	// Crash: abandon e1 without Shutdown, Seal, or persist. The WAL is
+	// the only durable copy of the appended rows.
+	t0 := time.Now()
+	e2 := engine.New(engine.Options{SealThreshold: -1, WAL: walOpts})
+	if _, err := e2.OpenDir(dir); err != nil {
+		return nil, err
+	}
+	open := time.Since(t0).Seconds()
+	defer e2.Shutdown()
+	info, err := e2.Info("bench")
+	if err != nil {
+		return nil, err
+	}
+	wr := &walReplayReport{
+		AppendedRows:      len(extra),
+		RecoveredRows:     info.Stats.Trajectories - base,
+		ReplayOpenSeconds: open,
+		WALBytes:          info.WALBytes,
+	}
+	wr.RecoveredFraction = float64(wr.RecoveredRows) / float64(wr.AppendedRows)
+	return wr, nil
 }
 
 func run(cfg benchConfig) error {
@@ -451,6 +693,13 @@ func run(cfg benchConfig) error {
 			return err
 		}
 		rep.Ingest = ir
+	}
+	if cfg.fanseals > 0 {
+		pr, err := runCompaction(cfg, corpus, workload)
+		if err != nil {
+			return err
+		}
+		rep.Compaction = pr
 	}
 	fmt.Fprintf(os.Stderr, "serving section (heap vs mmap)...\n")
 	if rep.Serving, err = runServing(ix, workload, limit); err != nil {

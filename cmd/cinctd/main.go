@@ -15,12 +15,18 @@
 //	GET  /v1/{index}/temporal/find?path=1,2&from=0&to=999&limit=10
 //	POST /v1/{index}/ingest                NDJSON append batch (live ingestion)
 //	POST /v1/{index}/seal                  compact the delta, persist to the data dir
+//	POST /v1/{index}/compact               merge sealed shards (?full=true → one shard)
 //	POST /v1/{index}/reload                re-read from disk, bump generation
 //
 // Appended trajectories live in an in-memory delta (immediately
 // queryable); once the delta reaches -seal-threshold trajectories a
 // background seal compacts it into a compressed shard and persists
-// the sealed index back to its file in the data dir.
+// the sealed index back to its file in the data dir. With -wal set,
+// every acknowledged append is also written to a per-index
+// write-ahead log and replayed on restart, so appends survive a crash
+// between seals; with -compact-interval set, a background compactor
+// keeps each live index's sealed-shard fan-out bounded by the tiered
+// policy (-compact-min-shards / -compact-max-shards / -compact-ratio).
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"cinct"
 	"cinct/internal/engine"
 	"cinct/server"
 )
@@ -54,6 +61,20 @@ func main() {
 			"serve v3 container files zero-copy via mmap (v1/v2 files still heap-load; convert with `cinct convert`)")
 		pprofAddr = flag.String("pprof", "",
 			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+		walDir = flag.String("wal", "",
+			"write-ahead log directory (one subdirectory per index); empty disables the WAL")
+		walSync = flag.Duration("wal-sync", 0,
+			"WAL group-commit fsync interval (0 = 50ms default, negative = no timer)")
+		walSyncBytes = flag.Int("wal-sync-bytes", 0,
+			"fsync the WAL once this many unsynced bytes accumulate (0 = 1MiB default, negative = every append)")
+		compactEvery = flag.Duration("compact-interval", 0,
+			"background compaction sweep cadence (0 disables; POST /v1/{index}/compact always works)")
+		compactMin = flag.Int("compact-min-shards", 0,
+			"merge a tier once it holds this many coherent-sized shards (0 = default 4)")
+		compactMax = flag.Int("compact-max-shards", 0,
+			"merge at most this many shards per round (0 = default 16)")
+		compactRatio = flag.Int("compact-ratio", 0,
+			"shards within this size ratio form one tier (0 = default 8)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cinctd: ", log.LstdFlags)
@@ -75,6 +96,15 @@ func main() {
 		Workers: *workers, CacheEntries: *cache,
 		SealThreshold: *sealAt, Logf: logger.Printf,
 		Mmap: *mmap,
+		WAL: engine.WALOptions{
+			Dir: *walDir, SyncInterval: *walSync, SyncBytes: *walSyncBytes,
+		},
+		Compaction: engine.CompactionOptions{
+			Interval: *compactEvery,
+			Policy: cinct.CompactionPolicy{
+				MinShards: *compactMin, MaxShards: *compactMax, TierRatio: *compactRatio,
+			},
+		},
 	})
 	defer eng.CloseAll()
 	names, err := eng.OpenDir(*data)
@@ -123,8 +153,12 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		logger.Printf("shutdown: %v", err)
+		eng.Shutdown() // still sync the WALs before dying
 		os.Exit(1)
 	}
+	// The listener has drained: stop the background compactor and
+	// sync + close every write-ahead log before the process exits.
+	eng.Shutdown()
 	if err := <-errc; err != nil {
 		logger.Fatalf("serve: %v", err)
 	}

@@ -8,11 +8,12 @@ import (
 )
 
 // TestConcurrentIngest hammers one temporal Writer with concurrent
-// appenders, an explicit sealer, the background auto-sealer and many
-// searchers under -race, then asserts the seal boundary lost and
-// duplicated nothing: every marker trajectory appended is found
-// exactly once, and a cursor taken mid-churn resumes to a stream that
-// concatenates without gaps or repeats.
+// appenders, an explicit sealer, the background auto-sealer, a tiered
+// compactor and many searchers under -race, then asserts the seal and
+// compaction boundaries lost and duplicated nothing: every marker
+// trajectory appended is found exactly once, and a cursor taken
+// mid-churn resumes to a stream that concatenates without gaps or
+// repeats.
 func TestConcurrentIngest(t *testing.T) {
 	marker := []uint32{91, 92, 93}
 	w, err := NewTemporalWriter(WriterConfig{SealThreshold: 64})
@@ -55,6 +56,22 @@ func TestConcurrentIngest(t *testing.T) {
 			default:
 			}
 			if _, err := w.Seal(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // tiered compactor racing seals and searches
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := w.Compact(CompactionPolicy{MinShards: 2, MaxShards: 4}); err != nil {
 				errc <- err
 				return
 			}

@@ -122,8 +122,8 @@ func sameHits(a, b []Hit) bool {
 
 // TestIngestDifferentialProperty is the property-based acceptance
 // test of live ingestion: for random corpora and random Append / Seal
-// / Search interleavings — over every writer shape (spatial and
-// temporal, empty, monolithic and sharded bases) — every Search
+// / Compact / Search interleavings — over every writer shape (spatial
+// and temporal, empty, monolithic and sharded bases) — every Search
 // answer must equal the brute-force oracle over the union of sealed
 // and delta data, before and after a save/load round trip of the
 // sealed state.
@@ -233,6 +233,20 @@ func TestIngestDifferentialProperty(t *testing.T) {
 						}
 						if n != before {
 							t.Fatalf("Seal compacted %d rows, delta held %d", n, before)
+						}
+					case op < 8: // compact one round
+						policy := CompactionPolicy{MinShards: 2, MaxShards: 4, TierRatio: 8}
+						if rng.Intn(3) == 0 {
+							policy = FullCompaction
+						}
+						before := w.SealedShards()
+						res, cerr := w.Compact(policy)
+						if cerr != nil {
+							t.Fatalf("Compact: %v", cerr)
+						}
+						if res.Merged > 0 && w.SealedShards() != before-res.Merged+1 {
+							t.Fatalf("Compact claimed %d merged but shards went %d -> %d",
+								res.Merged, before, w.SealedShards())
 						}
 					default:
 						check("live")
@@ -441,6 +455,36 @@ func TestWriterAutoSeal(t *testing.T) {
 	if c, _ := n.Count(); c != total {
 		t.Fatalf("Count = %d, want %d (lost rows across auto-seal)", c, total)
 	}
+}
+
+// TestWriterBackgroundErrorHooks pins the error-routing contract of
+// the background sealer: failures are no longer swallowed — they flow
+// through WriterConfig.Logf and OnError.
+func TestWriterBackgroundErrorHooks(t *testing.T) {
+	var logged []string
+	var reported []error
+	w, err := NewWriter(WriterConfig{
+		Logf:    func(format string, args ...any) { logged = append(logged, format) },
+		OnError: func(op string, err error) { reported = append(reported, err) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.reportError("seal", errors.New("disk on fire"))
+	if len(logged) != 1 || len(reported) != 1 {
+		t.Fatalf("hooks fired %d/%d times, want 1/1", len(logged), len(reported))
+	}
+	if reported[0].Error() != "disk on fire" {
+		t.Fatalf("OnError got %v", reported[0])
+	}
+	// Hookless writers must stay safe to report through.
+	bare, err := NewWriter(WriterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	bare.reportError("seal", errors.New("quietly"))
 }
 
 // TestWriterRejectsLegacyTemporalLayout pins ErrNotAppendable for the

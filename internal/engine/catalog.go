@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"cinct"
+	"cinct/internal/wal"
 )
 
 // File extensions recognized by OpenDir. A ".cinct" file holds a
@@ -75,6 +76,11 @@ type entry struct {
 	// loadMu serializes disk loads (concurrent Reloads), keeping the
 	// read path's mu free during the expensive file read.
 	loadMu sync.Mutex
+	// ingestMu orders Append's two effects — the writer's ID
+	// assignment and the WAL record — so the log's record order always
+	// matches global-ID order and replay never sees interleaved
+	// batches.
+	ingestMu sync.Mutex
 
 	mu  sync.RWMutex
 	gen uint64
@@ -98,7 +104,12 @@ type entry struct {
 	// persist). Engine.Seal returns it so a failed disk write is never
 	// reported as a successful compaction.
 	sealErr error
-	closed  bool
+	// wal is the entry's write-ahead log, non-nil only when the engine
+	// runs with Options.WAL.Dir on a file-backed entry. Appends are
+	// logged before being acknowledged; replayed into the delta on
+	// open; retired once sealed rows persist.
+	wal    *wal.Log
+	closed bool
 }
 
 // view is an immutable snapshot of an entry's current binding.
@@ -282,12 +293,17 @@ func (c *Catalog) install(en *entry) {
 }
 
 // markClosed closes the entry and returns its final generation and
-// epoch.
+// epoch. The WAL is synced and closed — its segments stay on disk, so
+// unsealed rows replay when the entry is opened again.
 func (en *entry) markClosed() (gen, epoch uint64) {
 	en.mu.Lock()
 	defer en.mu.Unlock()
 	en.closed = true
 	en.spatial, en.temp, en.w = nil, nil, nil
+	if en.wal != nil {
+		en.wal.Close() //nolint:errcheck // best-effort final sync; segments replay regardless
+		en.wal = nil
+	}
 	return en.gen, en.epoch
 }
 

@@ -9,8 +9,10 @@ import (
 	"iter"
 	"os"
 	"runtime"
+	"sync"
 
 	"cinct"
+	"cinct/internal/wal"
 )
 
 // Options tunes an Engine. The zero value picks sensible defaults.
@@ -37,6 +39,17 @@ type Options struct {
 	// Files in the v1/v2 formats still heap-load (convert them with
 	// `cinct convert`).
 	Mmap bool
+	// WAL enables the ingestion write-ahead log: appended batches are
+	// framed, CRC'd and written to per-index segment files before the
+	// append is acknowledged, and replayed into the delta when the
+	// index is opened — so unsealed rows survive a crash. Zero value
+	// disables it.
+	WAL WALOptions
+	// Compaction configures tiered background compaction of sealed
+	// shards, bounding query fan-out under long-lived ingestion. Zero
+	// value disables the background compactor; Engine.Compact still
+	// works on demand.
+	Compaction CompactionOptions
 }
 
 func (o Options) workers() int {
@@ -78,6 +91,14 @@ type Engine struct {
 	sealAt int
 	mmap   bool
 	logf   func(format string, args ...any)
+
+	walOpts    WALOptions
+	compaction CompactionOptions
+	// Background-compactor lifecycle: stop closes done (once), bg
+	// waits the loop out. done is nil when the compactor is disabled.
+	done     chan struct{}
+	stopOnce sync.Once
+	bg       sync.WaitGroup
 }
 
 // New creates an empty engine; load indexes with OpenDir, Load or
@@ -87,14 +108,22 @@ func New(opts Options) *Engine {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Engine{
-		cat:    newCatalog(),
-		cache:  newQueryCache(opts.cacheEntries()),
-		sem:    make(chan struct{}, opts.workers()),
-		sealAt: opts.sealThreshold(),
-		mmap:   opts.Mmap,
-		logf:   logf,
+	e := &Engine{
+		cat:        newCatalog(),
+		cache:      newQueryCache(opts.cacheEntries()),
+		sem:        make(chan struct{}, opts.workers()),
+		sealAt:     opts.sealThreshold(),
+		mmap:       opts.Mmap,
+		logf:       logf,
+		walOpts:    opts.WAL,
+		compaction: opts.Compaction,
 	}
+	if e.compaction.Interval > 0 {
+		e.done = make(chan struct{})
+		e.bg.Add(1)
+		go e.compactLoop()
+	}
+	return e
 }
 
 // acquire takes a worker slot, honoring context cancellation while
@@ -133,6 +162,9 @@ func (e *Engine) OpenDir(dir string) ([]string, error) {
 		en.gen, en.epoch = 1, 1
 		en.spatial, en.temp = ix, t
 		e.cat.install(en)
+		if err := e.openWAL(en); err != nil {
+			return names, err
+		}
 		names = append(names, en.name)
 	}
 	return names, nil
@@ -166,7 +198,7 @@ func (e *Engine) loadAs(name, path string, temporal bool) error {
 	en.gen, en.epoch = 1, 1
 	en.spatial, en.temp = ix, t
 	e.cat.install(en)
-	return nil
+	return e.openWAL(en)
 }
 
 // Register publishes an in-memory spatial index under name (no backing
@@ -200,7 +232,18 @@ func (e *Engine) Reload(name string) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return en.swap(ix, t)
+	gen, err := en.swap(ix, t)
+	if err != nil {
+		return 0, err
+	}
+	// The swap discarded any live writer (and with it the unsealed
+	// delta), but the WAL still holds those rows: reopen and replay it
+	// against the freshly loaded file so a reload loses nothing that
+	// was acknowledged.
+	if werr := e.openWAL(en); werr != nil {
+		return gen, werr
+	}
+	return gen, nil
 }
 
 // Close unregisters name and releases its index for collection once
@@ -234,8 +277,12 @@ type Info struct {
 	TimestampBits int `json:"timestampBits,omitempty"`
 	// Mapped reports that the index is served zero-copy from an
 	// mmap'd v3 container rather than decoded onto the heap.
-	Mapped bool        `json:"mapped,omitempty"`
-	Stats  cinct.Stats `json:"stats"`
+	Mapped bool `json:"mapped,omitempty"`
+	// WALSegments / WALBytes describe the entry's write-ahead log
+	// footprint (entries running with Options.WAL only).
+	WALSegments int         `json:"walSegments,omitempty"`
+	WALBytes    int64       `json:"walBytes,omitempty"`
+	Stats       cinct.Stats `json:"stats"`
 }
 
 // Info reports metadata and size statistics for name.
@@ -256,6 +303,12 @@ func (e *Engine) Info(name string) (Info, error) {
 		Path:       en.path,
 		Generation: v.gen,
 		Epoch:      v.epoch,
+	}
+	en.mu.RLock()
+	wl := en.wal
+	en.mu.RUnlock()
+	if wl != nil {
+		info.WALSegments, info.WALBytes = wl.Stats()
 	}
 	if v.w != nil {
 		info.Stats = v.w.Stats()
@@ -309,10 +362,28 @@ func (e *Engine) Append(ctx context.Context, name string, trajs [][]uint32, time
 	if err != nil {
 		return AppendResult{}, err
 	}
+	en.mu.RLock()
+	wl := en.wal
+	en.mu.RUnlock()
+	// ingestMu keeps (ID assignment, WAL record) atomic across
+	// concurrent appenders so the log replays in global-ID order. The
+	// memtable write comes first — it owns ID assignment — and the
+	// batch is only acknowledged once its WAL record's write(2) has
+	// completed; a failure in between leaves an unacknowledged (hence
+	// retryable) batch in the delta and an error on the wire.
+	en.ingestMu.Lock()
 	first, err := w.AppendBatch(trajs, times)
 	if err != nil {
+		en.ingestMu.Unlock()
 		return AppendResult{}, err
 	}
+	if wl != nil {
+		if werr := wl.Append(wal.Batch{FirstID: first, Trajs: trajs, Times: times}); werr != nil {
+			en.ingestMu.Unlock()
+			return AppendResult{}, fmt.Errorf("engine: %q write-ahead log: %w", en.name, werr)
+		}
+	}
+	en.ingestMu.Unlock()
 	gen := en.bumpGen()
 	return AppendResult{FirstID: first, Appended: len(trajs), Delta: w.DeltaTrajectories(), Generation: gen}, nil
 }
@@ -331,6 +402,15 @@ func (e *Engine) writerFor(en *entry) (*cinct.Writer, error) {
 	cfg := cinct.WriterConfig{
 		SealThreshold: e.sealAt,
 		OnSeal:        func(n int) { e.afterSeal(en, n) },
+		Logf:          e.logf,
+		// A background seal that fails before reaching OnSeal (the
+		// compaction build itself, not persistence) must not vanish:
+		// record it where the next explicit Seal will surface it.
+		OnError: func(op string, err error) {
+			en.mu.Lock()
+			en.sealErr = fmt.Errorf("engine: %q background %s: %w", en.name, op, err)
+			en.mu.Unlock()
+		},
 	}
 	var w *cinct.Writer
 	var err error
@@ -412,23 +492,39 @@ func (e *Engine) Seal(ctx context.Context, name string) (SealResult, error) {
 // representation, not the answers, so cached pages and outstanding
 // cursors both stay valid.
 func (e *Engine) afterSeal(en *entry, sealed int) {
-	en.mu.RLock()
-	closed, path, w := en.closed, en.path, en.w
-	en.mu.RUnlock()
 	e.logf("engine: %q sealed %d trajectories", en.name, sealed)
+	e.persistEntry(en, "seal", sealed)
+}
+
+// persistEntry writes the entry's sealed state to its backing file
+// (tmp+rename) after a seal or compaction changed it, retires WAL
+// segments wholly covered by the persisted rows, and records the
+// outcome in entry.sealErr so Engine.Seal / Engine.Compact can
+// surface it.
+func (e *Engine) persistEntry(en *entry, what string, rows int) {
+	en.mu.RLock()
+	closed, path, w, wl := en.closed, en.path, en.w, en.wal
+	en.mu.RUnlock()
 	var err error
 	switch {
 	case closed || w == nil:
-		// A Reload or Close raced the seal and discarded the writer:
-		// the compacted rows exist only in the orphaned writer and will
-		// not reach disk.
-		err = fmt.Errorf("engine: %q was reloaded or closed during the seal; %d sealed trajectories were discarded",
-			en.name, sealed)
+		// A Reload or Close raced the operation and discarded the
+		// writer: the compacted rows exist only in the orphaned writer
+		// and will not reach disk.
+		err = fmt.Errorf("engine: %q was reloaded or closed during the %s; %d trajectories were discarded",
+			en.name, what, rows)
 	case path == "":
 		// Memory-registered entry: nothing to persist, by design.
 	default:
-		if perr := persistWriter(w, path, e.mmap); perr != nil {
-			err = fmt.Errorf("engine: persisting %q after seal: %w", en.name, perr)
+		sealedRows, perr := persistWriter(w, path, e.mmap)
+		if perr != nil {
+			err = fmt.Errorf("engine: persisting %q after %s: %w", en.name, what, perr)
+		} else if wl != nil {
+			// Every row below sealedRows is durable in the index file;
+			// segments holding only such rows are dead weight.
+			if rerr := wl.Retire(sealedRows); rerr != nil {
+				e.logf("engine: retiring %q wal segments: %v", en.name, rerr)
+			}
 		}
 	}
 	if err != nil {
@@ -441,16 +537,19 @@ func (e *Engine) afterSeal(en *entry, sealed int) {
 
 // persistWriter saves the writer's sealed snapshot to path via a
 // temporary file and an atomic rename, so readers of the data dir
-// never observe a torn index file.
-func persistWriter(w *cinct.Writer, path string, v3 bool) error {
+// never observe a torn index file. It returns the number of
+// trajectories the persisted file holds — the WAL retirement
+// watermark.
+func persistWriter(w *cinct.Writer, path string, v3 bool) (rows int, err error) {
 	ix, t := w.Snapshot()
 	if ix == nil && t == nil {
-		return nil
+		return 0, nil
 	}
+	rows = ix.NumTrajectories()
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	switch {
 	case t != nil && v3:
@@ -467,9 +566,9 @@ func persistWriter(w *cinct.Writer, path string, v3 bool) error {
 	}
 	if err != nil {
 		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
-		return err
+		return 0, err
 	}
-	return os.Rename(tmp, path)
+	return rows, os.Rename(tmp, path)
 }
 
 // CacheStats reports the shared result cache's lifetime counters.

@@ -1,0 +1,277 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testBatches is a small mixed workload: consecutive IDs, spatial
+// rows only (Times nil) or temporal rows, like the engine produces.
+func testBatches(temporal bool) []Batch {
+	bs := []Batch{
+		{FirstID: 0, Trajs: [][]uint32{{1, 2, 3}, {4, 5}}},
+		{FirstID: 2, Trajs: [][]uint32{{9}}},
+		{FirstID: 3, Trajs: [][]uint32{{2, 3, 4, 5}, {1}, {7, 8}}},
+	}
+	if !temporal {
+		return bs
+	}
+	for i := range bs {
+		bs[i].Times = make([][]int64, len(bs[i].Trajs))
+		for k, tr := range bs[i].Trajs {
+			col := make([]int64, len(tr))
+			for j := range col {
+				col[j] = int64(1000*i + 100*k + 7*j - 50)
+			}
+			bs[i].Times[k] = col
+		}
+	}
+	return bs
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendAll(t *testing.T, l *Log, bs []Batch) {
+	t.Helper()
+	for _, b := range bs {
+		if err := l.Append(b); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func segPath(t *testing.T, dir string, i int) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || i >= len(names) {
+		t.Fatalf("segment %d not found (have %v, err %v)", i, names, err)
+	}
+	return names[i]
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	for _, temporal := range []bool{false, true} {
+		dir := t.TempDir()
+		want := testBatches(temporal)
+		l := mustOpen(t, dir, Options{})
+		if p := l.Pending(); len(p) != 0 {
+			t.Fatalf("fresh log has %d pending batches", len(p))
+		}
+		appendAll(t, l, want)
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		l2 := mustOpen(t, dir, Options{})
+		got := l2.Pending()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("temporal=%v: replay mismatch\ngot  %+v\nwant %+v", temporal, got, want)
+		}
+		if tr := l2.Truncated(); tr != 0 {
+			t.Fatalf("clean reopen truncated %d bytes", tr)
+		}
+		if p := l2.Pending(); p != nil {
+			t.Fatalf("second Pending returned %d batches", len(p))
+		}
+		l2.Close()
+	}
+}
+
+func TestWALAppendAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	bs := testBatches(false)
+	l := mustOpen(t, dir, Options{})
+	appendAll(t, l, bs[:2])
+	l.Close()
+	l = mustOpen(t, dir, Options{})
+	if got := len(l.Pending()); got != 2 {
+		t.Fatalf("replayed %d batches, want 2", got)
+	}
+	appendAll(t, l, bs[2:])
+	l.Close()
+	l = mustOpen(t, dir, Options{})
+	if got := l.Pending(); !reflect.DeepEqual(got, bs) {
+		t.Fatalf("replay mismatch after reopen-append: %+v", got)
+	}
+	l.Close()
+}
+
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	bs := testBatches(true)
+	l := mustOpen(t, dir, Options{})
+	appendAll(t, l, bs)
+	l.Close()
+	path := segPath(t, dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-way through the final record: the first two batches
+	// must survive, the torn third must be dropped and truncated away.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l = mustOpen(t, dir, Options{})
+	got := l.Pending()
+	if !reflect.DeepEqual(got, bs[:2]) {
+		t.Fatalf("torn-tail replay: got %d batches, want the intact 2", len(got))
+	}
+	if l.Truncated() == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	// The log must be clean for appending again.
+	appendAll(t, l, []Batch{{FirstID: 3, Trajs: [][]uint32{{42}}, Times: [][]int64{{5}}}})
+	l.Close()
+	l = mustOpen(t, dir, Options{})
+	if got := l.Pending(); len(got) != 3 || got[2].Trajs[0][0] != 42 {
+		t.Fatalf("post-truncation append lost: %+v", got)
+	}
+	l.Close()
+}
+
+func TestWALBitFlippedCRC(t *testing.T) {
+	dir := t.TempDir()
+	bs := testBatches(false)
+	l := mustOpen(t, dir, Options{})
+	appendAll(t, l, bs)
+	l.Close()
+	path := segPath(t, dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle of the file (inside record 2's
+	// bytes): everything from that record on is dropped as a torn
+	// tail, everything before survives.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l = mustOpen(t, dir, Options{})
+	got := l.Pending()
+	if len(got) >= len(bs) {
+		t.Fatalf("corrupt record not dropped: %d batches", len(got))
+	}
+	for i, b := range got {
+		if !reflect.DeepEqual(b, bs[i]) {
+			t.Fatalf("surviving batch %d corrupted: %+v", i, b)
+		}
+	}
+	if l.Truncated() == 0 {
+		t.Fatal("corruption not reported via Truncated")
+	}
+	l.Close()
+}
+
+func TestWALCorruptEarlierSegmentFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every batch rotates to a new file.
+	l := mustOpen(t, dir, Options{SegmentBytes: 16})
+	appendAll(t, l, testBatches(false))
+	l.Close()
+	first := segPath(t, dir, 0)
+	data, _ := os.ReadFile(first)
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over corrupt earlier segment: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALRotationAndRetire(t *testing.T) {
+	dir := t.TempDir()
+	bs := testBatches(false)
+	l := mustOpen(t, dir, Options{SegmentBytes: 16})
+	appendAll(t, l, bs)
+	segs, bytes := l.Stats()
+	if segs < 3 {
+		t.Fatalf("expected one segment per batch, got %d (%d bytes)", segs, bytes)
+	}
+	// Rows 0..2 sealed: the first two segments (IDs 0-1 and 2) are
+	// retirable; the active third (IDs 3-5) is not.
+	if err := l.Retire(3); err != nil {
+		t.Fatalf("Retire: %v", err)
+	}
+	if segs, _ = l.Stats(); segs != 1 {
+		t.Fatalf("after Retire(3): %d segments, want the active one", segs)
+	}
+	l.Close()
+	l = mustOpen(t, dir, Options{})
+	if got := l.Pending(); !reflect.DeepEqual(got, bs[2:]) {
+		t.Fatalf("post-retire replay: %+v, want the unsealed tail", got)
+	}
+	// Everything sealed: the remaining rows retire too, leaving one
+	// empty active segment.
+	if err := l.Retire(6); err != nil {
+		t.Fatalf("Retire(6): %v", err)
+	}
+	if segs, _ := l.Stats(); segs != 1 {
+		t.Fatalf("after full retire: %d segments, want 1", segs)
+	}
+	l.Close()
+	l = mustOpen(t, dir, Options{})
+	if got := l.Pending(); len(got) != 0 {
+		t.Fatalf("fully retired log replayed %d batches", len(got))
+	}
+	l.Close()
+}
+
+func TestWALSyncEveryAppend(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SyncBytes: -1})
+	appendAll(t, l, testBatches(false))
+	l.Close()
+	l = mustOpen(t, dir, Options{})
+	if got := len(l.Pending()); got != 3 {
+		t.Fatalf("replayed %d batches, want 3", got)
+	}
+	l.Close()
+}
+
+func TestWALRejectsBadBatches(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{})
+	defer l.Close()
+	if err := l.Append(Batch{FirstID: -1, Trajs: [][]uint32{{1}}}); err == nil {
+		t.Fatal("negative FirstID accepted")
+	}
+	if err := l.Append(Batch{FirstID: 0, Trajs: [][]uint32{{1}}, Times: [][]int64{{1}, {2}}}); err == nil {
+		t.Fatal("misaligned Times accepted")
+	}
+	if err := l.Append(Batch{FirstID: 0, Trajs: [][]uint32{{1, 2}}, Times: [][]int64{{1}}}); err == nil {
+		t.Fatal("short timestamp column accepted")
+	}
+	if err := l.Append(Batch{}); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+func TestWALClosed(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if err := l.Append(testBatches(false)[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close: %v", err)
+	}
+	if err := l.Retire(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Retire after Close: %v", err)
+	}
+}

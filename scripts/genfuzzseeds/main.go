@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"cinct"
+	"cinct/internal/wal"
 )
 
 // corpus mirrors fuzzCorpus in fuzz_test.go.
@@ -145,6 +146,47 @@ func main() {
 		writeSeed(dir, fmt.Sprintf("v3-temporal-shards%d", shards), buf.Bytes())
 	}
 	writeSeed(dir, "magic-only", []byte("CNCTidx3"))
+
+	// FuzzWALReplay: a genuine two-batch segment (spatial + temporal
+	// rows), its torn-tail truncation, a bit-flipped-CRC variant, and
+	// the bare magic. The segment bytes come from the real writer: a
+	// throwaway log in a temp dir.
+	dir = filepath.Join("internal", "wal", "testdata", "fuzz", "FuzzWALReplay")
+	tmp, err := os.MkdirTemp("", "walseed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	wlog, err := wal.Open(tmp, wal.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	walBatches := []wal.Batch{
+		{FirstID: 0, Trajs: [][]uint32{{1, 2, 3}, {4, 5}}},
+		{FirstID: 2, Trajs: [][]uint32{{7, 8, 9}}, Times: [][]int64{{100, 90, 250}}},
+	}
+	for _, b := range walBatches {
+		if err := wlog.Append(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := wlog.Close(); err != nil {
+		log.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(tmp, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		log.Fatalf("expected one WAL segment, got %v (%v)", segs, err)
+	}
+	seg, err := os.ReadFile(segs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeSeed(dir, "valid-segment", seg)
+	writeSeed(dir, "truncated-tail", seg[:len(seg)-3])
+	flipped := append([]byte(nil), seg...)
+	flipped[8+5] ^= 0x01 // inside the first record's CRC field
+	writeSeed(dir, "bitflipped-crc", flipped)
+	writeSeed(dir, "magic-only", []byte("CNCTwal1"))
 
 	// FuzzQueryUnmarshal: representative wire bodies.
 	dir = filepath.Join("server", "testdata", "fuzz", "FuzzQueryUnmarshal")

@@ -300,4 +300,89 @@ wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
 [ "$rc" = 0 ] || { echo "smoke: cinctd -mmap exited with $rc" >&2; exit 1; }
 daemon_pid=""
 
+waldir="$workdir/wal"
+addr="127.0.0.1:18134"
+base="http://$addr"
+echo "== restarting cinctd with -wal on $addr (crash-recovery leg)"
+"$bindir/cinctd" -data "$datadir" -addr "$addr" -wal "$waldir" &
+daemon_pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "$base/v1/indexes" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "smoke: cinctd -wal exited before becoming ready" >&2; exit 1
+  fi
+  sleep 0.2
+done
+
+# Ingest two acknowledged rows and deliberately do NOT seal: without
+# the WAL these would die with the process.
+mpath2="900003,900004"
+ingest=$(printf '{"edges":[900003,900004]}\n{"edges":[7,900003,900004]}\n' \
+  | curl -sf -X POST --data-binary @- "$base/v1/smoke/ingest")
+echo "$ingest" | jq -e '.appended == 2' >/dev/null \
+  || { echo "smoke: WAL-leg ingest drift: $ingest" >&2; exit 1; }
+post=$(curl -sf "$base/v1/smoke/count?path=$mpath2" | jq .count)
+[ "$post" = 2 ] || { echo "smoke: pre-kill count $post, want 2" >&2; exit 1; }
+
+echo "== SIGKILL (no shutdown, no seal)"
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+addr="127.0.0.1:18135"
+base="http://$addr"
+echo "== restarting cinctd after the kill (WAL replay)"
+"$bindir/cinctd" -data "$datadir" -addr "$addr" -wal "$waldir" &
+daemon_pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "$base/v1/indexes" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "smoke: cinctd exited before becoming ready after kill" >&2; exit 1
+  fi
+  sleep 0.2
+done
+post=$(curl -sf "$base/v1/smoke/count?path=$mpath2" | jq .count)
+[ "$post" = 2 ] || { echo "smoke: WAL replay lost acknowledged rows (count $post, want 2)" >&2; exit 1; }
+curl -sf "$base/v1/smoke/trajectory/404" | jq -e '.edges == [7, 900003, 900004]' >/dev/null \
+  || { echo "smoke: replayed trajectory not reconstructible" >&2; exit 1; }
+echo "ok acknowledged rows survive SIGKILL via WAL replay"
+
+echo "== compaction over HTTP"
+# Seal the replayed delta, then merge every sealed shard into one.
+curl -sf -X POST "$base/v1/smoke/seal" >/dev/null
+shards_before=$(curl -sf "$base/v1/indexes" | jq '.indexes[] | select(.name=="smoke").stats.shards')
+compacted=$(curl -sf -X POST "$base/v1/smoke/compact?full=true")
+echo "$compacted" | jq -e '.shardsAfter == 1 and .merged >= 2' >/dev/null \
+  || { echo "smoke: compact response drift ($shards_before shards before): $compacted" >&2; exit 1; }
+post=$(curl -sf "$base/v1/smoke/count?path=$mpath2" | jq .count)
+[ "$post" = 2 ] || { echo "smoke: compaction changed marker count to $post" >&2; exit 1; }
+post=$(curl -sf "$base/v1/smoke/count?path=$mpath" | jq .count)
+[ "$post" = 3 ] || { echo "smoke: compaction changed older marker count to $post" >&2; exit 1; }
+# The compacted single-shard state must be what the file now holds.
+curl -sf -X POST "$base/v1/smoke/reload" >/dev/null
+curl -sf "$base/v1/indexes" | jq -e '(.indexes[] | select(.name=="smoke") | .stats.shards) == 1' >/dev/null \
+  || { echo "smoke: compacted shard set not persisted" >&2; exit 1; }
+echo "ok POST /v1/smoke/compact?full=true (merged $shards_before shards into 1, counts stable)"
+
+echo "== graceful shutdown (WAL daemon)"
+kill -TERM "$daemon_pid"
+for i in $(seq 1 50); do
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "smoke: cinctd -wal did not exit on SIGTERM" >&2; exit 1
+fi
+wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" = 0 ] || { echo "smoke: cinctd -wal exited with $rc" >&2; exit 1; }
+daemon_pid=""
+
+echo "== CLI compaction of a local file"
+"$bindir/cinct" compact -index "$datadir/tsmoke.tcinct" | grep 'down to 1' >/dev/null \
+  || { echo "smoke: cinct compact -index failed" >&2; exit 1; }
+"$bindir/cinct" count-interval -index "$datadir/tsmoke.tcinct" -path "${mpath//,/ }" \
+  | grep '1 occurrences in' >/dev/null \
+  || { echo "smoke: compacted local file lost the ingested row" >&2; exit 1; }
+echo "ok cinct compact -index (merged to one shard, answers intact)"
+
 echo "smoke: all checks passed"

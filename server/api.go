@@ -186,6 +186,20 @@ type SealResponse struct {
 	Generation uint64 `json:"generation"`
 }
 
+// CompactResponse is the body of POST /v1/{index}/compact: the sealed
+// shard set before and after the merge rounds. Merged is 0 when the
+// shard set was already within policy. Compaction never renumbers
+// trajectories, so cursors issued before the call stay valid.
+type CompactResponse struct {
+	Index        string `json:"index"`
+	Merged       int    `json:"merged"`
+	Rows         int    `json:"rows"`
+	Rounds       int    `json:"rounds"`
+	ShardsBefore int    `json:"shardsBefore"`
+	ShardsAfter  int    `json:"shardsAfter"`
+	Generation   uint64 `json:"generation"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

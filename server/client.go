@@ -379,3 +379,17 @@ func (c *Client) Seal(ctx context.Context, index string) (*SealResponse, error) 
 	}
 	return &resp, nil
 }
+
+// Compact asks the daemon to merge one index's sealed shards per its
+// tiered policy, or down to a single shard when full is set.
+func (c *Client) Compact(ctx context.Context, index string, full bool) (*CompactResponse, error) {
+	var q url.Values
+	if full {
+		q = url.Values{"full": {"true"}}
+	}
+	var resp CompactResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/"+url.PathEscape(index)+"/compact", q, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

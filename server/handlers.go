@@ -33,6 +33,7 @@ func (sr *systemRouter) Routes() []Route {
 		{Method: http.MethodPost, Pattern: "/v1/{index}/reload", Handler: sr.reloadIndex},
 		{Method: http.MethodPost, Pattern: "/v1/{index}/ingest", Handler: sr.ingest},
 		{Method: http.MethodPost, Pattern: "/v1/{index}/seal", Handler: sr.seal},
+		{Method: http.MethodPost, Pattern: "/v1/{index}/compact", Handler: sr.compact},
 	}
 }
 
@@ -115,6 +116,24 @@ func (sr *systemRouter) seal(ctx context.Context, w http.ResponseWriter, r *http
 	}
 	return writeJSON(w, http.StatusOK, SealResponse{
 		Index: name, Sealed: res.Sealed, Delta: res.Delta, Generation: res.Generation,
+	})
+}
+
+// compact merges the named index's sealed shards down to the engine's
+// tiered policy — or, with ?full=true, all the way to a single shard —
+// and persists the compacted state. Queries and ingestion proceed
+// throughout; the call returns once the shard set reaches its fixpoint.
+func (sr *systemRouter) compact(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("index")
+	full := r.URL.Query().Get("full")
+	res, err := sr.eng.Compact(ctx, name, full == "true" || full == "1")
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, CompactResponse{
+		Index: name, Merged: res.Merged, Rows: res.Rows, Rounds: res.Rounds,
+		ShardsBefore: res.ShardsBefore, ShardsAfter: res.ShardsAfter,
+		Generation: res.Generation,
 	})
 }
 

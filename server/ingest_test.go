@@ -211,3 +211,92 @@ func TestStaleCursorHTTP(t *testing.T) {
 		t.Fatalf("stale cursor body lacks typed message: %s", raw)
 	}
 }
+
+// TestCompactEndpoint drives POST /v1/{index}/compact end to end: a
+// run of sealed ingest batches fans the shard set out, a full
+// compaction over HTTP merges it back to one shard without changing
+// any answer, and a cursor taken before the compaction still resumes
+// afterwards.
+func TestCompactEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir)
+	eng := engine.New(engine.Options{SealThreshold: -1})
+	defer eng.CloseAll()
+	if _, err := eng.OpenDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng, Config{}).Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	c := NewClient(ts.URL, nil)
+
+	marker := []uint32{411, 412}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Ingest(ctx, "spatial4", []IngestRecord{
+			{Edges: append([]uint32{uint32(i)}, marker...)},
+		}, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nBefore, err := c.Count(ctx, "spatial4", marker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nBefore != 4 {
+		t.Fatalf("pre-compaction marker count = %d, want 4", nBefore)
+	}
+	// A bounded page taken before the merge must resume after it.
+	page, err := c.SearchPage(ctx, "spatial4", cinct.Query{Path: marker, Kind: cinct.Occurrences, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Cursor == "" {
+		t.Fatal("bounded page handed out no cursor")
+	}
+
+	resp, err := c.Compact(ctx, "spatial4", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Index != "spatial4" || resp.Merged == 0 || resp.ShardsAfter != 1 {
+		t.Fatalf("CompactResponse = %+v, want a merge down to 1 shard", resp)
+	}
+	if n, err := c.Count(ctx, "spatial4", marker); err != nil || n != nBefore {
+		t.Fatalf("post-compaction count = %d, %v (want %d)", n, err, nBefore)
+	}
+	rest, err := c.SearchPage(ctx, "spatial4", cinct.Query{Path: marker, Kind: cinct.Occurrences, Cursor: page.Cursor})
+	if err != nil {
+		t.Fatalf("cursor across compaction: %v", err)
+	}
+	if got := len(page.Hits) + len(rest.Hits); got != nBefore {
+		t.Fatalf("page + resume = %d hits, want %d", got, nBefore)
+	}
+
+	// Idempotent: nothing left to merge.
+	resp, err = c.Compact(ctx, "spatial4", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Merged != 0 {
+		t.Fatalf("second compaction merged %d shards", resp.Merged)
+	}
+
+	// The tiered default (full=false) on an in-policy index is a no-op
+	// at the wire level too.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/spatial4/compact", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("tiered compact: HTTP %d, want 200", res.StatusCode)
+	}
+
+	if _, err := c.Compact(ctx, "nosuch", true); err == nil {
+		t.Fatal("compacting an unknown index succeeded")
+	}
+}

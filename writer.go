@@ -36,48 +36,21 @@ func (ix *Index) asSharded() *ShardedIndex {
 
 // withShard returns a new ShardedIndex: si's shards plus one more
 // (already built) shard owning the next contiguous global-ID range.
-// si itself is unchanged — extension is copy-on-write, so in-flight
-// queries against the old value stay correct.
+// si itself is unchanged — extension goes through spliced, the one
+// audited copy-on-write shard-set primitive shared with compaction,
+// so in-flight queries against the old value stay correct.
 func (si *ShardedIndex) withShard(shard *Index) (*ShardedIndex, error) {
-	if shard.hasLoc != si.hasLoc {
-		return nil, fmt.Errorf("%w: existing shards and new shard disagree on locate support", ErrNotAppendable)
-	}
-	shards := make([]*Index, 0, len(si.shards)+1)
-	shards = append(append(shards, si.shards...), shard)
-	bounds := make([]int, 0, len(si.bounds)+1)
-	bounds = append(append(bounds, si.bounds...), si.bounds[len(si.bounds)-1]+shard.NumTrajectories())
-	// The distinct-edge union is recomputed over all shards: the count
-	// alone cannot be merged incrementally (overlap with the new shard
-	// is unknown), and the map build is dwarfed by the compression
-	// build that preceded every call here.
-	corpora := make([]*trajstr.Corpus, len(shards))
-	for i, s := range shards {
-		corpora[i] = s.corpus
-	}
-	return &ShardedIndex{
-		shards: shards,
-		bounds: bounds,
-		edges:  trajstr.CountDistinctEdges(corpora),
-		hasLoc: si.hasLoc,
-	}, nil
+	return si.spliced(len(si.shards), len(si.shards), shard)
 }
 
 // withShard extends a temporal index with one sealed shard and its
 // timestamp store, promoting a monolithic base to the sharded layout.
-// The legacy layout (sharded spatial index, single global store)
-// cannot be extended: its store is indexed by global IDs and cannot
-// absorb a per-shard column range.
+// Like the spatial form it is a tail splice; the legacy layout
+// (sharded spatial index, single global store) cannot be extended
+// because its store is indexed by global IDs and cannot absorb a
+// per-shard column range.
 func (t *TemporalIndex) withShard(shard *Index, store *tempo.Store) (*TemporalIndex, error) {
-	if t.Index.sharded != nil && !t.aligned() {
-		return nil, fmt.Errorf("%w: legacy single-store temporal layout", ErrNotAppendable)
-	}
-	nsi, err := t.Index.asSharded().withShard(shard)
-	if err != nil {
-		return nil, err
-	}
-	stores := make([]*tempo.Store, 0, len(t.stores)+1)
-	stores = append(append(stores, t.stores...), store)
-	return &TemporalIndex{Index: &Index{sharded: nsi, hasLoc: nsi.hasLoc}, stores: stores}, nil
+	return t.spliced(len(t.stores), len(t.stores), shard, store)
 }
 
 // sealShard compacts validated rows into one compressed monolithic
@@ -157,6 +130,14 @@ type WriterConfig struct {
 	// use to invalidate caches and persist the new sealed state. It
 	// runs on the sealing goroutine with no Writer locks held.
 	OnSeal func(sealed int)
+	// Logf, when non-nil, receives diagnostic lines from background
+	// work (auto-seal and compaction failures). nil discards them.
+	Logf func(format string, args ...any)
+	// OnError, when non-nil, is called whenever a background operation
+	// fails, with op naming it ("seal", "compact") and the error. It
+	// runs on the failing goroutine with no Writer locks held, so
+	// background failures are observable instead of silently dropped.
+	OnError func(op string, err error)
 }
 
 // Writer is the live ingestion layer: an immutable sealed index
@@ -181,6 +162,8 @@ type Writer struct {
 	temporal  bool
 	threshold int
 	onSeal    func(int)
+	logf      func(format string, args ...any)
+	onError   func(op string, err error)
 
 	// mu guards the published (sealed, temp, delta, gen) binding.
 	// sealed/temp are immutable values swapped wholesale; delta is
@@ -191,8 +174,11 @@ type Writer struct {
 	delta  *deltaShard
 	gen    uint64
 
-	sealMu  sync.Mutex  // serializes seals; never held with mu
-	sealing atomic.Bool // gates background-seal spawning
+	sealMu sync.Mutex // serializes seals; never held with mu
+	// compactMu serializes compaction rounds (concurrent rounds could
+	// pick overlapping victim shards); never held with mu or sealMu.
+	compactMu sync.Mutex
+	sealing   atomic.Bool // gates background-seal spawning
 	// bgMu orders background-seal spawns against Close: Add only runs
 	// under bgMu with bgClosed unset, and Close sets bgClosed before
 	// Wait — satisfying the WaitGroup contract that an Add from a zero
@@ -263,6 +249,8 @@ func newWriter(ix *Index, t *TemporalIndex, temporal bool, cfg WriterConfig) (*W
 		temporal:  temporal,
 		threshold: cfg.SealThreshold,
 		onSeal:    cfg.OnSeal,
+		logf:      cfg.Logf,
+		onError:   cfg.OnError,
 		sealed:    ix,
 		temp:      t,
 		delta:     newDeltaShard(base, temporal),
@@ -358,8 +346,25 @@ func (w *Writer) maybeAutoSeal(deltaLen int) {
 	go func() {
 		defer w.bg.Done()
 		defer w.sealing.Store(false)
-		w.Seal() //nolint:errcheck // rows were validated on Append; Seal cannot fail on them
+		if _, err := w.Seal(); err != nil {
+			// Rows were validated on Append, but a seal can still fail
+			// (corrupt state, resource exhaustion) — route it to the
+			// owner instead of swallowing it; the rows stay in the
+			// delta, so a later Seal retries them.
+			w.reportError("seal", err)
+		}
 	}()
+}
+
+// reportError routes a background failure through the configured Logf
+// and OnError hooks.
+func (w *Writer) reportError(op string, err error) {
+	if w.logf != nil {
+		w.logf("cinct: background %s failed: %v", op, err)
+	}
+	if w.onError != nil {
+		w.onError(op, err)
+	}
 }
 
 // Seal compacts the current delta into one CiNCT-compressed shard and
