@@ -110,6 +110,15 @@ type entry struct {
 	// open; retired once sealed rows persist.
 	wal    *wal.Log
 	closed bool
+
+	// walErr poisons ingestion after a WAL append failed: the failed
+	// batch's rows sit in the delta holding assigned global IDs with
+	// no log record, so any further logged append would write a gapped
+	// FirstID that a later replay must refuse as missing acknowledged
+	// data. Guarded by ingestMu (not mu); cleared when openWAL
+	// attaches a fresh log — a Reload rebuilds the delta from the log,
+	// discarding the never-acknowledged gap rows.
+	walErr error
 }
 
 // view is an immutable snapshot of an entry's current binding.

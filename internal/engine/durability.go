@@ -43,13 +43,28 @@ func (e *Engine) walDir(name string) string {
 	return filepath.Join(e.walOpts.Dir, name)
 }
 
-// openWAL attaches a write-ahead log to a freshly installed or
-// reloaded file-backed entry: open (recovering and truncating a torn
-// tail), replay every batch the persisted index file does not already
-// hold into the entry's delta, retire fully covered segments, and
-// publish the log handle for Append. A no-op when the engine runs
-// without Options.WAL or the entry has no backing file.
+// openWAL attaches a write-ahead log to a file-backed entry not yet
+// published in the catalog (fresh loads attach the log before install,
+// so no Append can ever reach an entry whose log is missing or
+// mid-replay). Published entries must use openWALLocked under the
+// entry's ingestMu instead.
 func (e *Engine) openWAL(en *entry) error {
+	en.ingestMu.Lock()
+	defer en.ingestMu.Unlock()
+	return e.openWALLocked(en)
+}
+
+// openWALLocked opens (recovering and truncating a torn tail),
+// replays every batch the persisted index file does not already hold
+// into the entry's delta, retires fully covered segments, and
+// publishes the log handle for Append. A no-op when the engine runs
+// without Options.WAL or the entry has no backing file.
+//
+// Caller holds en.ingestMu: Append reads the (writer, wal) pair under
+// that lock, so holding it from dropping the old handle to publishing
+// the new one leaves no window where an append is acknowledged
+// without a log record or logged against a stale handle.
+func (e *Engine) openWALLocked(en *entry) error {
 	if e.walOpts.Dir == "" || en.path == "" {
 		return nil
 	}
@@ -102,6 +117,10 @@ func (e *Engine) openWAL(en *entry) error {
 	}
 	en.wal = l
 	en.mu.Unlock()
+	// The delta was rebuilt from the log, so the gap a failed WAL
+	// append left behind (never-acknowledged delta rows with no log
+	// record) is gone: lift the ingestion poison. ingestMu is held.
+	en.walErr = nil
 	return nil
 }
 

@@ -168,6 +168,74 @@ func TestEngineWALGapFailsLoudly(t *testing.T) {
 	}
 }
 
+// TestEngineWALAppendFailurePoisonsUntilReload pins the no-gap
+// contract: when a batch lands in the delta but its WAL record fails,
+// the rows hold assigned global IDs the log lacks — a further logged
+// append would write a gapped FirstID that a later replay must refuse,
+// bricking the index. So the entry must refuse appends until a Reload
+// rebuilds the delta from the log, and the log must replay cleanly on
+// the next open.
+func TestEngineWALAppendFailurePoisonsUntilReload(t *testing.T) {
+	dir, wal := t.TempDir(), t.TempDir()
+	trajs := testCorpus(41, 20)
+	writeIndexes(t, dir, trajs)
+	ctx := context.Background()
+	marker := []uint32{241, 242}
+
+	e := walEngine(t, dir, wal)
+	if _, err := e.Append(ctx, "spatial", [][]uint32{marker}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Break the log out from under the engine: the next append's rows
+	// reach the delta, but the WAL record fails.
+	en, err := e.cat.get("spatial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	en.mu.RLock()
+	wl := en.wal
+	en.mu.RUnlock()
+	if wl == nil {
+		t.Fatal("entry has no WAL handle")
+	}
+	wl.Close()
+	if _, err := e.Append(ctx, "spatial", [][]uint32{{3, 4}}, nil); err == nil {
+		t.Fatal("append with a broken WAL was acknowledged")
+	}
+	// Poisoned: a retry must be refused outright — were it logged, its
+	// FirstID would skip the unlogged rows sitting in the delta.
+	if _, err := e.Append(ctx, "spatial", [][]uint32{{5, 6}}, nil); err == nil {
+		t.Fatal("append after a WAL failure was acknowledged — would create an ID gap")
+	}
+	// Reload rebuilds the delta from the log (dropping the unlogged,
+	// never-acknowledged rows) and lifts the poison.
+	if _, err := e.Reload("spatial"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append(ctx, "spatial", [][]uint32{marker}, nil); err != nil {
+		t.Fatalf("append after reload still refused: %v", err)
+	}
+	// e is now "killed". A fresh engine must replay the log cleanly —
+	// exactly the acknowledged batches, no gap error, no bricked index.
+	e2 := walEngine(t, dir, wal)
+	defer e2.Shutdown()
+	defer e2.CloseAll()
+	n, err := e2.Count(ctx, "spatial", marker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("marker count after crash replay = %d, want the 2 acknowledged", n)
+	}
+	info, err := e2.Info("spatial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := info.Stats.Trajectories, len(trajs)+2; got != want {
+		t.Fatalf("rows after crash replay = %d, want %d (acknowledged batches only)", got, want)
+	}
+}
+
 // TestEngineCompactPersists drives Engine.Compact end to end: a burst
 // of tiny seals fans the shard set out, a full compaction brings it
 // back to one shard without changing any answer, and the compacted

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"iter"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -161,10 +162,13 @@ func (e *Engine) OpenDir(dir string) ([]string, error) {
 		}
 		en.gen, en.epoch = 1, 1
 		en.spatial, en.temp = ix, t
-		e.cat.install(en)
+		// WAL before install: once the entry is reachable through the
+		// catalog an Append must find a live log handle, or its batch
+		// would be acknowledged without a record.
 		if err := e.openWAL(en); err != nil {
 			return names, err
 		}
+		e.cat.install(en)
 		names = append(names, en.name)
 	}
 	return names, nil
@@ -197,8 +201,13 @@ func (e *Engine) loadAs(name, path string, temporal bool) error {
 	}
 	en.gen, en.epoch = 1, 1
 	en.spatial, en.temp = ix, t
+	// WAL before install, so no Append can reach an entry whose log is
+	// missing or mid-replay (see OpenDir).
+	if err := e.openWAL(en); err != nil {
+		return err
+	}
 	e.cat.install(en)
-	return e.openWAL(en)
+	return nil
 }
 
 // Register publishes an in-memory spatial index under name (no backing
@@ -232,15 +241,26 @@ func (e *Engine) Reload(name string) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// ingestMu is held from the swap through the WAL reopen: a
+	// concurrent Append either completes (memtable write + log record)
+	// against the old binding before the swap, or waits and re-checks,
+	// finding the fresh writer and the fresh log together. Without
+	// this, an append could land in a writer the swap discards (acked
+	// rows silently dropped) or be acknowledged while en.wal is nil
+	// (acked rows never logged).
+	en.ingestMu.Lock()
 	gen, err := en.swap(ix, t)
 	if err != nil {
+		en.ingestMu.Unlock()
 		return 0, err
 	}
 	// The swap discarded any live writer (and with it the unsealed
 	// delta), but the WAL still holds those rows: reopen and replay it
 	// against the freshly loaded file so a reload loses nothing that
 	// was acknowledged.
-	if werr := e.openWAL(en); werr != nil {
+	werr := e.openWALLocked(en)
+	en.ingestMu.Unlock()
+	if werr != nil {
 		return gen, werr
 	}
 	return gen, nil
@@ -358,34 +378,57 @@ func (e *Engine) Append(ctx context.Context, name string, trajs [][]uint32, time
 	if err != nil {
 		return AppendResult{}, err
 	}
-	w, err := e.writerFor(en)
-	if err != nil {
-		return AppendResult{}, err
-	}
-	en.mu.RLock()
-	wl := en.wal
-	en.mu.RUnlock()
 	// ingestMu keeps (ID assignment, WAL record) atomic across
-	// concurrent appenders so the log replays in global-ID order. The
+	// concurrent appenders so the log replays in global-ID order, and
+	// it is the same lock Reload holds across (index swap, WAL reopen)
+	// — so the writer and log handle read under it are always a
+	// matched pair, never an orphaned writer or a log mid-replay. The
 	// memtable write comes first — it owns ID assignment — and the
 	// batch is only acknowledged once its WAL record's write(2) has
-	// completed; a failure in between leaves an unacknowledged (hence
-	// retryable) batch in the delta and an error on the wire.
-	en.ingestMu.Lock()
-	first, err := w.AppendBatch(trajs, times)
-	if err != nil {
-		en.ingestMu.Unlock()
-		return AppendResult{}, err
-	}
-	if wl != nil {
-		if werr := wl.Append(wal.Batch{FirstID: first, Trajs: trajs, Times: times}); werr != nil {
-			en.ingestMu.Unlock()
-			return AppendResult{}, fmt.Errorf("engine: %q write-ahead log: %w", en.name, werr)
+	// completed; a failure in between leaves an unacknowledged batch
+	// in the delta, an error on the wire, and the entry poisoned (see
+	// walErr): the delta now holds IDs the log lacks, so any further
+	// logged append would write a gapped FirstID that a later replay
+	// must refuse. A Reload rebuilds the delta from the log and lifts
+	// the poison.
+	for {
+		w, err := e.writerFor(en)
+		if err != nil {
+			return AppendResult{}, err
 		}
+		en.ingestMu.Lock()
+		en.mu.RLock()
+		wl, cur := en.wal, en.w
+		en.mu.RUnlock()
+		if cur != w {
+			// A Reload swapped the binding between writerFor and the
+			// lock: rows appended to the orphaned writer would be
+			// acknowledged and then silently dropped. Retry against
+			// the fresh binding.
+			en.ingestMu.Unlock()
+			continue
+		}
+		if perr := en.walErr; perr != nil {
+			en.ingestMu.Unlock()
+			return AppendResult{}, perr
+		}
+		first, err := w.AppendBatch(trajs, times)
+		if err != nil {
+			en.ingestMu.Unlock()
+			return AppendResult{}, err
+		}
+		if wl != nil {
+			if werr := wl.Append(wal.Batch{FirstID: first, Trajs: trajs, Times: times}); werr != nil {
+				en.walErr = fmt.Errorf("engine: %q write-ahead log: %w (appends disabled until reload: the failed batch holds IDs the log lacks)", en.name, werr)
+				perr := en.walErr
+				en.ingestMu.Unlock()
+				return AppendResult{}, perr
+			}
+		}
+		en.ingestMu.Unlock()
+		gen := en.bumpGen()
+		return AppendResult{FirstID: first, Appended: len(trajs), Delta: w.DeltaTrajectories(), Generation: gen}, nil
 	}
-	en.ingestMu.Unlock()
-	gen := en.bumpGen()
-	return AppendResult{FirstID: first, Appended: len(trajs), Delta: w.DeltaTrajectories(), Generation: gen}, nil
 }
 
 // writerFor returns the entry's live writer, creating it on first use
@@ -536,8 +579,13 @@ func (e *Engine) persistEntry(en *entry, what string, rows int) {
 }
 
 // persistWriter saves the writer's sealed snapshot to path via a
-// temporary file and an atomic rename, so readers of the data dir
-// never observe a torn index file. It returns the number of
+// temporary file, fsync, and an atomic rename (with the parent
+// directory fsynced after it), so readers of the data dir never
+// observe a torn index file and a power failure cannot undo a
+// persistence the caller already acted on. The full fsync discipline
+// matters because persistEntry retires WAL segments the moment this
+// function returns success: the renamed file must be durable before
+// the log stops covering its rows. It returns the number of
 // trajectories the persisted file holds — the WAL retirement
 // watermark.
 func persistWriter(w *cinct.Writer, path string, v3 bool) (rows int, err error) {
@@ -561,6 +609,9 @@ func persistWriter(w *cinct.Writer, path string, v3 bool) (rows int, err error) 
 	default:
 		_, err = ix.Save(f)
 	}
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -568,7 +619,25 @@ func persistWriter(w *cinct.Writer, path string, v3 bool) (rows int, err error) 
 		os.Remove(tmp) //nolint:errcheck // best-effort cleanup
 		return 0, err
 	}
-	return rows, os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return rows, syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power
+// loss — without it the rename itself may not be on disk when the WAL
+// segments covering the file's rows are already gone.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // CacheStats reports the shared result cache's lifetime counters.

@@ -13,7 +13,11 @@
 // so an acknowledged row survives power loss once the batch window
 // has elapsed. This is the standard group-commit trade: per-append
 // fsync costs milliseconds, the window costs at most SyncInterval of
-// acknowledged-but-unsynced data on whole-machine failure.
+// acknowledged-but-unsynced data on whole-machine failure. An fsync
+// failure is fatal for the log: the kernel may have dropped the dirty
+// pages the failed sync covered, so a later "successful" fsync proves
+// nothing about them (the post-fsyncgate lesson) — the log refuses
+// every further append until it is reopened and replayed.
 //
 // The decoder is fortress-grade in the repo's fuzz style: length- and
 // CRC-checked frames, allocations bounded by input size, typed
@@ -136,7 +140,7 @@ type Log struct {
 	truncated int64     // torn-tail bytes dropped during Open
 	unsynced  int
 	timer     *time.Timer
-	syncErr   error // sticky until a sync succeeds
+	syncErr   error // permanently sticky: a failed fsync poisons the log until reopen
 	closed    bool
 }
 
@@ -186,6 +190,15 @@ func Open(dir string, opts Options) (*Log, error) {
 			if serr != nil {
 				return nil, serr
 			}
+			if good == 0 && fi.Size() >= int64(len(segMagic)) {
+				// The magic bytes are all present but wrong. A torn
+				// write can only shorten the magic, never rewrite it, so
+				// this is corruption — truncating would silently discard
+				// every acknowledged record in the segment, and because
+				// the loss is at the log's tail no replay gap check
+				// could ever catch it. Refuse instead.
+				return nil, fmt.Errorf("%w: %s: bad segment magic", ErrCorrupt, filepath.Base(segs[i].path))
+			}
 			l.truncated = fi.Size() - good
 			if terr := os.Truncate(segs[i].path, good); terr != nil {
 				return nil, terr
@@ -222,7 +235,9 @@ func Open(dir string, opts Options) (*Log, error) {
 }
 
 // openSegment creates segment seq and makes it active. Caller holds
-// mu (or owns the log exclusively, as in Open).
+// mu (or owns the log exclusively, as in Open). The directory entry is
+// fsynced so a record synced into the new segment cannot be lost to a
+// power failure that forgets the file itself.
 func (l *Log) openSegment(seq uint64) error {
 	path := filepath.Join(l.dir, fmt.Sprintf("wal-%08d.seg", seq))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
@@ -233,9 +248,27 @@ func (l *Log) openSegment(seq uint64) error {
 		f.Close()
 		return err
 	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
 	l.f = f
 	l.active = segment{seq: seq, path: path, size: int64(len(segMagic)), lastID: -1}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames and newly created files
+// under it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Pending returns the batches replayed during Open, oldest first, and
@@ -261,8 +294,8 @@ func (l *Log) Truncated() int64 {
 // Append logs one batch. The record's write(2) completes before
 // Append returns — an acknowledged batch survives process death —
 // and fsync follows per the configured batching policy. A sync
-// failure is sticky: it surfaces on this and every later call until
-// a sync succeeds.
+// failure is fatal: it surfaces on this and every later call until
+// the log is reopened (and its surviving records replayed).
 func (l *Log) Append(b Batch) error {
 	if len(b.Trajs) == 0 {
 		return nil
@@ -306,14 +339,12 @@ func (l *Log) Append(b Batch) error {
 
 // rotateLocked closes the active segment and starts the next one.
 func (l *Log) rotateLocked() error {
-	if err := l.f.Sync(); err != nil {
-		l.syncErr = err
+	if err := l.syncLocked(); err != nil {
 		return err
 	}
 	if err := l.f.Close(); err != nil {
 		return err
 	}
-	l.unsynced = 0
 	l.retired = append(l.retired, l.active)
 	return l.openSegment(l.active.seq + 1)
 }
@@ -329,14 +360,20 @@ func (l *Log) timedSync() {
 	l.syncLocked() //nolint:errcheck // sticky in syncErr; surfaced on the next call
 }
 
-// syncLocked fsyncs the active segment. Caller holds mu.
+// syncLocked fsyncs the active segment. Caller holds mu. A failure is
+// permanently sticky: the kernel may have evicted the dirty pages the
+// failed fsync covered, so a later fsync succeeding would not make the
+// records written before the failure durable — the log must not
+// resume claiming durability it may have lost.
 func (l *Log) syncLocked() error {
+	if l.syncErr != nil {
+		return l.syncErr
+	}
 	if err := l.f.Sync(); err != nil {
 		l.syncErr = err
 		return err
 	}
 	l.unsynced = 0
-	l.syncErr = nil
 	return nil
 }
 
@@ -396,6 +433,8 @@ func (l *Log) Stats() (segments int, bytes int64) {
 }
 
 // Close syncs and closes the log. Further calls fail with ErrClosed.
+// A sticky sync failure is reported instead of attempting (and
+// possibly "succeeding" at) a final fsync that proves nothing.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -407,7 +446,10 @@ func (l *Log) Close() error {
 		l.timer.Stop()
 		l.timer = nil
 	}
-	err := l.f.Sync()
+	err := l.syncErr
+	if err == nil {
+		err = l.f.Sync()
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

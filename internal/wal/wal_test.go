@@ -173,6 +173,86 @@ func TestWALBitFlippedCRC(t *testing.T) {
 	l.Close()
 }
 
+// TestWALBadMagicFailsOpen pins the corrupt-vs-torn distinction: a
+// final segment whose magic bytes are all present but wrong is
+// corruption — truncating it would silently discard every acknowledged
+// record in the segment, invisibly to any replay gap check, so Open
+// must refuse instead.
+func TestWALBadMagicFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendAll(t, l, testBatches(false))
+	l.Close()
+	path := segPath(t, dir, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over bad-magic final segment: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestWALTornMagicTruncates is the companion case: a file shorter than
+// the magic can only be a torn creation write (the magic is written
+// first, before any record), so Open truncates and re-stamps it.
+func TestWALTornMagicTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	l.Close()
+	path := segPath(t, dir, 0)
+	if err := os.Truncate(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	l = mustOpen(t, dir, Options{})
+	if got := len(l.Pending()); got != 0 {
+		t.Fatalf("torn-magic segment replayed %d batches", got)
+	}
+	if l.Truncated() == 0 {
+		t.Fatal("torn magic not reported via Truncated")
+	}
+	bs := testBatches(false)
+	appendAll(t, l, bs)
+	l.Close()
+	l = mustOpen(t, dir, Options{})
+	if got := l.Pending(); !reflect.DeepEqual(got, bs) {
+		t.Fatalf("re-stamped segment replay mismatch: %+v", got)
+	}
+	l.Close()
+}
+
+// TestWALSyncFailureIsFatal pins the post-fsyncgate contract: once a
+// sync has failed, records written before it may have been evicted
+// from the page cache, so the log must refuse to resume — no later
+// sync attempt may clear the sticky error.
+func TestWALSyncFailureIsFatal(t *testing.T) {
+	l := mustOpen(t, t.TempDir(), Options{SyncInterval: -1})
+	appendAll(t, l, testBatches(false)[:1]) // unsynced record in the active segment
+	boom := errors.New("boom")
+	l.mu.Lock()
+	l.syncErr = boom
+	l.mu.Unlock()
+	if err := l.Append(testBatches(false)[0]); !errors.Is(err, boom) {
+		t.Fatalf("Append after failed sync: %v, want the sticky error", err)
+	}
+	if err := l.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync after failed sync: %v, want the sticky error", err)
+	}
+	if err := l.Retire(100); !errors.Is(err, boom) {
+		t.Fatalf("Retire rotation after failed sync: %v, want the sticky error", err)
+	}
+	if err := l.Append(testBatches(false)[0]); !errors.Is(err, boom) {
+		t.Fatalf("sticky error cleared by a later sync attempt: %v", err)
+	}
+	if err := l.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close after failed sync: %v, want the sticky error", err)
+	}
+}
+
 func TestWALCorruptEarlierSegmentFailsOpen(t *testing.T) {
 	dir := t.TempDir()
 	// Tiny segments: every batch rotates to a new file.
