@@ -310,9 +310,9 @@ func (ix *Index) Find(path []uint32, limit int) ([]Match, error) {
 // suffix-range (i.e. unspecified) order, checking ctx periodically so
 // a cancelled query stops scanning. It is the one locate loop behind
 // every Search kind, so the pattern-reversal and offset arithmetic
-// cannot drift between the spatial and temporal answers. Requires
-// locate support.
-func (ix *Index) locateOccurrences(ctx context.Context, path []uint32, visit func(doc, offset int)) error {
+// cannot drift between the spatial and temporal answers. LF-walk work
+// accumulates into st. Requires locate support.
+func (ix *Index) locateOccurrences(ctx context.Context, path []uint32, st *QueryStats, visit func(doc, offset int)) error {
 	if !ix.hasLoc {
 		return ErrNoLocate
 	}
@@ -333,7 +333,8 @@ func (ix *Index) locateOccurrences(ctx context.Context, path []uint32, visit fun
 				return err
 			}
 		}
-		pos := ix.core.Locate(j)
+		pos, lf := ix.core.LocateSteps(j)
+		st.LFSteps += lf
 		doc, endOff, inDoc := ix.docAt(pos)
 		if !inDoc {
 			continue

@@ -36,17 +36,27 @@
 // reporting what fraction of acknowledged, unsealed appends a fresh
 // engine recovers.
 //
-//	cinctbench -out BENCH_PR7.json -trajs 4000 -queries 2000 -shards 0
+// The overload section drives a small-pool serving stack past
+// saturation with a mixed workload — cheap counts (the traffic worth
+// protecting) and unbounded occurrence scans (the traffic that
+// saturates the pool) from many concurrent HTTP clients — once with
+// plain FIFO queueing and once with cost-aware admission control
+// shedding the scans, reporting goodput and p99 of the cheap queries
+// under each regime.
+//
+//	cinctbench -out BENCH_PR8.json -trajs 4000 -queries 2000 -shards 0
 package main
 
 import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -54,6 +64,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"cinct"
@@ -87,6 +98,43 @@ type report struct {
 	Ingest        *ingestReport          `json:"ingest,omitempty"`
 	Serving       *servingReport         `json:"serving,omitempty"`
 	Compaction    *compactionReport      `json:"compaction,omitempty"`
+	Overload      *overloadReport        `json:"overload,omitempty"`
+}
+
+// overloadReport contrasts the serving stack past saturation with and
+// without admission control. Both legs run the same mixed workload
+// (alternating cheap counts and unbounded scans) from the same client
+// count against the same index and worker pool; only the engine's
+// ShedCost differs. Goodput counts successful cheap queries only —
+// the traffic an operator is trying to protect.
+type overloadReport struct {
+	Workers     int     `json:"workers"`
+	Clients     int     `json:"clients"`
+	DurationSec float64 `json:"durationSeconds"`
+	// ShedCost is the admission threshold used in the protected leg.
+	ShedCost    int64       `json:"shedCost"`
+	Unprotected overloadLeg `json:"unprotected"`
+	Protected   overloadLeg `json:"protected"`
+	// GoodputGain / CheapP99Improvement are protected-over-unprotected
+	// ratios: goodput up, cheap-query p99 down.
+	GoodputGain         float64 `json:"goodputGain"`
+	CheapP99Improvement float64 `json:"cheapP99Improvement"`
+}
+
+// overloadLeg is one regime's outcome counts and cheap-query latency.
+type overloadLeg struct {
+	Requests int `json:"requests"`
+	// OK counts successful cheap queries; ScanOK successful scans.
+	OK     int `json:"ok"`
+	ScanOK int `json:"scanOk"`
+	// Shed counts 503s (admission control), Timeouts 504s (requests
+	// that queued past the request deadline), Errors everything else.
+	Shed       int     `json:"shed"`
+	Timeouts   int     `json:"timeouts"`
+	Errors     int     `json:"errors"`
+	GoodputQPS float64 `json:"goodputQps"`
+	CheapP50Us float64 `json:"cheapP50us"`
+	CheapP99Us float64 `json:"cheapP99us"`
 }
 
 // compactionReport quantifies sealed-shard fan-out degradation on a
@@ -232,7 +280,7 @@ type temporalReport struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR7.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR8.json", "output JSON file")
 		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
 		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
 		queries = flag.Int("queries", 2000, "queries per latency distribution")
@@ -249,6 +297,9 @@ func main() {
 		itrajs = flag.Int("itrajs", 2000, "trajectories appended in the ingestion section (0 skips it)")
 
 		fanseals = flag.Int("fanseals", 64, "max sealed-shard fan-out in the compaction section (0 skips it)")
+
+		oclients = flag.Int("oclients", 16, "concurrent HTTP clients in the overload section (0 skips it)")
+		oseconds = flag.Float64("oseconds", 3, "wall seconds per overload leg")
 	)
 	flag.Parse()
 	cfg := benchConfig{
@@ -256,6 +307,7 @@ func main() {
 		qlen: *qlen, limit: *limit, shards: *shards, seed: *seed,
 		ttrajs: *ttrajs, tmeanLen: *tmeanLen, tqueries: *tqueries, tsample: *tsample,
 		itrajs: *itrajs, fanseals: *fanseals,
+		oclients: *oclients, oseconds: *oseconds,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "cinctbench: %v\n", err)
@@ -272,6 +324,8 @@ type benchConfig struct {
 	tsample                    int
 	itrajs                     int
 	fanseals                   int
+	oclients                   int
+	oseconds                   float64
 }
 
 // runIngest benchmarks the live write path against the main corpus:
@@ -701,6 +755,13 @@ func run(cfg benchConfig) error {
 		}
 		rep.Compaction = pr
 	}
+	if cfg.oclients > 0 {
+		or, err := runOverload(cfg, corpus, workload)
+		if err != nil {
+			return err
+		}
+		rep.Overload = or
+	}
 	fmt.Fprintf(os.Stderr, "serving section (heap vs mmap)...\n")
 	if rep.Serving, err = runServing(ix, workload, limit); err != nil {
 		return err
@@ -717,6 +778,172 @@ func run(cfg benchConfig) error {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 	os.Stdout.Write(body)
 	return nil
+}
+
+// runOverload drives the full serving stack (engine worker pool +
+// HTTP server on a loopback listener) past saturation twice: once
+// with plain FIFO queueing (ShedCost 0 — the pre-admission-control
+// behavior) and once with cost-aware shedding. Each client alternates
+// cheap counts with unbounded occurrence scans of a hotspot edge, so
+// the scans are exactly the queries that turn a full pool into a
+// backlog the cheap traffic queues behind. A single worker keeps the
+// pool saturated at bench-sized corpora; production pools shed the
+// same way, just at higher absolute load.
+func runOverload(cfg benchConfig, corpus, workload [][]uint32) (*overloadReport, error) {
+	const (
+		workers  = 1
+		shedCost = 1000 // sheds unbounded scans, queues len(path)-cost counts
+	)
+	or := &overloadReport{
+		Workers:     workers,
+		Clients:     cfg.oclients,
+		DurationSec: cfg.oseconds,
+		ShedCost:    shedCost,
+	}
+	// The overload corpus concentrates traffic on one hotspot edge —
+	// the arterial road every trajectory keeps crossing — so that one
+	// unbounded Occurrences scan must locate ~1/64 of the whole corpus:
+	// tens of milliseconds of worker time against counts that need
+	// microseconds. That is the abusive query class admission control
+	// exists for.
+	var hog uint32
+	for _, tr := range corpus {
+		for _, e := range tr {
+			if e >= hog {
+				hog = e + 1
+			}
+		}
+	}
+	hot := make([][]uint32, len(corpus))
+	for i, tr := range corpus {
+		c := append([]uint32(nil), tr...)
+		for j := 63; j < len(c); j += 64 {
+			c[j] = hog
+		}
+		hot[i] = c
+	}
+	hix, err := cinct.Build(hot, cinct.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	hogPath := []uint32{hog}
+
+	leg := func(label string, shed int64) (overloadLeg, error) {
+		fmt.Fprintf(os.Stderr, "overload: %s leg (%d clients, %d workers, %.0fs)...\n",
+			label, cfg.oclients, workers, cfg.oseconds)
+		eng := engine.New(engine.Options{Workers: workers, CacheEntries: -1, ShedCost: shed})
+		defer eng.CloseAll()
+		eng.Register("bench", hix)
+		srv := server.New(eng, server.Config{RequestTimeout: 500 * time.Millisecond})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return overloadLeg{}, err
+		}
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(l) }()
+		base := "http://" + l.Addr().String()
+
+		var lg overloadLeg
+		var mu sync.Mutex
+		var durs []time.Duration
+		ctx := context.Background()
+		deadline := time.Now().Add(time.Duration(cfg.oseconds * float64(time.Second)))
+		var wg sync.WaitGroup
+		for c := 0; c < cfg.oclients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// One persistent connection per client: the shared
+				// DefaultClient caps idle conns per host at 2, and the
+				// resulting handshake churn (tens of ms per request)
+				// would swamp the engine-side queueing being measured.
+				cl := server.NewClient(base, &http.Client{
+					Transport: &http.Transport{MaxIdleConnsPerHost: 1},
+				})
+				rng := rand.New(rand.NewSource(cfg.seed + int64(100+c)))
+				for i := 0; time.Now().Before(deadline); i++ {
+					if i%2 == 1 {
+						// The abusive scan: unbounded, locate-heavy.
+						_, err := cl.SearchPage(ctx, "bench", cinct.Query{Path: hogPath, Kind: cinct.Occurrences})
+						mu.Lock()
+						lg.Requests++
+						classify(&lg, err, true)
+						mu.Unlock()
+						continue
+					}
+					p := workload[rng.Intn(len(workload))]
+					t0 := time.Now()
+					_, err := cl.Count(ctx, "bench", p)
+					d := time.Since(t0)
+					mu.Lock()
+					lg.Requests++
+					classify(&lg, err, false)
+					if err == nil {
+						durs = append(durs, d)
+					}
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return overloadLeg{}, err
+		}
+		if err := <-errc; err != nil {
+			return overloadLeg{}, err
+		}
+		lg.GoodputQPS = float64(lg.OK) / cfg.oseconds
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		if len(durs) > 0 {
+			lg.CheapP50Us = float64(durs[int(0.50*float64(len(durs)-1))].Nanoseconds()) / 1e3
+			lg.CheapP99Us = float64(durs[int(0.99*float64(len(durs)-1))].Nanoseconds()) / 1e3
+		}
+		return lg, nil
+	}
+
+	if or.Unprotected, err = leg("unprotected", 0); err != nil {
+		return nil, err
+	}
+	if or.Protected, err = leg("protected", shedCost); err != nil {
+		return nil, err
+	}
+	if or.Unprotected.GoodputQPS > 0 {
+		or.GoodputGain = or.Protected.GoodputQPS / or.Unprotected.GoodputQPS
+	}
+	if or.Protected.CheapP99Us > 0 {
+		or.CheapP99Improvement = or.Unprotected.CheapP99Us / or.Protected.CheapP99Us
+	}
+	return or, nil
+}
+
+// classify buckets one overload-leg outcome. scan marks the abusive
+// queries, whose successes count separately from goodput.
+func classify(lg *overloadLeg, err error, scan bool) {
+	switch {
+	case err == nil && scan:
+		lg.ScanOK++
+	case err == nil:
+		lg.OK++
+	case errors.Is(err, engine.ErrOverloaded):
+		lg.Shed++
+	case isTimeout(err):
+		lg.Timeouts++
+	default:
+		lg.Errors++
+	}
+}
+
+// isTimeout reports a request that died on the server's per-request
+// deadline (504 over the wire, or the transport surfacing the body
+// cut mid-stream).
+func isTimeout(err error) bool {
+	var ae *server.APIError
+	if errors.As(err, &ae) {
+		return ae.Status == 504
+	}
+	return strings.Contains(err.Error(), "deadline") || strings.Contains(err.Error(), "timeout")
 }
 
 // runTemporal benchmarks the strict-path-query path on its worst-case

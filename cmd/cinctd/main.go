@@ -7,7 +7,8 @@
 // The data directory holds *.cinct (spatial) and *.tcinct (temporal)
 // files; each is served under its base filename:
 //
-//	GET  /v1/indexes                       catalog + stats
+//	GET  /v1/indexes                       catalog + stats + runtime gauges
+//	GET  /metrics                          Prometheus text-format metrics
 //	GET  /v1/{index}/count?path=1,2,3      occurrence count
 //	GET  /v1/{index}/find?path=1,2,3&limit=10
 //	GET  /v1/{index}/trajectory/{id}       full reconstruction
@@ -27,6 +28,13 @@
 // between seals; with -compact-interval set, a background compactor
 // keeps each live index's sealed-shard fan-out bounded by the tiered
 // policy (-compact-min-shards / -compact-max-shards / -compact-ratio).
+//
+// Traffic management: -rate-limit enforces a per-client request budget
+// (429 + Retry-After past it), -max-inflight sheds requests beyond the
+// concurrency gate with 503, -shed-cost rejects expensive queries when
+// the worker pool is saturated instead of queueing them, and
+// -slow-query logs every query over the threshold with its full cost
+// account. GET /metrics exposes the whole operational surface.
 package main
 
 import (
@@ -75,6 +83,16 @@ func main() {
 			"merge at most this many shards per round (0 = default 16)")
 		compactRatio = flag.Int("compact-ratio", 0,
 			"shards within this size ratio form one tier (0 = default 8)")
+		rateLimit = flag.Float64("rate-limit", 0,
+			"per-client request budget in requests/second, keyed by X-Client-ID or remote IP (0 disables; over-budget requests get 429 + Retry-After)")
+		rateBurst = flag.Int("rate-burst", 0,
+			"per-client token-bucket depth (0 = 2x rate-limit)")
+		maxInflight = flag.Int("max-inflight", 0,
+			"shed API requests beyond this many in flight with 503 instead of queueing (0 disables the gate)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log every query at least this slow with its full cost account (0 disables)")
+		shedCost = flag.Int64("shed-cost", 0,
+			"with all workers busy, reject queries whose estimated cost reaches this threshold with 503 instead of queueing (0 = queue everything)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "cinctd: ", log.LstdFlags)
@@ -95,7 +113,9 @@ func main() {
 	eng := engine.New(engine.Options{
 		Workers: *workers, CacheEntries: *cache,
 		SealThreshold: *sealAt, Logf: logger.Printf,
-		Mmap: *mmap,
+		Mmap:      *mmap,
+		SlowQuery: *slowQuery,
+		ShedCost:  *shedCost,
 		WAL: engine.WALOptions{
 			Dir: *walDir, SyncInterval: *walSync, SyncBytes: *walSyncBytes,
 		},
@@ -131,7 +151,10 @@ func main() {
 			name, kind, mode, info.Stats.Trajectories, info.Stats.Shards, info.Stats.BitsPerSymbol)
 	}
 
-	srv := server.New(eng, server.Config{Addr: *addr, RequestTimeout: *timeout, Logger: logger})
+	srv := server.New(eng, server.Config{
+		Addr: *addr, RequestTimeout: *timeout, Logger: logger,
+		RateLimit: *rateLimit, RateBurst: *rateBurst, MaxInflight: *maxInflight,
+	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

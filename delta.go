@@ -106,10 +106,11 @@ func (s *deltaSnap) len() int { return len(s.trajs) }
 
 // locate enumerates every occurrence of path in the snapshot,
 // mirroring Index.locateOccurrences: visit(local trajectory, travel
-// offset), ctx checked periodically. Occurrences are produced in
-// canonical order by construction (rows ascending, offsets ascending),
-// but callers do not rely on that — they sort like any other unit.
-func (s *deltaSnap) locate(ctx context.Context, path []uint32, visit func(doc, offset int)) error {
+// offset), ctx checked periodically, rows scanned accounted into st.
+// Occurrences are produced in canonical order by construction (rows
+// ascending, offsets ascending), but callers do not rely on that —
+// they sort like any other unit.
+func (s *deltaSnap) locate(ctx context.Context, path []uint32, st *QueryStats, visit func(doc, offset int)) error {
 	if len(path) == 0 {
 		return nil
 	}
@@ -119,6 +120,7 @@ func (s *deltaSnap) locate(ctx context.Context, path []uint32, visit func(doc, o
 				return err
 			}
 		}
+		st.DeltaRows++
 	scan:
 		for off := 0; off+len(path) <= len(tr); off++ {
 			for i, e := range path {
@@ -133,10 +135,11 @@ func (s *deltaSnap) locate(ctx context.Context, path []uint32, visit func(doc, o
 }
 
 // count returns the occurrence count of path in the snapshot — the
-// delta's contribution to a CountOnly query.
-func (s *deltaSnap) count(path []uint32) int {
+// delta's contribution to a CountOnly query, rows scanned accounted
+// into st.
+func (s *deltaSnap) count(path []uint32, st *QueryStats) int {
 	n := 0
-	s.locate(context.Background(), path, func(int, int) { n++ }) //nolint:errcheck // background ctx never cancels
+	s.locate(context.Background(), path, st, func(int, int) { n++ }) //nolint:errcheck // background ctx never cancels
 	return n
 }
 

@@ -29,6 +29,12 @@ func TestHotPathAllocs(t *testing.T) {
 		}},
 		{"contextOf", func() { sinkU = ix.contextOf(int64(ix.Len() / 3)) }},
 		{"Locate", func() { sinkI = ix.Locate(int64(ix.Len() / 2)) }},
+		{"LocateSteps", func() {
+			// The stats-accounted form the Search hot path uses: the
+			// step count must ride back for free.
+			pos, steps := ix.LocateSteps(int64(ix.Len() / 2))
+			sinkI = pos + steps
+		}},
 		{"SuffixRange", func() {
 			sp, ep, ok := ix.SuffixRange(pat)
 			sinkI, sinkB = sp+ep, ok

@@ -366,6 +366,14 @@ func (ix *Index) Extract(j int64, l int) []uint32 {
 // It requires SASample > 0 at build time, walking LF until a sampled
 // row (at most SASample steps).
 func (ix *Index) Locate(j int64) int64 {
+	pos, _ := ix.LocateSteps(j)
+	return pos
+}
+
+// LocateSteps is Locate plus the number of LF-mapping steps the walk
+// performed before hitting a sampled row — the per-occurrence unit of
+// locate cost that the serving layers account against queries.
+func (ix *Index) LocateSteps(j int64) (pos, lfSteps int64) {
 	if ix.sampleRate == 0 {
 		panic("core: index built without locate support (SASample = 0)")
 	}
@@ -393,7 +401,7 @@ func (ix *Index) Locate(j int64) int64 {
 	if p >= int64(ix.n) {
 		p -= int64(ix.n)
 	}
-	return p
+	return p, steps
 }
 
 // RowOf returns the BWT row of the suffix starting at text position

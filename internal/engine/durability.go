@@ -202,6 +202,8 @@ func (e *Engine) Compact(ctx context.Context, name string, full bool) (CompactRe
 		policy = cinct.FullCompaction
 	}
 	res := CompactResult{ShardsBefore: w.SealedShards(), ShardsAfter: w.SealedShards()}
+	t0 := time.Now()
+	defer func() { e.metrics.compactSec.Observe(time.Since(t0).Seconds()) }()
 	for {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -275,7 +277,9 @@ func (e *Engine) compactOnce(name string) {
 	if w == nil {
 		return
 	}
+	t0 := time.Now()
 	r, err := w.Compact(e.compaction.Policy)
+	e.metrics.compactSec.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		e.logf("engine: background compaction of %q: %v", name, err)
 		return

@@ -11,8 +11,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
 	"cinct"
+	"cinct/internal/metrics"
 	"cinct/internal/wal"
 )
 
@@ -51,6 +53,21 @@ type Options struct {
 	// value disables the background compactor; Engine.Compact still
 	// works on demand.
 	Compaction CompactionOptions
+	// Metrics is the registry the engine records its operational series
+	// into (query latency and cost, cache hit/miss, pool occupancy and
+	// wait, seal/compaction durations, WAL footprint). nil creates a
+	// private registry, reachable through Engine.Metrics.
+	Metrics *metrics.Registry
+	// SlowQuery logs every query whose wall time reaches this duration
+	// through Logf, with its full cinct.QueryStats cost account. 0
+	// disables the slow-query log.
+	SlowQuery time.Duration
+	// ShedCost enables cost-aware admission control: when every worker
+	// slot is busy, a query whose estimated cost (see estimateCost)
+	// reaches this threshold fails immediately with ErrOverloaded
+	// instead of queueing. 0 disables shedding — saturated queries
+	// queue, the pre-admission-control behavior.
+	ShedCost int64
 }
 
 func (o Options) workers() int {
@@ -86,12 +103,15 @@ func (o Options) sealThreshold() int {
 // shares the same result cache, so answers and load behavior cannot
 // diverge between in-process and remote callers.
 type Engine struct {
-	cat    *Catalog
-	cache  *queryCache
-	sem    chan struct{}
-	sealAt int
-	mmap   bool
-	logf   func(format string, args ...any)
+	cat       *Catalog
+	cache     *queryCache
+	sem       chan struct{}
+	sealAt    int
+	mmap      bool
+	logf      func(format string, args ...any)
+	metrics   *engineMetrics
+	slowQuery time.Duration
+	shedCost  int64
 
 	walOpts    WALOptions
 	compaction CompactionOptions
@@ -116,9 +136,12 @@ func New(opts Options) *Engine {
 		sealAt:     opts.sealThreshold(),
 		mmap:       opts.Mmap,
 		logf:       logf,
+		slowQuery:  opts.SlowQuery,
+		shedCost:   opts.ShedCost,
 		walOpts:    opts.WAL,
 		compaction: opts.Compaction,
 	}
+	e.metrics = newEngineMetrics(opts.Metrics, e)
 	if e.compaction.Interval > 0 {
 		e.done = make(chan struct{})
 		e.bg.Add(1)
@@ -126,24 +149,6 @@ func New(opts Options) *Engine {
 	}
 	return e
 }
-
-// acquire takes a worker slot, honoring context cancellation while
-// waiting.
-func (e *Engine) acquire(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		// Deterministic failure for already-expired contexts (select
-		// picks randomly among ready cases).
-		return err
-	}
-	select {
-	case e.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-func (e *Engine) release() { <-e.sem }
 
 // OpenDir loads every index file under dir: *.cinct as spatial
 // indexes, *.tcinct as temporal ones, each registered under its base
@@ -427,6 +432,7 @@ func (e *Engine) Append(ctx context.Context, name string, trajs [][]uint32, time
 		}
 		en.ingestMu.Unlock()
 		gen := en.bumpGen()
+		e.metrics.appendRows.Add(int64(len(trajs)))
 		return AppendResult{FirstID: first, Appended: len(trajs), Delta: w.DeltaTrajectories(), Generation: gen}, nil
 	}
 }
@@ -505,7 +511,9 @@ func (e *Engine) Seal(ctx context.Context, name string) (SealResult, error) {
 	if v.w == nil {
 		return SealResult{Generation: v.gen}, nil
 	}
+	t0 := time.Now()
 	n, err := v.w.Seal() // afterSeal (the OnSeal hook) persists
+	e.metrics.sealSec.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		return SealResult{}, err
 	}
@@ -721,6 +729,11 @@ type Results struct {
 	e    *Engine
 	key  string
 	held bool
+	// name/start/recorded close the metrics account exactly once when
+	// the live stream finishes, fails, or is abandoned via Close.
+	name     string
+	start    time.Time
+	recorded bool
 	// acc accumulates live hits for cache population; it is dropped
 	// (and tooBig set) once the page exceeds maxCachedPageHits, so an
 	// unbounded streaming query never materializes O(result) memory
@@ -818,12 +831,25 @@ func (r *Results) finishLive() {
 	if !r.tooBig {
 		r.e.cache.put(r.key, &page{hits: r.acc, count: len(r.acc), cursor: r.live.Cursor()})
 	}
+	r.record(nil)
 	r.releaseSlot()
 }
 
 func (r *Results) fail(err error) {
 	r.err = err
+	r.record(err)
 	r.releaseSlot()
+}
+
+// record closes the live run's metrics account (latency, cost,
+// slow-query log) exactly once, whichever of finishLive, fail or Close
+// gets there first.
+func (r *Results) record(err error) {
+	if r.recorded || r.live == nil {
+		return
+	}
+	r.recorded = true
+	r.e.recordQuery(r.name, r.q, r.start, r.live.Stats(), err)
 }
 
 func (r *Results) releaseSlot() {
@@ -845,6 +871,7 @@ func (r *Results) releaseSlot() {
 func (r *Results) Close() {
 	if r.live != nil {
 		r.closed = true
+		r.record(r.err)
 	}
 	r.releaseSlot()
 }
@@ -929,10 +956,16 @@ func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Resul
 		return nil, fmt.Errorf("%w: %q", ErrNotTemporal, v.name)
 	}
 	key := searchKey(v.name, v.gen, enc)
+	start := time.Now()
+	e.metrics.queries.With(kindLabel(q.Kind)).Inc()
 	if val, ok := e.cache.get(key); ok {
+		e.metrics.cacheHits.Inc()
+		e.recordQuery(v.name, q, start, cinct.QueryStats{}, nil)
 		return &Results{q: q, epoch: v.epoch, page: val.(*page)}, nil
 	}
-	if err := e.acquire(ctx); err != nil {
+	e.metrics.cacheMisses.Inc()
+	if err := e.acquire(ctx, estimateCost(q)); err != nil {
+		e.recordQuery(v.name, q, start, cinct.QueryStats{}, err)
 		return nil, err
 	}
 	lr, err := func() (lr *cinct.Results, err error) {
@@ -947,11 +980,13 @@ func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Resul
 	}()
 	if err != nil {
 		e.release()
+		e.recordQuery(v.name, q, start, cinct.QueryStats{}, err)
 		return nil, err
 	}
 	if q.Kind == cinct.CountOnly {
 		n, cerr := lr.Count()
 		e.release()
+		e.recordQuery(v.name, q, start, lr.Stats(), cerr)
 		if cerr != nil {
 			return nil, cerr
 		}
@@ -959,7 +994,8 @@ func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Resul
 		e.cache.put(key, p)
 		return &Results{q: q, epoch: v.epoch, page: p}, nil
 	}
-	return &Results{q: q, epoch: v.epoch, live: lr, e: e, key: key, held: true, acc: make([]cinct.Hit, 0, 16)}, nil
+	return &Results{q: q, epoch: v.epoch, live: lr, e: e, key: key, held: true,
+		name: v.name, start: start, acc: make([]cinct.Hit, 0, 16)}, nil
 }
 
 // Count returns the number of occurrences of path in index name.
@@ -1037,7 +1073,8 @@ func (e *Engine) Trajectory(ctx context.Context, name string, id int) ([]uint32,
 	if err := checkTrajectory(v, id); err != nil {
 		return nil, err
 	}
-	if err := e.acquire(ctx); err != nil {
+	// Extraction cost is one trajectory's length — never sheddable.
+	if err := e.acquire(ctx, 1); err != nil {
 		return nil, err
 	}
 	defer e.release()
@@ -1056,7 +1093,7 @@ func (e *Engine) SubPath(ctx context.Context, name string, id, from, to int) ([]
 	if err := checkTrajectory(v, id); err != nil {
 		return nil, err
 	}
-	if err := e.acquire(ctx); err != nil {
+	if err := e.acquire(ctx, 1); err != nil {
 		return nil, err
 	}
 	defer e.release()

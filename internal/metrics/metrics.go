@@ -1,0 +1,280 @@
+// Package metrics is a minimal, dependency-free metrics registry for
+// the serving stack: counters, gauges (direct or callback-backed) and
+// fixed-bucket histograms, rendered in the Prometheus text exposition
+// format (version 0.0.4) by WriteTo. It exists so cinctd can expose an
+// operational surface without importing a client library — the repo's
+// no-new-dependencies rule — and implements only what the daemon
+// needs: one optional label per family, atomic hot paths, and
+// deterministic output ordering.
+//
+// All instruments are safe for concurrent use; instrument lookups
+// (Counter, With, …) take a lock and should be done once at wiring
+// time, while the returned handles update lock-free.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one; Add adds n (negative deltas are ignored — counters
+// never go down).
+func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+func (g *Gauge) Inc()         { g.v.Add(1) }
+func (g *Gauge) Dec()         { g.v.Add(-1) }
+
+// Histogram is a fixed-bucket cumulative histogram. Observe finds the
+// first bucket whose upper bound admits the value; the implicit +Inf
+// bucket catches the rest. Sum is kept in float64 bits under CAS so
+// fractional observations (seconds) accumulate exactly like the
+// Prometheus client.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, +Inf excluded
+	counts []atomic.Uint64 // one per bound, plus the +Inf overflow
+	sum    atomic.Uint64   // float64 bits
+	total  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations; Sum their total.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+func (h *Histogram) Sum() float64  { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets returns n ascending bucket bounds starting at start and
+// growing by factor — the standard shape for latency and cost scales.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// kind discriminates families for the # TYPE line.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one named metric: either a single unlabeled instrument or
+// a set of children keyed by the value of its one label.
+type family struct {
+	name, help string
+	typ        kind
+	label      string // "" for unlabeled families
+
+	mu       sync.Mutex
+	counter  *Counter
+	gauge    *Gauge
+	gaugeFn  func() int64
+	hist     *Histogram
+	buckets  []float64
+	children map[string]any // label value → *Counter | *Histogram
+}
+
+// Registry holds families in registration order.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help string, typ kind, label string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || f.label != label {
+			panic(fmt.Sprintf("metrics: %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, label: label, children: map[string]any{}}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers (or returns) the unlabeled counter name.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, "")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.counter == nil {
+		f.counter = &Counter{}
+	}
+	return f.counter
+}
+
+// CounterVec registers a counter family with one label; With returns
+// the child for a label value, creating it on first use.
+type CounterVec struct{ f *family }
+
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, label)}
+}
+
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.children[value]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	v.f.children[value] = c
+	return c
+}
+
+// Gauge registers (or returns) the unlabeled gauge name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, "")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.gauge == nil {
+		f.gauge = &Gauge{}
+	}
+	return f.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the natural fit for pool occupancy or WAL size, where the source of
+// truth already lives elsewhere.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	f := r.family(name, help, kindGauge, "")
+	f.mu.Lock()
+	f.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns) a histogram with the given bucket
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, kindHistogram, "")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hist == nil {
+		f.buckets = append([]float64(nil), buckets...)
+		f.hist = newHistogram(f.buckets)
+	}
+	return f.hist
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// WriteTo renders every family in the Prometheus text format, families
+// in registration order, children sorted by label value.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	var n int64
+	for _, f := range fams {
+		m, err := f.write(w)
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (f *family) write(w io.Writer) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var b strings.Builder
+	typ := [...]string{"counter", "gauge", "histogram"}[f.typ]
+	fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, typ)
+	switch {
+	case f.typ == kindHistogram:
+		writeHistogram(&b, f.name, "", f.buckets, f.hist)
+	case f.label != "":
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s{%s=%q} %d\n", f.name, f.label, k, f.children[k].(*Counter).Value())
+		}
+	case f.gaugeFn != nil:
+		fmt.Fprintf(&b, "%s %d\n", f.name, f.gaugeFn())
+	case f.gauge != nil:
+		fmt.Fprintf(&b, "%s %d\n", f.name, f.gauge.Value())
+	case f.counter != nil:
+		fmt.Fprintf(&b, "%s %d\n", f.name, f.counter.Value())
+	}
+	m, err := io.WriteString(w, b.String())
+	return int64(m), err
+}
+
+// writeHistogram renders the cumulative _bucket / _sum / _count
+// triple. A histogram never registered (nil) renders empty.
+func writeHistogram(b *strings.Builder, name, labels string, bounds []float64, h *Histogram) {
+	if h == nil {
+		return
+	}
+	cum := uint64(0)
+	for i, ub := range bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, labels, formatFloat(ub), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, h.Count())
+	fmt.Fprintf(b, "%s_sum %v\n", name, h.Sum())
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+}
+
+// formatFloat renders bucket bounds the way Prometheus does: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cinct_queries_total", "Queries executed.")
+	c.Add(3)
+	g := r.Gauge("cinct_pool_inflight", "Worker slots held.")
+	g.Set(2)
+	r.GaugeFunc("cinct_pool_capacity", "Worker slots total.", func() int64 { return 8 })
+	v := r.CounterVec("cinct_http_requests_total", "HTTP requests by status.", "code")
+	v.With("200").Add(5)
+	v.With("429").Inc()
+	h := r.Histogram("cinct_query_seconds", "Query latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cinct_queries_total counter",
+		"cinct_queries_total 3",
+		"# TYPE cinct_pool_inflight gauge",
+		"cinct_pool_inflight 2",
+		"cinct_pool_capacity 8",
+		`cinct_http_requests_total{code="200"} 5`,
+		`cinct_http_requests_total{code="429"} 1`,
+		"# TYPE cinct_query_seconds histogram",
+		`cinct_query_seconds_bucket{le="0.01"} 1`,
+		`cinct_query_seconds_bucket{le="0.1"} 2`,
+		`cinct_query_seconds_bucket{le="1"} 2`,
+		`cinct_query_seconds_bucket{le="+Inf"} 3`,
+		"cinct_query_seconds_sum 5.055",
+		"cinct_query_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReRegistrationReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("instruments not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape conflict did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+// TestConcurrentExactness is the registry half of the race-soak
+// contract: hammering every instrument type from many goroutines must
+// lose no increments and no observations.
+func TestConcurrentExactness(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	v := r.CounterVec("v_total", "v", "k")
+	h := r.Histogram("h", "h", ExpBuckets(1, 2, 10))
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := v.With("a")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				child.Inc()
+				h.Observe(float64(i % 7))
+				g.Dec()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0 after drain", got)
+	}
+	if got := v.With("a").Value(); got != workers*per {
+		t.Errorf("vec child = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	wantSum := float64(workers) * func() float64 {
+		s := 0.0
+		for i := 0; i < per; i++ {
+			s += float64(i % 7)
+		}
+		return s
+	}()
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}

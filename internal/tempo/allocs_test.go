@@ -38,5 +38,15 @@ func TestHotPathAllocs(t *testing.T) {
 	}); got != 0 {
 		t.Errorf("MinMax: %v allocs/op, want 0", got)
 	}
+	// AtCounted is the stats-accounted probe the Search hot path uses;
+	// surfacing the decode count must not cost an allocation either.
+	if got := testing.AllocsPerRun(200, func() {
+		for k := range cols {
+			v, steps := s.AtCounted(k, len(cols[k])-1)
+			sink += v + int64(steps)
+		}
+	}); got != 0 {
+		t.Errorf("AtCounted: %v allocs/op, want 0", got)
+	}
 	_ = sink
 }

@@ -163,6 +163,15 @@ func (s *Store) Column(k int) []int64 {
 // BlockSize varints: it resumes from the nearest preceding checkpoint
 // instead of the column start.
 func (s *Store) At(k, i int) int64 {
+	v, _ := s.AtCounted(k, i)
+	return v
+}
+
+// AtCounted is At plus the number of varint decodes this one probe
+// performed — the per-probe decode cost the serving layers account
+// against queries. The store-global AtSteps counter accumulates the
+// same quantity across probes.
+func (s *Store) AtCounted(k, i int) (v int64, decodes int) {
 	if i < 0 || i >= int(s.lens[k]) {
 		panic(fmt.Sprintf("tempo: At(%d,%d) out of range [0,%d)", k, i, s.lens[k]))
 	}
@@ -181,7 +190,7 @@ func (s *Store) At(k, i int) int64 {
 		pos += int64(n)
 		prev += d
 	}
-	return prev
+	return prev, steps
 }
 
 // AtSteps returns the cumulative number of varint decodes performed by

@@ -34,6 +34,7 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -142,6 +143,10 @@ type Log struct {
 	timer     *time.Timer
 	syncErr   error // permanently sticky: a failed fsync poisons the log until reopen
 	closed    bool
+
+	// fsyncs counts successful segment fsyncs over the log's lifetime —
+	// the group-commit rate the serving layer's metrics expose.
+	fsyncs atomic.Int64
 }
 
 // Open creates or recovers the log in dir (created if missing).
@@ -373,6 +378,7 @@ func (l *Log) syncLocked() error {
 		l.syncErr = err
 		return err
 	}
+	l.fsyncs.Add(1)
 	l.unsynced = 0
 	return nil
 }
@@ -432,6 +438,10 @@ func (l *Log) Stats() (segments int, bytes int64) {
 	return segments, bytes
 }
 
+// Fsyncs returns the number of successful segment fsyncs the log has
+// performed since Open.
+func (l *Log) Fsyncs() int64 { return l.fsyncs.Load() }
+
 // Close syncs and closes the log. Further calls fail with ErrClosed.
 // A sticky sync failure is reported instead of attempting (and
 // possibly "succeeding" at) a final fsync that proves nothing.
@@ -448,7 +458,9 @@ func (l *Log) Close() error {
 	}
 	err := l.syncErr
 	if err == nil {
-		err = l.f.Sync()
+		if err = l.f.Sync(); err == nil {
+			l.fsyncs.Add(1)
+		}
 	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr

@@ -84,6 +84,32 @@ scount=$(curl -sf "$base/v1/tsmoke/count?path=$path" | jq .count)
 }
 echo "ok temporal/count == spatial count"
 
+echo "== metrics endpoint"
+# Prometheus text format with the core series present.
+ctype=$(curl -sf -o /dev/null -w '%{content_type}' "$base/metrics")
+case "$ctype" in
+  text/plain*) ;;
+  *) echo "smoke: /metrics content type $ctype, want text/plain" >&2; exit 1 ;;
+esac
+scrape=$(curl -sf "$base/metrics")
+for series in cinct_queries_total cinct_query_seconds cinct_http_requests_total \
+  cinct_pool_capacity cinct_cache_entries; do
+  echo "$scrape" | grep -q "^$series" \
+    || { echo "smoke: /metrics missing $series" >&2; exit 1; }
+done
+# metric_value NAME — current value of a counter line in the last scrape.
+metric_value() {
+  echo "$scrape" | awk -v m="$1" '$1 == m {print $2}'
+}
+before=$(metric_value 'cinct_queries_total{kind="count"}')
+curl -sf "$base/v1/smoke/count?path=$path" >/dev/null
+scrape=$(curl -sf "$base/metrics")
+after=$(metric_value 'cinct_queries_total{kind="count"}')
+[ "${after:-0}" -gt "${before:-0}" ] || {
+  echo "smoke: cinct_queries_total{kind=\"count\"} did not advance ($before -> $after)" >&2; exit 1
+}
+echo "ok GET /metrics (count queries: $before -> $after)"
+
 echo "== unified streaming query endpoint"
 # qpost INDEX JSON-BODY — POST to the NDJSON query endpoint.
 qpost() {
@@ -375,6 +401,60 @@ if kill -0 "$daemon_pid" 2>/dev/null; then
 fi
 wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
 [ "$rc" = 0 ] || { echo "smoke: cinctd -wal exited with $rc" >&2; exit 1; }
+daemon_pid=""
+
+addr="127.0.0.1:18136"
+base="http://$addr"
+echo "== restarting cinctd with -rate-limit on $addr (traffic-management leg)"
+"$bindir/cinctd" -data "$datadir" -addr "$addr" -rate-limit 5 -rate-burst 5 &
+daemon_pid=$!
+for i in $(seq 1 50); do
+  if curl -sf -H 'X-Client-ID: probe' "$base/v1/indexes" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "smoke: cinctd -rate-limit exited before becoming ready" >&2; exit 1
+  fi
+  sleep 0.2
+done
+
+# A client flooding past its 5-token bucket must see 429 with an
+# integral Retry-After; a different client id keeps its own budget.
+got429=0
+retry_after=""
+for i in $(seq 1 20); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Client-ID: flood' \
+    "$base/v1/smoke/count?path=$path")
+  if [ "$code" = 429 ]; then
+    got429=1
+    retry_after=$(curl -s -o /dev/null -D - -H 'X-Client-ID: flood' \
+      "$base/v1/smoke/count?path=$path" \
+      | awk 'tolower($1) == "retry-after:" {gsub(/\r/, ""); print $2}')
+    break
+  fi
+done
+[ "$got429" = 1 ] || { echo "smoke: flood of 20 requests never got a 429" >&2; exit 1; }
+case "$retry_after" in
+  ''|*[!0-9]*) echo "smoke: 429 Retry-After not an integer: '$retry_after'" >&2; exit 1 ;;
+esac
+[ "$retry_after" -ge 1 ] || { echo "smoke: 429 Retry-After $retry_after, want >= 1" >&2; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Client-ID: calm' \
+  "$base/v1/smoke/count?path=$path")
+[ "$code" = 200 ] || { echo "smoke: fresh client id got $code, want 200" >&2; exit 1; }
+curl -sf -H 'X-Client-ID: probe' "$base/metrics" \
+  | grep -q '^cinct_http_requests_total{code="429"}' \
+  || { echo "smoke: 429s not visible in /metrics" >&2; exit 1; }
+echo "ok 429 + Retry-After $retry_after for flooding client, fresh client unaffected"
+
+echo "== graceful shutdown (rate-limit daemon)"
+kill -TERM "$daemon_pid"
+for i in $(seq 1 50); do
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "smoke: cinctd -rate-limit did not exit on SIGTERM" >&2; exit 1
+fi
+wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" = 0 ] || { echo "smoke: cinctd -rate-limit exited with $rc" >&2; exit 1; }
 daemon_pid=""
 
 echo "== CLI compaction of a local file"

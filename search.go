@@ -49,6 +49,7 @@ type Results struct {
 	q      Query
 	count  int // CountOnly answer
 	merged *mergeIter
+	units  []*unitCursor // every search unit, for Stats aggregation
 
 	n         int // hits yielded so far
 	last      Hit
@@ -201,7 +202,7 @@ func runSearch(ctx context.Context, q Query, units []*unitCursor, hasLoc bool) (
 		if err != nil {
 			return nil, err
 		}
-		return &Results{q: q, count: n, exhausted: true}, nil
+		return &Results{q: q, count: n, exhausted: true, units: units}, nil
 	}
 	if !hasLoc {
 		return nil, ErrNoLocate
@@ -227,7 +228,7 @@ func runSearch(ctx context.Context, q Query, units []*unitCursor, hasLoc bool) (
 		}
 	}
 	m.init()
-	return &Results{q: q, merged: m}, nil
+	return &Results{q: q, merged: m, units: units}, nil
 }
 
 // unitCursor is one shard's contribution to a Search: an index over a
@@ -256,6 +257,12 @@ type unitCursor struct {
 	head     Hit
 	hasHead  bool
 	err      error
+
+	// st is the unit's work account. Plain fields are sound: collect
+	// and count touch the unit from a single goroutine of the parallel
+	// fan-out, and advance runs only on the merge goroutine after that
+	// fan-out has joined.
+	st QueryStats
 }
 
 // probeID returns the trajectory ID in the coordinate space of the
@@ -272,16 +279,16 @@ func (u *unitCursor) probeID(local int) int {
 // for the delta.
 func (u *unitCursor) locate(ctx context.Context, path []uint32, visit func(doc, offset int)) error {
 	if u.d != nil {
-		return u.d.locate(ctx, path, visit)
+		return u.d.locate(ctx, path, &u.st, visit)
 	}
-	return u.ix.locateOccurrences(ctx, path, visit)
+	return u.ix.locateOccurrences(ctx, path, &u.st, visit)
 }
 
 // countPath answers the no-interval CountOnly contribution of the
 // unit.
 func (u *unitCursor) countPath(path []uint32) int {
 	if u.d != nil {
-		return u.d.count(path)
+		return u.d.count(path, &u.st)
 	}
 	return u.ix.countOne(path)
 }
@@ -298,9 +305,12 @@ func (u *unitCursor) tsMinMax(local int) (int64, int64) {
 
 func (u *unitCursor) tsAt(local, offset int) int64 {
 	if u.d != nil {
+		u.st.DecodeSteps++ // one plain column access
 		return u.d.at(local, offset)
 	}
-	return u.ts.At(u.probeID(local), offset)
+	v, decodes := u.ts.AtCounted(u.probeID(local), offset)
+	u.st.DecodeSteps += int64(decodes)
+	return v
 }
 
 // assembleUnits flattens an index (and its optional temporal stores)
@@ -356,6 +366,7 @@ func countUnits(ctx context.Context, c compiled, units []*unitCursor) (int, erro
 	errs := make([]error, len(units))
 	runUnits(units, func(i int, u *unitCursor) {
 		errs[i] = containCorrupt(func() error {
+			u.st.ShardsProbed++
 			if !c.hasInterval {
 				counts[i] = u.countPath(c.path)
 				return nil
@@ -363,6 +374,7 @@ func countUnits(ctx context.Context, c compiled, units []*unitCursor) (int, erro
 			n := 0
 			err := u.locate(ctx, c.path, func(doc, offset int) {
 				if lo, hi := u.tsMinMax(doc); hi < c.from || lo > c.to {
+					u.st.SummaryPruned++
 					return
 				}
 				if at := u.tsAt(doc, offset); at >= c.from && at <= c.to {
@@ -395,12 +407,15 @@ func (u *unitCursor) collect(ctx context.Context, c compiled) error {
 		// Units wholly at or before the cursor position contribute
 		// nothing; skip their locate scan entirely.
 		if c.kind == Trajectories && u.base+u.n-1 <= c.afterT {
+			u.st.ShardsSkipped++
 			return nil
 		}
 		if c.kind == Occurrences && u.base+u.n-1 < c.afterT {
+			u.st.ShardsSkipped++
 			return nil
 		}
 	}
+	u.st.ShardsProbed++
 	switch {
 	case c.kind == Trajectories && !c.hasInterval:
 		return u.collectDistinct(ctx, c)
@@ -434,6 +449,7 @@ func (u *unitCursor) collectAll(ctx context.Context, c compiled) error {
 		}
 		if c.hasInterval {
 			if lo, hi := u.tsMinMax(doc); hi < c.from || lo > c.to {
+				u.st.SummaryPruned++
 				return
 			}
 		}
@@ -442,6 +458,7 @@ func (u *unitCursor) collectAll(ctx context.Context, c compiled) error {
 	if err != nil {
 		return err
 	}
+	u.st.CandidateRows += int64(len(u.cands))
 	sortMatches(u.cands)
 	return nil
 }
@@ -470,6 +487,7 @@ func (u *unitCursor) collectBounded(ctx context.Context, c compiled) error {
 		return err
 	}
 	u.cands = []Match(h)
+	u.st.CandidateRows += int64(len(u.cands))
 	sortMatches(u.cands)
 	return nil
 }
@@ -507,6 +525,7 @@ func (u *unitCursor) collectDistinct(ctx context.Context, c compiled) error {
 		return err
 	}
 	u.cands = []Match(h)
+	u.st.CandidateRows += int64(len(u.cands))
 	sortMatches(u.cands)
 	return nil
 }

@@ -26,9 +26,25 @@ type TemporalMatch struct {
 	EnteredAt int64 `json:"enteredAt"`
 }
 
+// RuntimeInfo is the engine-wide gauge block of GET /v1/indexes: the
+// result cache, the query worker pool and the aggregate WAL footprint
+// at the moment of the call — the same numbers GET /metrics exposes,
+// in JSON for humans and scripts.
+type RuntimeInfo struct {
+	CacheHits    int64 `json:"cacheHits"`
+	CacheMisses  int64 `json:"cacheMisses"`
+	CacheEntries int   `json:"cacheEntries"`
+	PoolInflight int   `json:"poolInflight"`
+	PoolCapacity int   `json:"poolCapacity"`
+	WALSegments  int   `json:"walSegments"`
+	WALBytes     int64 `json:"walBytes"`
+	WALFsyncs    int64 `json:"walFsyncs"`
+}
+
 // ListResponse is the body of GET /v1/indexes.
 type ListResponse struct {
 	Indexes []engine.Info `json:"indexes"`
+	Runtime RuntimeInfo   `json:"runtime"`
 }
 
 // CountResponse is the body of GET /v1/{index}/count.

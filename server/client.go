@@ -12,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"cinct"
 	"cinct/internal/engine"
@@ -45,6 +46,53 @@ func orDefault(hc *http.Client) *http.Client {
 	return hc
 }
 
+// APIError is the typed form of a non-2xx daemon reply: the HTTP
+// status, the server's error message, and — for 429/503 — the parsed
+// Retry-After hint. errors.Is maps it back onto the sentinel the
+// server mapped from, so `errors.Is(err, server.ErrRateLimited)` and
+// `errors.Is(err, engine.ErrOverloaded)` work end-to-end across the
+// wire.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration // 0 when the server sent no hint
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
+	}
+	return fmt.Sprintf("server: HTTP %d", e.Status)
+}
+
+// Is maps wire statuses back to the typed errors the server mapped
+// from, so remote and in-process callers handle overload identically.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrRateLimited:
+		return e.Status == http.StatusTooManyRequests
+	case engine.ErrOverloaded:
+		return e.Status == http.StatusServiceUnavailable
+	case engine.ErrNotFound:
+		return e.Status == http.StatusNotFound
+	}
+	return false
+}
+
+// apiError builds the typed error for a non-2xx response whose body
+// has already been read.
+func apiError(resp *http.Response, body []byte) *APIError {
+	e := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	var er ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		e.Message = er.Error
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		e.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return e
+}
+
 // pathParam spells a query path the way the server parses it.
 func pathParam(path []uint32) string {
 	parts := make([]string, len(path))
@@ -76,11 +124,7 @@ func (c *Client) call(ctx context.Context, method, path string, q url.Values, ou
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		var er ErrorResponse
-		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+		return apiError(resp, body)
 	}
 	if out == nil {
 		return nil
@@ -226,11 +270,7 @@ func (c *Client) SearchPage(ctx context.Context, index string, q cinct.Query) (*
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-		var er ErrorResponse
-		if json.Unmarshal(msg, &er) == nil && er.Error != "" {
-			return nil, fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
-		}
-		return nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return nil, apiError(resp, msg)
 	}
 	page := &QueryPage{}
 	sc := bufio.NewScanner(resp.Body)
@@ -357,11 +397,7 @@ func (c *Client) Ingest(ctx context.Context, index string, recs []IngestRecord, 
 		return nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		var er ErrorResponse
-		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
-			return nil, fmt.Errorf("server: %s (HTTP %d)", er.Error, resp.StatusCode)
-		}
-		return nil, fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+		return nil, apiError(resp, raw)
 	}
 	var out IngestResponse
 	if err := json.Unmarshal(raw, &out); err != nil {

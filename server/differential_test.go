@@ -282,7 +282,8 @@ func TestDifferentialHTTP(t *testing.T) {
 		}
 	}
 
-	// Catalog listing vs in-process listing.
+	// Catalog listing vs in-process listing (runtime gauges included:
+	// no query runs between here and the GET, so the counters agree).
 	list := ListResponse{Indexes: make([]engine.Info, 0)}
 	for _, name := range eng.Names() {
 		info, err := eng.Info(name)
@@ -290,6 +291,14 @@ func TestDifferentialHTTP(t *testing.T) {
 			t.Fatal(err)
 		}
 		list.Indexes = append(list.Indexes, info)
+	}
+	hits, misses, entries := eng.CacheStats()
+	inflight, capacity := eng.PoolStats()
+	segs, walBytes, fsyncs := eng.WALStats()
+	list.Runtime = RuntimeInfo{
+		CacheHits: int64(hits), CacheMisses: int64(misses), CacheEntries: entries,
+		PoolInflight: inflight, PoolCapacity: capacity,
+		WALSegments: segs, WALBytes: walBytes, WALFsyncs: fsyncs,
 	}
 	status, body := get(t, ts.URL, "/v1/indexes", nil)
 	expect(t, "indexes", status, body, 200, list)

@@ -148,6 +148,19 @@ func (sr *systemRouter) listIndexes(ctx context.Context, w http.ResponseWriter, 
 		}
 		resp.Indexes = append(resp.Indexes, info)
 	}
+	hits, misses, entries := sr.eng.CacheStats()
+	inflight, capacity := sr.eng.PoolStats()
+	segs, walBytes, fsyncs := sr.eng.WALStats()
+	resp.Runtime = RuntimeInfo{
+		CacheHits:    int64(hits),
+		CacheMisses:  int64(misses),
+		CacheEntries: entries,
+		PoolInflight: inflight,
+		PoolCapacity: capacity,
+		WALSegments:  segs,
+		WALBytes:     walBytes,
+		WALFsyncs:    fsyncs,
+	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"cinct"
 	"cinct/internal/engine"
@@ -53,6 +54,11 @@ func httpStatus(err error) int {
 		errors.Is(err, cinct.ErrNoLocate), errors.Is(err, cinct.ErrNoTimestamps),
 		errors.Is(err, cinct.ErrNotAppendable):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, engine.ErrOverloaded):
+		// Shed by admission control (engine worker pool or server gate).
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:
@@ -77,7 +83,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) error {
 func parsePath(r *http.Request) ([]uint32, error) {
 	raw := r.URL.Query().Get("path")
 	fields := strings.FieldsFunc(raw, func(c rune) bool {
-		return c == ',' || c == ' ' || c == '\t'
+		return c == ',' || unicode.IsSpace(c)
 	})
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("%w: missing or empty path parameter", errBadRequest)
