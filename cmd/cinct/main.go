@@ -21,6 +21,10 @@
 //	cinct compact -index corpus.cinct [-full=false]   (merge sealed shards, persist in place)
 //	cinct compact -remote http://localhost:8132 -name corpus [-full]
 //	cinct convert -in corpus.cinct -out corpus3.cinct [-temporal]
+//	cinct roadnet-gen -out net.road [-w 8] [-h 8] [-seed 1]
+//	cinct gps-simulate -roadnet net.road -out traces.ndjson [-truth paths.txt] [-n 10] [-noise 0.05]
+//	cinct gps-ingest -remote http://localhost:8132 -name corpus -in traces.ndjson [-v]
+//	cinct subscribe -remote http://localhost:8132 -name corpus -path "17 42" [-from 0 -to 999] [-poll]
 //
 // Any query subcommand accepts -remote URL -name INDEX instead of
 // -index FILE to run against a cinctd daemon:
@@ -87,6 +91,14 @@ func main() {
 		err = cmdCompact(args)
 	case "convert":
 		err = cmdConvert(args)
+	case "roadnet-gen":
+		err = cmdRoadnetGen(args)
+	case "gps-simulate":
+		err = cmdGPSSimulate(args)
+	case "gps-ingest":
+		err = cmdGPSIngest(args)
+	case "subscribe":
+		err = cmdSubscribe(args)
 	default:
 		usage()
 	}
@@ -98,7 +110,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval|ingest|compact|convert} [flags]")
+		"usage: cinct {build|build-temporal|stats|count|find|find-traj|show|subpath|verify|find-interval|count-interval|ingest|compact|convert|roadnet-gen|gps-simulate|gps-ingest|subscribe} [flags]")
 	os.Exit(2)
 }
 

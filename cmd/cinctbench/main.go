@@ -44,7 +44,14 @@
 // shedding the scans, reporting goodput and p99 of the cheap queries
 // under each regime.
 //
-//	cinctbench -out BENCH_PR8.json -trajs 4000 -queries 2000 -shards 0
+// The gps section measures the raw-ingestion pipeline: map-matcher
+// throughput in observations per second over noisy traces simulated
+// along known walks, the accept rate as GPS noise grows past the
+// candidate radius, and standing-query freshness — the latency from
+// an accepted row entering Append to its notification arriving on a
+// subscriber channel, p50/p99.
+//
+//	cinctbench -out BENCH_PR9.json -trajs 4000 -queries 2000 -shards 0
 package main
 
 import (
@@ -69,7 +76,10 @@ import (
 
 	"cinct"
 	"cinct/internal/engine"
+	"cinct/internal/gps"
+	"cinct/internal/mapmatch"
 	"cinct/internal/querygen"
+	"cinct/internal/roadnet"
 	"cinct/internal/trajgen"
 	"cinct/server"
 )
@@ -99,6 +109,47 @@ type report struct {
 	Serving       *servingReport         `json:"serving,omitempty"`
 	Compaction    *compactionReport      `json:"compaction,omitempty"`
 	Overload      *overloadReport        `json:"overload,omitempty"`
+	GPS           *gpsReport             `json:"gps,omitempty"`
+}
+
+// gpsReport summarizes the raw-GPS ingestion pipeline: HMM
+// map-matching throughput and per-trace latency, the accept rate as
+// simulated GPS noise grows, and standing-query freshness — how long
+// after Append returns a subscribed consumer holds the notification.
+type gpsReport struct {
+	// Road network and workload shape.
+	Nodes  int `json:"nodes"`
+	Edges  int `json:"edges"`
+	Traces int `json:"traces"`
+	Points int `json:"points"`
+	// WalkLen is the ground-truth path length each trace follows.
+	WalkLen int `json:"walkLen"`
+	// Noise is the sigma (map units) of the throughput workload; edge
+	// length is 1.0, so 0.05 is a mild urban-canyon scatter.
+	Noise float64 `json:"noise"`
+	// MatchPointsPerSec is single-threaded Matcher.Match throughput in
+	// observations per second; MatchLatency the per-trace distribution.
+	MatchPointsPerSec float64     `json:"matchPointsPerSec"`
+	MatchLatency      percentiles `json:"matchLatency"`
+	// AcceptRate sweeps the noise sigma with everything else fixed:
+	// past the candidate radius, points lose all candidates and traces
+	// start rejecting.
+	AcceptRate []gpsNoiseLeg `json:"acceptRate"`
+	// ExactPathRate is the fraction of accepted throughput-workload
+	// traces whose matched edge sequence equals the ground-truth walk.
+	ExactPathRate float64 `json:"exactPathRate"`
+	// NotifyLatency is append-to-notification delivery: a standing
+	// query registered on the row's path, the pre-matched row fed to
+	// Append, the clock stopped when the subscriber channel yields.
+	NotifyLatency percentiles `json:"notifyLatency"`
+}
+
+// gpsNoiseLeg is one point on the accept-rate-vs-noise curve.
+type gpsNoiseLeg struct {
+	Noise    float64 `json:"noise"`
+	Accepted int     `json:"accepted"`
+	Total    int     `json:"total"`
+	Rate     float64 `json:"rate"`
 }
 
 // overloadReport contrasts the serving stack past saturation with and
@@ -280,7 +331,7 @@ type temporalReport struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR8.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR9.json", "output JSON file")
 		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
 		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
 		queries = flag.Int("queries", 2000, "queries per latency distribution")
@@ -300,6 +351,9 @@ func main() {
 
 		oclients = flag.Int("oclients", 16, "concurrent HTTP clients in the overload section (0 skips it)")
 		oseconds = flag.Float64("oseconds", 3, "wall seconds per overload leg")
+
+		gtraces = flag.Int("gtraces", 400, "simulated traces in the gps section (0 skips it)")
+		gwalk   = flag.Int("gwalk", 24, "ground-truth walk length per gps trace (edges)")
 	)
 	flag.Parse()
 	cfg := benchConfig{
@@ -308,6 +362,7 @@ func main() {
 		ttrajs: *ttrajs, tmeanLen: *tmeanLen, tqueries: *tqueries, tsample: *tsample,
 		itrajs: *itrajs, fanseals: *fanseals,
 		oclients: *oclients, oseconds: *oseconds,
+		gtraces: *gtraces, gwalk: *gwalk,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "cinctbench: %v\n", err)
@@ -326,6 +381,7 @@ type benchConfig struct {
 	fanseals                   int
 	oclients                   int
 	oseconds                   float64
+	gtraces, gwalk             int
 }
 
 // runIngest benchmarks the live write path against the main corpus:
@@ -762,6 +818,13 @@ func run(cfg benchConfig) error {
 		}
 		rep.Overload = or
 	}
+	if cfg.gtraces > 0 {
+		gr, err := runGPS(cfg)
+		if err != nil {
+			return err
+		}
+		rep.GPS = gr
+	}
 	fmt.Fprintf(os.Stderr, "serving section (heap vs mmap)...\n")
 	if rep.Serving, err = runServing(ix, workload, limit); err != nil {
 		return err
@@ -916,6 +979,169 @@ func runOverload(cfg benchConfig, corpus, workload [][]uint32) (*overloadReport,
 		or.CheapP99Improvement = or.Unprotected.CheapP99Us / or.Protected.CheapP99Us
 	}
 	return or, nil
+}
+
+// benchWalk is a U-turn-free random walk over the road network — the
+// ground-truth paths the gps section simulates traces along. Immediate
+// reversals are excluded because they are unrecoverable for a
+// position-only matcher, which would turn geometry artifacts into
+// phantom rejects.
+func benchWalk(g *roadnet.Graph, rng *rand.Rand, length int) []roadnet.EdgeID {
+	cur := roadnet.EdgeID(rng.Intn(g.NumEdges()))
+	path := []roadnet.EdgeID{cur}
+	for len(path) < length {
+		rev, hasRev := g.Reverse(cur)
+		var choices []roadnet.EdgeID
+		for _, nx := range g.NextEdges(cur) {
+			if hasRev && nx == rev {
+				continue
+			}
+			choices = append(choices, nx)
+		}
+		if len(choices) == 0 {
+			break
+		}
+		cur = choices[rng.Intn(len(choices))]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// runGPS benchmarks the raw-ingestion pipeline off the serving stack:
+// single-threaded map-matching throughput and per-trace latency over
+// noisy traces simulated along known walks (with the matched-path
+// exactness rate as a correctness sanity check), the accept rate as
+// the noise sigma sweeps past the candidate radius, and
+// append-to-notification latency for a standing query registered on
+// each row's path before the row is appended.
+func runGPS(cfg benchConfig) (*gpsReport, error) {
+	const (
+		noise = 0.05 // edge length is 1.0: a mild scatter
+		dt    = int64(15)
+	)
+	fmt.Fprintf(os.Stderr, "gps: matching %d traces (%d-edge walks, noise %.2f)...\n",
+		cfg.gtraces, cfg.gwalk, noise)
+	g := roadnet.Grid(24, 24, cfg.seed+31)
+	rng := rand.New(rand.NewSource(cfg.seed + 32))
+
+	walks := make([][]roadnet.EdgeID, cfg.gtraces)
+	traces := make([]gps.Trace, cfg.gtraces)
+	at := int64(1000)
+	gr := &gpsReport{
+		Nodes: g.NumNodes(), Edges: g.NumEdges(),
+		Traces: cfg.gtraces, WalkLen: cfg.gwalk, Noise: noise,
+	}
+	for i := range walks {
+		walks[i] = benchWalk(g, rng, cfg.gwalk)
+		traces[i] = gps.Simulate(g, walks[i], noise, at, dt, rng)
+		at += int64(len(traces[i].Points))*dt + 1000
+		gr.Points += len(traces[i].Points)
+	}
+
+	m := gps.NewMatcher(g, mapmatch.Config{})
+	matched := make([]gps.Matched, 0, cfg.gtraces)
+	durs := make([]time.Duration, 0, cfg.gtraces)
+	exact := 0
+	t0 := time.Now()
+	for i, tr := range traces {
+		s0 := time.Now()
+		mt, err := m.Match(tr)
+		durs = append(durs, time.Since(s0))
+		if err != nil {
+			continue
+		}
+		matched = append(matched, mt)
+		if pathEqual(mt.Edges, walks[i]) {
+			exact++
+		}
+	}
+	gr.MatchPointsPerSec = float64(gr.Points) / time.Since(t0).Seconds()
+	gr.MatchLatency = summarize(durs)
+	if len(matched) > 0 {
+		gr.ExactPathRate = float64(exact) / float64(len(matched))
+	}
+
+	// Accept rate versus noise: identical walks per leg (fresh rng with
+	// a fixed seed), only the sigma varies. The sweep straddles the
+	// 0.8 candidate radius, where points start losing every candidate
+	// and the gap budget stops covering for them.
+	legTraces := (cfg.gtraces + 1) / 2
+	for _, sigma := range []float64{0.05, 0.2, 0.4, 0.6, 0.8} {
+		fmt.Fprintf(os.Stderr, "gps: accept-rate leg (noise %.2f, %d traces)...\n", sigma, legTraces)
+		leg := gpsNoiseLeg{Noise: sigma, Total: legTraces}
+		lr := rand.New(rand.NewSource(cfg.seed + 33))
+		for i := 0; i < legTraces; i++ {
+			w := benchWalk(g, lr, cfg.gwalk)
+			tr := gps.Simulate(g, w, sigma, 1000, dt, lr)
+			if _, err := m.Match(tr); err == nil {
+				leg.Accepted++
+			}
+		}
+		leg.Rate = float64(leg.Accepted) / float64(leg.Total)
+		gr.AcceptRate = append(gr.AcceptRate, leg)
+	}
+
+	// Standing-query freshness: the rows are already matched, so the
+	// clock covers exactly Append → predicate test → channel delivery.
+	fmt.Fprintf(os.Stderr, "gps: append-to-notify leg (%d rows)...\n", len(matched))
+	base := make([][]uint32, 0, 16)
+	baseTimes := make([][]int64, 0, 16)
+	for i := 0; i < 16; i++ {
+		w := benchWalk(g, rng, cfg.gwalk)
+		row := make([]uint32, len(w))
+		col := make([]int64, len(w))
+		for j, e := range w {
+			row[j] = uint32(e)
+			col[j] = int64(1000*i + 10*j)
+		}
+		base = append(base, row)
+		baseTimes = append(baseTimes, col)
+	}
+	tix, err := cinct.BuildTemporal(base, baseTimes, nil)
+	if err != nil {
+		return nil, err
+	}
+	eng := engine.New(engine.Options{SealThreshold: -1})
+	defer eng.Shutdown()
+	defer eng.CloseAll()
+	eng.RegisterTemporal("gpsbench", tix)
+
+	ctx := context.Background()
+	ndurs := make([]time.Duration, 0, len(matched))
+	for _, mt := range matched {
+		sub, err := eng.Subscribe("gpsbench", engine.Predicate{Path: mt.Edges}, engine.SubscribeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := eng.Append(ctx, "gpsbench", [][]uint32{mt.Edges}, [][]int64{mt.Times}); err != nil {
+			return nil, err
+		}
+		select {
+		case <-sub.C():
+			ndurs = append(ndurs, time.Since(t0))
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("gps: notification for appended row never arrived")
+		}
+		if err := eng.Unsubscribe("gpsbench", sub.ID()); err != nil {
+			return nil, err
+		}
+	}
+	gr.NotifyLatency = summarize(ndurs)
+	return gr, nil
+}
+
+// pathEqual compares a matched wire path against its ground-truth walk.
+func pathEqual(got []uint32, want []roadnet.EdgeID) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != uint32(want[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // classify buckets one overload-leg outcome. scan marks the abusive
@@ -1262,6 +1488,15 @@ func measure(workload [][]uint32, fn func([]uint32) error) (percentiles, error) 
 		}
 		durs = append(durs, time.Since(t0))
 	}
+	return summarize(durs), nil
+}
+
+// summarize sorts one duration sample and reports its percentiles in
+// microseconds.
+func summarize(durs []time.Duration) percentiles {
+	if len(durs) == 0 {
+		return percentiles{}
+	}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
 	var sum time.Duration
 	for _, d := range durs {
@@ -1275,7 +1510,7 @@ func measure(workload [][]uint32, fn func([]uint32) error) (percentiles, error) 
 		P50Us:  at(0.50),
 		P99Us:  at(0.99),
 		MeanUs: float64(sum.Nanoseconds()) / float64(len(durs)) / 1e3,
-	}, nil
+	}
 }
 
 // procRSS reads the process resident set from /proc/self/smaps_rollup

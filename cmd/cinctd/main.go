@@ -15,9 +15,18 @@
 //	GET  /v1/{index}/subpath?traj=5&from=2&to=9
 //	GET  /v1/{index}/temporal/find?path=1,2&from=0&to=999&limit=10
 //	POST /v1/{index}/ingest                NDJSON append batch (live ingestion)
+//	POST /v1/{index}/gps                   NDJSON raw GPS traces → map-match → append
+//	POST /v1/{index}/subscribe             register a standing query
+//	GET  /v1/{index}/subscriptions/{id}/events   SSE notification stream
+//	GET  /v1/{index}/subscriptions/{id}/poll     long-poll fallback
+//	DELETE /v1/{index}/subscriptions/{id}  cancel a standing query
 //	POST /v1/{index}/seal                  compact the delta, persist to the data dir
 //	POST /v1/{index}/compact               merge sealed shards (?full=true → one shard)
 //	POST /v1/{index}/reload                re-read from disk, bump generation
+//
+// Raw-GPS ingestion needs a road network: each -roadnet flag (repeatable)
+// attaches a CNCTroad container, either to one index ("name=file.road")
+// or as the default for every index ("file.road").
 //
 // Appended trajectories live in an in-memory delta (immediately
 // queryable); once the delta reaches -seal-threshold trajectories a
@@ -94,6 +103,21 @@ func main() {
 		shedCost = flag.Int64("shed-cost", 0,
 			"with all workers busy, reject queries whose estimated cost reaches this threshold with 503 instead of queueing (0 = queue everything)")
 	)
+	type roadnetBinding struct{ index, path string }
+	var roadnets []roadnetBinding
+	flag.Func("roadnet",
+		"attach a CNCTroad road-network container for raw GPS ingest: \"index=file.road\" binds one index, \"file.road\" is the default for all (repeatable)",
+		func(v string) error {
+			b := roadnetBinding{path: v}
+			if i := strings.IndexByte(v, '='); i >= 0 {
+				b.index, b.path = v[:i], v[i+1:]
+			}
+			if b.path == "" {
+				return fmt.Errorf("empty road-network path")
+			}
+			roadnets = append(roadnets, b)
+			return nil
+		})
 	flag.Parse()
 	logger := log.New(os.Stderr, "cinctd: ", log.LstdFlags)
 	if *data == "" {
@@ -149,6 +173,11 @@ func main() {
 		}
 		logger.Printf("loaded %q (%s, %s): %d trajectories, %d shard(s), %.2f bits/symbol",
 			name, kind, mode, info.Stats.Trajectories, info.Stats.Shards, info.Stats.BitsPerSymbol)
+	}
+	for _, b := range roadnets {
+		if err := eng.LoadRoadnet(b.index, b.path); err != nil {
+			logger.Fatalf("loading road network %s: %v", b.path, err)
+		}
 	}
 
 	srv := server.New(eng, server.Config{

@@ -150,6 +150,41 @@ func (s *deltaSnap) count(path []uint32, st *QueryStats) int {
 func (s *deltaSnap) minMax(k int) (int64, int64) { return s.mins[k], s.maxs[k] }
 func (s *deltaSnap) at(k, i int) int64           { return s.times[k][i] }
 
+// MatchRow tests one trajectory row against a path+interval predicate
+// and reports the first (canonically smallest) matching occurrence:
+// its travel offset and, when times is non-nil, the entry time of the
+// match's first edge. It is the standing-query evaluation primitive —
+// notification layers run it against every freshly landed row — and it
+// reuses the delta's brute-force scan machinery by wrapping the row as
+// a one-row snapshot, so its semantics are exactly those of a Search
+// against the live delta: iv (nil = unconstrained) filters on the
+// entry time of the first matched edge, closed on both ends. A non-nil
+// iv with nil times never matches (the row cannot satisfy a temporal
+// predicate it has no timestamps for).
+func MatchRow(edges []uint32, times []int64, path []uint32, iv *Interval) (offset int, enteredAt int64, ok bool) {
+	if len(path) == 0 || (iv != nil && times == nil) {
+		return 0, 0, false
+	}
+	s := &deltaSnap{trajs: [][]uint32{edges}, times: [][]int64{times}}
+	var st QueryStats
+	found := false
+	// locate visits offsets in ascending order; keep the first survivor.
+	s.locate(context.Background(), path, &st, func(_, off int) { //nolint:errcheck // background ctx never cancels
+		if found {
+			return
+		}
+		var at int64
+		if times != nil {
+			at = s.at(0, off)
+			if iv != nil && (at < iv.From || at > iv.To) {
+				return
+			}
+		}
+		offset, enteredAt, found = off, at, true
+	})
+	return offset, enteredAt, found
+}
+
 // ErrBadAppend reports an Append rejected before touching the index:
 // an empty trajectory, or timestamps that disagree with the writer's
 // temporality or the trajectory length.

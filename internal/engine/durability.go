@@ -292,15 +292,17 @@ func (e *Engine) compactOnce(name string) {
 	e.persistEntry(en, "compaction", r.Rows)
 }
 
-// Shutdown stops the background compactor and syncs and closes every
-// write-ahead log. Call it after the serving layer has drained;
-// queries still work afterwards, but appends to WAL-backed entries
-// will fail.
+// Shutdown stops the background compactor, ends every standing-query
+// subscription (their streams close, expiry timers stop), and syncs
+// and closes every write-ahead log. Call it after the serving layer
+// has drained; queries still work afterwards, but appends to
+// WAL-backed entries will fail.
 func (e *Engine) Shutdown() {
 	if e.done != nil {
 		e.stopOnce.Do(func() { close(e.done) })
 		e.bg.Wait()
 	}
+	e.subs.closeAll()
 	for _, name := range e.cat.names() {
 		en, err := e.cat.get(name)
 		if err != nil {

@@ -113,6 +113,9 @@ type Engine struct {
 	slowQuery time.Duration
 	shedCost  int64
 
+	roadnets *roadnetCatalog
+	subs     *subRegistry
+
 	walOpts    WALOptions
 	compaction CompactionOptions
 	// Background-compactor lifecycle: stop closes done (once), bg
@@ -138,6 +141,8 @@ func New(opts Options) *Engine {
 		logf:       logf,
 		slowQuery:  opts.SlowQuery,
 		shedCost:   opts.ShedCost,
+		roadnets:   newRoadnetCatalog(),
+		subs:       newSubRegistry(),
 		walOpts:    opts.WAL,
 		compaction: opts.Compaction,
 	}
@@ -271,13 +276,17 @@ func (e *Engine) Reload(name string) (uint64, error) {
 	return gen, nil
 }
 
-// Close unregisters name and releases its index for collection once
-// in-flight queries drain.
-func (e *Engine) Close(name string) error { return e.cat.remove(name) }
+// Close unregisters name, ends its standing queries, and releases its
+// index for collection once in-flight queries drain.
+func (e *Engine) Close(name string) error {
+	e.subs.closeIndex(name)
+	return e.cat.remove(name)
+}
 
 // CloseAll closes every index.
 func (e *Engine) CloseAll() {
 	for _, name := range e.cat.names() {
+		e.subs.closeIndex(name)
 		e.cat.remove(name) //nolint:errcheck // raced removals are fine
 	}
 }
@@ -459,6 +468,12 @@ func (e *Engine) writerFor(en *entry) (*cinct.Writer, error) {
 			en.mu.Lock()
 			en.sealErr = fmt.Errorf("engine: %q background %s: %w", en.name, op, err)
 			en.mu.Unlock()
+		},
+		// Standing queries: every landed row is tested against the
+		// index's registered predicates on the appending goroutine,
+		// right after the rows become visible to Search.
+		OnAppend: func(first int, trajs [][]uint32, times [][]int64) {
+			e.publishAppend(en.name, first, trajs, times)
 		},
 	}
 	var w *cinct.Writer

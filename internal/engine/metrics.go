@@ -27,6 +27,17 @@ type engineMetrics struct {
 	appendRows  *metrics.Counter
 	sealSec     *metrics.Histogram
 	compactSec  *metrics.Histogram
+
+	// Raw-GPS ingestion pipeline.
+	gpsPoints   *metrics.Counter
+	gpsMatched  *metrics.Counter
+	gpsRejected *metrics.CounterVec // by reject reason
+	gpsMatchSec *metrics.Histogram
+
+	// Standing queries.
+	notifSent    *metrics.Counter
+	notifDropped *metrics.Counter
+	subsExpired  *metrics.Counter
 }
 
 func newEngineMetrics(reg *metrics.Registry, e *Engine) *engineMetrics {
@@ -47,6 +58,15 @@ func newEngineMetrics(reg *metrics.Registry, e *Engine) *engineMetrics {
 		appendRows:  reg.Counter("cinct_append_rows_total", "Trajectories accepted by Append."),
 		sealSec:     reg.Histogram("cinct_seal_seconds", "Explicit seal durations.", metrics.ExpBuckets(0.001, 4, 8)),
 		compactSec:  reg.Histogram("cinct_compaction_seconds", "Compact call durations.", metrics.ExpBuckets(0.001, 4, 8)),
+
+		gpsPoints:   reg.Counter("cinct_gps_points_total", "Raw GPS observations received for map matching."),
+		gpsMatched:  reg.Counter("cinct_gps_traces_matched_total", "GPS traces map-matched and appended."),
+		gpsRejected: reg.CounterVec("cinct_gps_traces_rejected_total", "GPS traces rejected, by reason.", "reason"),
+		gpsMatchSec: reg.Histogram("cinct_gps_match_seconds", "Per-trace map-matching wall time.", metrics.ExpBuckets(0.0001, 4, 10)),
+
+		notifSent:    reg.Counter("cinct_notifications_total", "Standing-query notifications delivered to subscriber buffers."),
+		notifDropped: reg.Counter("cinct_notifications_dropped_total", "Standing-query notifications dropped on full subscriber buffers."),
+		subsExpired:  reg.Counter("cinct_subscriptions_expired_total", "Subscriptions removed by TTL expiry."),
 	}
 	reg.GaugeFunc("cinct_pool_inflight", "Worker slots currently held.", func() int64 {
 		inflight, _ := e.PoolStats()
@@ -55,6 +75,9 @@ func newEngineMetrics(reg *metrics.Registry, e *Engine) *engineMetrics {
 	reg.GaugeFunc("cinct_pool_capacity", "Worker slots total.", func() int64 {
 		_, capacity := e.PoolStats()
 		return int64(capacity)
+	})
+	reg.GaugeFunc("cinct_subscriptions_active", "Standing-query subscriptions currently registered.", func() int64 {
+		return int64(e.subs.count())
 	})
 	reg.GaugeFunc("cinct_cache_entries", "Result-cache entries resident.", func() int64 {
 		_, _, entries := e.CacheStats()

@@ -1,0 +1,169 @@
+package gps
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cinct/internal/mapmatch"
+	"cinct/internal/roadnet"
+)
+
+// walk builds a connected random walk avoiding immediate U-turns (the
+// two directions of one street are geometrically indistinguishable).
+func walk(g *roadnet.Graph, rng *rand.Rand, length int) []roadnet.EdgeID {
+	cur := roadnet.EdgeID(rng.Intn(g.NumEdges()))
+	path := []roadnet.EdgeID{cur}
+	for len(path) < length {
+		rev, hasRev := g.Reverse(cur)
+		var choices []roadnet.EdgeID
+		for _, nx := range g.NextEdges(cur) {
+			if hasRev && nx == rev {
+				continue
+			}
+			choices = append(choices, nx)
+		}
+		if len(choices) == 0 {
+			choices = g.NextEdges(cur)
+			if len(choices) == 0 {
+				break
+			}
+		}
+		cur = choices[rng.Intn(len(choices))]
+		path = append(path, cur)
+	}
+	return path
+}
+
+func TestMatcherRoundTrip(t *testing.T) {
+	g := roadnet.Grid(8, 8, 21)
+	rng := rand.New(rand.NewSource(22))
+	m := NewMatcher(g, mapmatch.Config{})
+	for trial := 0; trial < 10; trial++ {
+		path := walk(g, rng, 12)
+		tr := Simulate(g, path, 0.01, 1000, 15, rng)
+		got, err := m.Match(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got.Edges) != len(path) {
+			t.Fatalf("trial %d: %d edges, want %d", trial, len(got.Edges), len(path))
+		}
+		for i, e := range path {
+			if got.Edges[i] != uint32(e) {
+				t.Fatalf("trial %d: edge %d mismatch", trial, i)
+			}
+		}
+		if len(got.Times) != len(got.Edges) {
+			t.Fatalf("trial %d: %d times for %d edges", trial, len(got.Times), len(got.Edges))
+		}
+		for i := 1; i < len(got.Times); i++ {
+			if got.Times[i] < got.Times[i-1] {
+				t.Fatalf("trial %d: times not non-decreasing: %v", trial, got.Times)
+			}
+		}
+		if got.Times[0] != 1000 {
+			t.Fatalf("trial %d: first time %d, want 1000", trial, got.Times[0])
+		}
+		if got.Points != len(tr.Points) {
+			t.Fatalf("trial %d: points %d, want %d", trial, got.Points, len(tr.Points))
+		}
+	}
+}
+
+func TestMatcherUntimedTrace(t *testing.T) {
+	g := roadnet.Grid(6, 6, 23)
+	rng := rand.New(rand.NewSource(24))
+	m := NewMatcher(g, mapmatch.Config{})
+	path := walk(g, rng, 8)
+	tr := Simulate(g, path, 0.01, 0, 0, rng) // all T == 0 → untimed
+	got, err := m.Match(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Times != nil {
+		t.Fatalf("untimed trace produced times %v", got.Times)
+	}
+}
+
+func TestMatcherRejectsBadTimestamps(t *testing.T) {
+	g := roadnet.Grid(6, 6, 25)
+	rng := rand.New(rand.NewSource(26))
+	m := NewMatcher(g, mapmatch.Config{})
+	tr := Simulate(g, walk(g, rng, 6), 0.01, 100, 10, rng)
+	tr.Points[3].T = 50 // goes backwards
+	_, err := m.Match(tr)
+	var rej *Reject
+	if !errors.As(err, &rej) || rej.Reason != RejectBadTimestamps || rej.Point != 3 {
+		t.Fatalf("Match = %v, want bad_timestamps at point 3", err)
+	}
+}
+
+func TestMatcherRejectsPassThrough(t *testing.T) {
+	g := roadnet.Grid(6, 6, 27)
+	m := NewMatcher(g, mapmatch.Config{})
+	cases := []struct {
+		name   string
+		tr     Trace
+		reason string
+	}{
+		{"empty", Trace{}, string(mapmatch.RejectEmptyTrace)},
+		{"off network", Trace{Points: []Point{{Lat: 500, Lon: 500}, {Lat: 501, Lon: 500}}}, string(mapmatch.RejectNoCandidates)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := m.Match(tc.tr)
+			var rej *Reject
+			if !errors.As(err, &rej) || rej.Reason != tc.reason {
+				t.Fatalf("Match = %v, want reason %q", err, tc.reason)
+			}
+		})
+	}
+}
+
+func TestMatcherPerTraceOverrides(t *testing.T) {
+	g := roadnet.Grid(8, 8, 28)
+	rng := rand.New(rand.NewSource(29))
+	m := NewMatcher(g, mapmatch.Config{})
+	path := walk(g, rng, 10)
+	tr := Simulate(g, path, 0.01, 100, 10, rng)
+	// Drop three interior points: beyond the default MaxGap of 2.
+	for i := 4; i <= 6; i++ {
+		tr.Points[i].Lat, tr.Points[i].Lon = 900, 900
+	}
+	if _, err := m.Match(tr); err == nil {
+		t.Fatal("gap of 3 should reject at default MaxGap 2")
+	}
+	wide := 4
+	tr.MaxGap = &wide
+	if _, err := m.Match(tr); err != nil {
+		t.Fatalf("gap of 3 with MaxGap 4 override: %v", err)
+	}
+	strict := 0
+	tr.MaxGap = &strict
+	_, err := m.Match(tr)
+	var rej *Reject
+	if !errors.As(err, &rej) || rej.Reason != string(mapmatch.RejectNoCandidates) {
+		t.Fatalf("strict override: %v, want no_candidates", err)
+	}
+	// A tiny radius override leaves even on-network points candidateless.
+	tr.MaxGap = nil
+	tr.Radius = 1e-9
+	if _, err := m.Match(tr); err == nil {
+		t.Fatal("radius 1e-9 should reject")
+	}
+}
+
+func TestInterpolateTimes(t *testing.T) {
+	// Anchors at positions 0 and 3 with times 100 and 400: connectors
+	// at 1 and 2 interpolate to 200 and 300.
+	ptIdx := []int{0, -1, -1, 1}
+	pts := []Point{{T: 100}, {T: 400}}
+	got := interpolateTimes(ptIdx, pts)
+	want := []int64{100, 200, 300, 400}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interpolated %v, want %v", got, want)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package mapmatch
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -31,11 +32,74 @@ type Config struct {
 	MaxHops int
 	// HopPenalty is the per-hop log-space transition penalty.
 	HopPenalty float64
+	// MaxGap is the longest run of consecutive interior points with no
+	// candidate edge that the matcher may skip (GPS dropouts, tunnel
+	// shadows). The first and last points of a trace must always have
+	// candidates — a trace is never silently truncated at either end.
+	// 0 disables skipping: any point without candidates rejects.
+	MaxGap int
+	// MinMargin, when positive, rejects ambiguous traces: if the best
+	// and second-best Viterbi decodings disagree on the path and their
+	// final log-probabilities differ by less than MinMargin, the trace
+	// is rejected instead of committing to a coin-flip.
+	MinMargin float64
 }
 
 // DefaultConfig is tuned for unit-length grid edges.
 func DefaultConfig() Config {
 	return Config{SigmaGPS: 0.15, CandidateRadius: 0.8, MaxHops: 4, HopPenalty: 0.6}
+}
+
+// Reason classifies why a trace was rejected.
+type Reason string
+
+// The reject-reason catalog. Every rejection carries exactly one of
+// these; the GPS ingestion layer reports them verbatim on the wire.
+const (
+	// RejectEmptyTrace: the trace had no points.
+	RejectEmptyTrace Reason = "empty_trace"
+	// RejectNoCandidates: a point had no candidate edge within
+	// CandidateRadius and could not be skipped (it was the first or
+	// last point, or MaxGap is 0).
+	RejectNoCandidates Reason = "no_candidates"
+	// RejectGapTooLong: a run of more than MaxGap consecutive interior
+	// points had no candidates.
+	RejectGapTooLong Reason = "gap_too_long"
+	// RejectDisconnected: no state sequence connects the candidate
+	// edges within MaxHops, or the decoded edges cannot be stitched
+	// into a connected path.
+	RejectDisconnected Reason = "disconnected"
+	// RejectAmbiguous: two materially different decodings score within
+	// MinMargin of each other.
+	RejectAmbiguous Reason = "ambiguous"
+)
+
+// RejectError is the typed failure returned by MatchTrace. Point is
+// the index of the offending observation (-1 when no single point is
+// at fault, e.g. an empty trace).
+type RejectError struct {
+	Reason Reason
+	Point  int
+}
+
+func (e *RejectError) Error() string {
+	if e.Point < 0 {
+		return fmt.Sprintf("mapmatch: trace rejected: %s", e.Reason)
+	}
+	return fmt.Sprintf("mapmatch: trace rejected at point %d: %s", e.Point, e.Reason)
+}
+
+// Result is a successful match. PointIdx is aligned with Path:
+// PointIdx[i] is the index of the observation whose candidate produced
+// Path[i], or -1 for connector edges inserted by shortest-path
+// stitching (and for edges matched only by skipped-over duplicates).
+// Callers use it to interpolate per-edge timestamps from per-point
+// ones.
+type Result struct {
+	Path     []roadnet.EdgeID
+	PointIdx []int
+	// Skipped counts interior points dropped as candidate-free gaps.
+	Skipped int
 }
 
 // SimulateTrace samples GPS points along a path of edges: one point per
@@ -117,42 +181,85 @@ func hopDistance(g *roadnet.Graph, a, b roadnet.EdgeID, maxHops int) (int, bool)
 }
 
 // Match runs Viterbi decoding over candidate edges and returns the
-// matched edge path, connected through the network (consecutive
-// distinct matched edges are joined by shortest paths, so the result is
-// a valid NCT). ok is false when some point has no candidates or no
-// connected state sequence exists.
+// matched edge path, connected through the network. ok is false when
+// the trace is rejected for any reason; callers that need the reason
+// (or per-edge point attribution) use MatchTrace.
 func Match(g *roadnet.Graph, pts []Point, cfg Config) ([]roadnet.EdgeID, bool) {
-	if len(pts) == 0 {
+	r, err := MatchTrace(g, pts, cfg)
+	if err != nil {
 		return nil, false
+	}
+	return r.Path, true
+}
+
+// layer is one Viterbi column: the candidate states for one observed
+// point that survived the transition model.
+type layer struct {
+	ptIdx  int // index of the observation this layer decodes
+	states []state
+}
+
+type state struct {
+	edge roadnet.EdgeID
+	lp   float64 // best log-probability so far
+	prev int     // index into previous layer
+}
+
+// MatchTrace runs Viterbi decoding over candidate edges and returns
+// the matched edge path, connected through the network (consecutive
+// distinct matched edges are joined by shortest paths, so the result
+// is a valid NCT), together with per-edge observation attribution. A
+// failed match returns a *RejectError naming the reason and offending
+// point; in particular a trace whose first or last point has no
+// candidate edge fails typed rather than silently truncating.
+func MatchTrace(g *roadnet.Graph, pts []Point, cfg Config) (Result, error) {
+	if len(pts) == 0 {
+		return Result{}, &RejectError{Reason: RejectEmptyTrace, Point: -1}
 	}
 	si := newSpatialIndex(g, math.Max(cfg.CandidateRadius, 0.25))
 
-	type state struct {
-		edge roadnet.EdgeID
-		lp   float64 // best log-probability so far
-		prev int     // index into previous layer
-	}
-	var prevLayer []state
-	var layers [][]state
+	var layers []layer
 	emission := func(p Point, e roadnet.EdgeID) float64 {
 		d := g.PointToEdgeDistance(p.X, p.Y, e)
 		return -d * d / (2 * cfg.SigmaGPS * cfg.SigmaGPS)
 	}
+	gap, skipped := 0, 0
 	for i, p := range pts {
 		cands := si.near(p.X, p.Y, cfg.CandidateRadius)
 		if len(cands) == 0 {
-			return nil, false
+			// Endpoints must anchor the match: a candidate-free first
+			// point rejects immediately, a candidate-free last point is
+			// caught after the loop (gap > 0 on exit). Interior points
+			// may be skipped, but only MaxGap in a row.
+			if i == 0 {
+				return Result{}, &RejectError{Reason: RejectNoCandidates, Point: 0}
+			}
+			gap++
+			if gap > cfg.MaxGap {
+				reason := RejectGapTooLong
+				if cfg.MaxGap == 0 {
+					reason = RejectNoCandidates
+				}
+				return Result{}, &RejectError{Reason: reason, Point: i}
+			}
+			continue
 		}
-		layer := make([]state, 0, len(cands))
+		skipped += gap
+		gap = 0
+		prev := []state(nil)
+		if len(layers) > 0 {
+			prev = layers[len(layers)-1].states
+		}
+		states := make([]state, 0, len(cands))
 		for _, e := range cands {
 			em := emission(p, e)
-			if i == 0 {
-				layer = append(layer, state{edge: e, lp: em, prev: -1})
+			if prev == nil {
+				states = append(states, state{edge: e, lp: em, prev: -1})
 				continue
 			}
 			best := math.Inf(-1)
 			bestPrev := -1
-			for pi, ps := range prevLayer {
+			for pi, ps := range prev {
 				hops, ok := hopDistance(g, ps.edge, e, cfg.MaxHops)
 				if !ok {
 					continue
@@ -164,30 +271,56 @@ func Match(g *roadnet.Graph, pts []Point, cfg Config) ([]roadnet.EdgeID, bool) {
 				}
 			}
 			if bestPrev >= 0 {
-				layer = append(layer, state{edge: e, lp: best, prev: bestPrev})
+				states = append(states, state{edge: e, lp: best, prev: bestPrev})
 			}
 		}
-		if len(layer) == 0 {
-			return nil, false
+		if len(states) == 0 {
+			return Result{}, &RejectError{Reason: RejectDisconnected, Point: i}
 		}
-		layers = append(layers, layer)
-		prevLayer = layer
+		layers = append(layers, layer{ptIdx: i, states: states})
 	}
-	// Backtrack the best final state.
+	if gap > 0 {
+		// The trace ended on a candidate-free run: the last point has
+		// no anchor, so the tail cannot be matched — fail, never
+		// truncate.
+		return Result{}, &RejectError{Reason: RejectNoCandidates, Point: len(pts) - 1}
+	}
+
+	// Backtrack the best final state; remember the runner-up for the
+	// ambiguity check.
+	last := layers[len(layers)-1].states
 	bestIdx, best := 0, math.Inf(-1)
-	last := layers[len(layers)-1]
+	secondIdx, second := -1, math.Inf(-1)
 	for i, s := range last {
-		if s.lp > best {
+		switch {
+		case s.lp > best:
+			second, secondIdx = best, bestIdx
 			best, bestIdx = s.lp, i
+		case s.lp > second:
+			second, secondIdx = s.lp, i
 		}
 	}
-	matched := make([]roadnet.EdgeID, len(layers))
-	for i, idx := len(layers)-1, bestIdx; i >= 0; i-- {
-		matched[i] = layers[i][idx].edge
-		idx = layers[i][idx].prev
+	decode := func(idx int) []roadnet.EdgeID {
+		m := make([]roadnet.EdgeID, len(layers))
+		for i := len(layers) - 1; i >= 0; i-- {
+			m[i] = layers[i].states[idx].edge
+			idx = layers[i].states[idx].prev
+		}
+		return m
 	}
-	// Stitch into a connected NCT.
+	matched := decode(bestIdx)
+	if cfg.MinMargin > 0 && secondIdx >= 0 && best-second < cfg.MinMargin {
+		// Only a materially different runner-up path makes the trace
+		// ambiguous; a photo-finish between identical decodings is fine.
+		if alt := decode(secondIdx); !equalPaths(matched, alt) {
+			return Result{}, &RejectError{Reason: RejectAmbiguous, Point: layers[len(layers)-1].ptIdx}
+		}
+	}
+
+	// Stitch into a connected NCT, attributing each path edge to the
+	// observation that produced it (-1 for connector edges).
 	path := []roadnet.EdgeID{matched[0]}
+	ptIdx := []int{layers[0].ptIdx}
 	for i := 1; i < len(matched); i++ {
 		cur := path[len(path)-1]
 		nxt := matched[i]
@@ -196,10 +329,26 @@ func Match(g *roadnet.Graph, pts []Point, cfg Config) ([]roadnet.EdgeID, bool) {
 		}
 		mid, ok := g.ConnectEdges(cur, nxt)
 		if !ok {
-			return nil, false
+			return Result{}, &RejectError{Reason: RejectDisconnected, Point: layers[i].ptIdx}
+		}
+		for range mid {
+			ptIdx = append(ptIdx, -1)
 		}
 		path = append(path, mid...)
 		path = append(path, nxt)
+		ptIdx = append(ptIdx, layers[i].ptIdx)
 	}
-	return path, true
+	return Result{Path: path, PointIdx: ptIdx, Skipped: skipped}, nil
+}
+
+func equalPaths(a, b []roadnet.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,6 +1,7 @@
 package mapmatch
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -133,6 +134,180 @@ func TestHopDistance(t *testing.T) {
 		if d, ok := hopDistance(g, e, nx, 3); !ok || d != 1 {
 			t.Fatalf("hopDistance to direct successor = %d,%v", d, ok)
 		}
+	}
+}
+
+// TestMatchTraceRejects drives MatchTrace through the reject-reason
+// catalog with a table of malformed traces: empty, endpoints off the
+// network (must fail typed, never silently truncate), interior
+// dropouts below/at/over MaxGap, and fully off-network traces.
+func TestMatchTraceRejects(t *testing.T) {
+	g := roadnet.Grid(6, 6, 9)
+	rng := rand.New(rand.NewSource(11))
+	path := truePath(g, rng, 8)
+	clean := SimulateTrace(g, path, 0.02, rng)
+	far := Point{100, 100}
+
+	withFirstFar := append([]Point{far}, clean...)
+	withLastFar := append(append([]Point{}, clean...), far)
+	gap1 := append(append(append([]Point{}, clean[:4]...), far), clean[4:]...)
+	gap3 := append(append(append([]Point{}, clean[:4]...), far, far, far), clean[4:]...)
+
+	cfgGap := DefaultConfig()
+	cfgGap.MaxGap = 2
+
+	cases := []struct {
+		name   string
+		pts    []Point
+		cfg    Config
+		reason Reason
+		point  int // -1: don't check
+	}{
+		{"empty trace", nil, DefaultConfig(), RejectEmptyTrace, -1},
+		{"all points off network", []Point{far, {101, 101}}, DefaultConfig(), RejectNoCandidates, 0},
+		{"first point off network", withFirstFar, cfgGap, RejectNoCandidates, 0},
+		{"last point off network", withLastFar, cfgGap, RejectNoCandidates, len(withLastFar) - 1},
+		{"interior dropout, skipping disabled", gap1, DefaultConfig(), RejectNoCandidates, 4},
+		{"interior dropout run over MaxGap", gap3, cfgGap, RejectGapTooLong, 6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := MatchTrace(g, tc.pts, tc.cfg)
+			var rej *RejectError
+			if !errors.As(err, &rej) {
+				t.Fatalf("MatchTrace = %v, want *RejectError", err)
+			}
+			if rej.Reason != tc.reason {
+				t.Fatalf("reason = %q, want %q", rej.Reason, tc.reason)
+			}
+			if tc.point >= 0 && rej.Point != tc.point {
+				t.Fatalf("point = %d, want %d", rej.Point, tc.point)
+			}
+			if p, ok := Match(g, tc.pts, tc.cfg); ok {
+				t.Fatalf("Match accepted a rejected trace: %v", p)
+			}
+		})
+	}
+}
+
+// TestMatchTraceSkipsGaps checks that an interior dropout within
+// MaxGap is skipped and the full path is still recovered.
+func TestMatchTraceSkipsGaps(t *testing.T) {
+	g := roadnet.Grid(8, 8, 12)
+	rng := rand.New(rand.NewSource(13))
+	cfg := DefaultConfig()
+	cfg.MaxGap = 2
+	for trial := 0; trial < 8; trial++ {
+		path := truePath(g, rng, 10)
+		pts := SimulateTrace(g, path, 0.02, rng)
+		// Drop out two interior points (replace with far-off noise).
+		pts[4] = Point{200, 200}
+		pts[5] = Point{200, 201}
+		r, err := MatchTrace(g, pts, cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if r.Skipped != 2 {
+			t.Fatalf("trial %d: skipped = %d, want 2", trial, r.Skipped)
+		}
+		if !connected(g, r.Path) {
+			t.Fatalf("trial %d: path not connected", trial)
+		}
+		inGot := map[roadnet.EdgeID]bool{}
+		for _, e := range r.Path {
+			inGot[e] = true
+		}
+		// Endpoints are anchored, so first and last true edges must be
+		// present even with the interior dropout.
+		if !inGot[path[0]] || !inGot[path[len(path)-1]] {
+			t.Fatalf("trial %d: endpoints missing from %v (want %v)", trial, r.Path, path)
+		}
+	}
+}
+
+// TestMatchTracePointIdx checks the observation attribution invariants
+// on noisy traces: aligned lengths, -1 only on connectors, anchor
+// indexes strictly increasing, endpoints anchored.
+func TestMatchTracePointIdx(t *testing.T) {
+	g := roadnet.Grid(10, 10, 14)
+	rng := rand.New(rand.NewSource(15))
+	matched := 0
+	for trial := 0; trial < 10; trial++ {
+		path := truePath(g, rng, 12)
+		pts := SimulateTrace(g, path, 0.08, rng)
+		r, err := MatchTrace(g, pts, DefaultConfig())
+		if err != nil {
+			continue
+		}
+		matched++
+		if len(r.PointIdx) != len(r.Path) {
+			t.Fatalf("trial %d: PointIdx len %d != Path len %d", trial, len(r.PointIdx), len(r.Path))
+		}
+		lastAnchor := -1
+		for i, pi := range r.PointIdx {
+			if pi == -1 {
+				continue
+			}
+			if pi <= lastAnchor {
+				t.Fatalf("trial %d: anchor %d at %d not increasing (prev %d)", trial, pi, i, lastAnchor)
+			}
+			if pi >= len(pts) {
+				t.Fatalf("trial %d: anchor %d out of range", trial, pi)
+			}
+			lastAnchor = pi
+		}
+		if r.PointIdx[0] == -1 {
+			t.Fatalf("trial %d: first edge unanchored", trial)
+		}
+		if r.PointIdx[len(r.PointIdx)-1] == -1 {
+			t.Fatalf("trial %d: last edge unanchored", trial)
+		}
+	}
+	if matched < 7 {
+		t.Fatalf("only %d/10 traces matched", matched)
+	}
+}
+
+// TestMatchTraceAmbiguity: with a huge margin every multi-candidate
+// trace is "ambiguous" only if the runner-up decodes differently, so a
+// clean trace still matches; and a rejected-one carries the typed
+// reason.
+func TestMatchTraceAmbiguity(t *testing.T) {
+	g := roadnet.Grid(8, 8, 16)
+	rng := rand.New(rand.NewSource(17))
+	cfg := DefaultConfig()
+	cfg.MinMargin = 1e9 // any differing runner-up within this margin rejects
+	sawAmbiguous := false
+	sawAccept := false
+	for trial := 0; trial < 30; trial++ {
+		path := truePath(g, rng, 10)
+		pts := SimulateTrace(g, path, 0.10, rng)
+		_, err := MatchTrace(g, pts, cfg)
+		if err == nil {
+			sawAccept = true
+			continue
+		}
+		var rej *RejectError
+		if errors.As(err, &rej) && rej.Reason == RejectAmbiguous {
+			sawAmbiguous = true
+		}
+	}
+	if !sawAmbiguous {
+		t.Fatal("no trace rejected as ambiguous at an extreme margin")
+	}
+	_ = sawAccept // noisy grids may legitimately reject everything at this margin
+	// A margin of 0 disables the check entirely.
+	cfg.MinMargin = 0
+	okCount := 0
+	for trial := 0; trial < 10; trial++ {
+		path := truePath(g, rng, 10)
+		pts := SimulateTrace(g, path, 0.05, rng)
+		if _, err := MatchTrace(g, pts, cfg); err == nil {
+			okCount++
+		}
+	}
+	if okCount < 7 {
+		t.Fatalf("only %d/10 matched with ambiguity check disabled", okCount)
 	}
 }
 

@@ -1,0 +1,189 @@
+package roadnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// The CNCTroad container persists a Graph so daemons can serve a road
+// network they did not generate. Layout (little-endian):
+//
+//	magic   [8]byte  "CNCTroad"
+//	version uint32   (1)
+//	nodes   uint32
+//	edges   uint32
+//	per node: X, Y float64
+//	per edge: from, to uint32
+//
+// Edges are written in EdgeID order and New assigns IDs in arc order,
+// so a round trip preserves every EdgeID — the property the trajectory
+// indexes built on those IDs depend on.
+const (
+	roadMagic   = "CNCTroad"
+	roadVersion = 1
+
+	// maxRoadElems bounds the node/edge counts a loader will size
+	// buffers for, so a corrupt header cannot demand a giant
+	// allocation before the (length-checked) body is read.
+	maxRoadElems = 1 << 28
+)
+
+// ErrCorrupt reports a CNCTroad container that failed validation.
+var ErrCorrupt = errors.New("roadnet: corrupt container")
+
+// Save writes the graph as a CNCTroad container.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(roadMagic); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	put := func(v uint32) error {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		_, err := bw.Write(u32[:])
+		return err
+	}
+	if err := put(roadVersion); err != nil {
+		return err
+	}
+	if err := put(uint32(len(g.Nodes))); err != nil {
+		return err
+	}
+	if err := put(uint32(len(g.Edges))); err != nil {
+		return err
+	}
+	var f64 [8]byte
+	for _, n := range g.Nodes {
+		binary.LittleEndian.PutUint64(f64[:], math.Float64bits(n.X))
+		if _, err := bw.Write(f64[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(f64[:], math.Float64bits(n.Y))
+		if _, err := bw.Write(f64[:]); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges {
+		if err := put(uint32(e.From)); err != nil {
+			return err
+		}
+		if err := put(uint32(e.To)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the graph to path via Save.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a CNCTroad container, validating every structural claim
+// (magic, version, counts, endpoint ranges, finite coordinates) before
+// reconstructing the graph. Structural damage returns an error
+// wrapping ErrCorrupt, never a panic.
+func Load(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: short magic: %v", ErrCorrupt, err)
+	}
+	if string(magic[:]) != roadMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic[:])
+	}
+	var u32 [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(br, u32[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated: %v", ErrCorrupt, err)
+		}
+		return binary.LittleEndian.Uint32(u32[:]), nil
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != roadVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, version)
+	}
+	nNodes, err := get()
+	if err != nil {
+		return nil, err
+	}
+	nEdges, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if nNodes > maxRoadElems || nEdges > maxRoadElems {
+		return nil, fmt.Errorf("%w: implausible counts %d nodes / %d edges", ErrCorrupt, nNodes, nEdges)
+	}
+	// Grow the tables as the body is actually read (capped initial
+	// capacity) so a corrupt header claiming 2^28 elements cannot
+	// demand gigabytes before the first truncated read fails.
+	nodes := make([]Node, 0, min(int(nNodes), 1<<16))
+	var f64 [8]byte
+	getF := func() (float64, error) {
+		if _, err := io.ReadFull(br, f64[:]); err != nil {
+			return 0, fmt.Errorf("%w: truncated node table: %v", ErrCorrupt, err)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(f64[:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%w: non-finite coordinate", ErrCorrupt)
+		}
+		return v, nil
+	}
+	for i := 0; i < int(nNodes); i++ {
+		var n Node
+		if n.X, err = getF(); err != nil {
+			return nil, err
+		}
+		if n.Y, err = getF(); err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	arcs := make([][2]NodeID, 0, min(int(nEdges), 1<<16))
+	for i := 0; i < int(nEdges); i++ {
+		from, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated edge table: %v", ErrCorrupt, err)
+		}
+		to, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated edge table: %v", ErrCorrupt, err)
+		}
+		if from >= nNodes || to >= nNodes {
+			return nil, fmt.Errorf("%w: edge %d endpoints (%d,%d) out of range (%d nodes)", ErrCorrupt, i, from, to, nNodes)
+		}
+		arcs = append(arcs, [2]NodeID{NodeID(from), NodeID(to)})
+	}
+	// Reject trailing garbage: the container is self-describing, so
+	// extra bytes mean the header lied about the counts.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after edge table", ErrCorrupt)
+	}
+	return New(nodes, arcs), nil
+}
+
+// LoadFile reads a CNCTroad container from path via Load.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

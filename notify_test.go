@@ -1,0 +1,92 @@
+package cinct
+
+import (
+	"testing"
+)
+
+// TestOnAppendHook pins the notification hook contract: one call per
+// Append/AppendBatch, carrying the first assigned ID and the landed
+// rows, after the rows are visible to Search.
+func TestOnAppendHook(t *testing.T) {
+	type ev struct {
+		first int
+		rows  int
+		timed bool
+	}
+	var got []ev
+	w, err := NewTemporalWriter(WriterConfig{
+		OnAppend: func(first int, trajs [][]uint32, times [][]int64) {
+			got = append(got, ev{first, len(trajs), times != nil})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]uint32{1, 2, 3}, []int64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendBatch(
+		[][]uint32{{4, 5}, {6}},
+		[][]int64{{40, 50}, {60}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	want := []ev{{0, 1, true}, {1, 2, true}}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %d times, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Spatial writers pass nil times through.
+	got = nil
+	ws, err := NewWriter(WriterConfig{
+		OnAppend: func(first int, trajs [][]uint32, times [][]int64) {
+			got = append(got, ev{first, len(trajs), times != nil})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Append([]uint32{7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (ev{0, 1, false}) {
+		t.Fatalf("spatial hook events = %+v", got)
+	}
+}
+
+func TestMatchRow(t *testing.T) {
+	edges := []uint32{1, 2, 3, 2, 3, 4}
+	times := []int64{10, 20, 30, 40, 50, 60}
+	cases := []struct {
+		name    string
+		path    []uint32
+		iv      *Interval
+		times   []int64
+		wantOff int
+		wantAt  int64
+		wantOK  bool
+	}{
+		{"first occurrence wins", []uint32{2, 3}, nil, times, 1, 20, true},
+		{"interval selects later occurrence", []uint32{2, 3}, &Interval{From: 35, To: 45}, times, 3, 40, true},
+		{"interval excludes all", []uint32{2, 3}, &Interval{From: 100, To: 200}, times, 0, 0, false},
+		{"no occurrence", []uint32{9}, nil, times, 0, 0, false},
+		{"empty path", nil, nil, times, 0, 0, false},
+		{"untimed row, spatial predicate", []uint32{3, 4}, nil, nil, 4, 0, true},
+		{"untimed row, temporal predicate", []uint32{3, 4}, &Interval{From: 0, To: 100}, nil, 0, 0, false},
+		{"closed interval boundaries", []uint32{4}, &Interval{From: 60, To: 60}, times, 5, 60, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			off, at, ok := MatchRow(edges, tc.times, tc.path, tc.iv)
+			if ok != tc.wantOK || off != tc.wantOff || at != tc.wantAt {
+				t.Fatalf("MatchRow = (%d, %d, %v), want (%d, %d, %v)",
+					off, at, ok, tc.wantOff, tc.wantAt, tc.wantOK)
+			}
+		})
+	}
+}

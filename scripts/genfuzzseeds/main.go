@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"cinct"
+	"cinct/internal/roadnet"
 	"cinct/internal/wal"
 )
 
@@ -200,4 +201,18 @@ func main() {
 	} {
 		writeSeed(dir, fmt.Sprintf("seed%d", i), []byte(body))
 	}
+
+	// FuzzLoadRoadnet: a genuine CNCTroad container, its truncation, a
+	// count-corrupted variant and the bare magic.
+	dir = filepath.Join("internal", "roadnet", "testdata", "fuzz", "FuzzLoadRoadnet")
+	var road bytes.Buffer
+	if err := roadnet.Grid(4, 3, 2).Save(&road); err != nil {
+		log.Fatal(err)
+	}
+	writeSeed(dir, "valid-grid", road.Bytes())
+	writeSeed(dir, "truncated", road.Bytes()[:road.Len()/2])
+	overcount := append([]byte(nil), road.Bytes()...)
+	overcount[16] = 0xFF // inflate the edge count past the body
+	writeSeed(dir, "overcount-edges", overcount)
+	writeSeed(dir, "magic-only", []byte("CNCTroad"))
 }

@@ -457,6 +457,106 @@ wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
 [ "$rc" = 0 ] || { echo "smoke: cinctd -rate-limit exited with $rc" >&2; exit 1; }
 daemon_pid=""
 
+echo "== raw-GPS ingestion + standing queries"
+# A synthetic road network, a temporal index whose corpus lives on it,
+# and a daemon with the network attached for map-matched ingest.
+gpsdir="$workdir/gpsdata"
+mkdir -p "$gpsdir"
+"$bindir/cinct" roadnet-gen -out "$workdir/net.road" -w 8 -h 8 -seed 7
+"$bindir/cinct" gps-simulate -roadnet "$workdir/net.road" -out "$workdir/traces.ndjson" \
+  -truth "$workdir/truth.txt" -n 4 -len 10 -noise 0.03 -start 50000 -dt 10 -seed 5
+# The ground-truth walks double as the base corpus (with synthetic
+# non-decreasing timestamps), so ingested IDs start at 4.
+awk '{ line=""; for (i=1;i<=NF;i++) line = line (i>1?" ":"") (NR*1000 + i*10); print line }' \
+  "$workdir/truth.txt" > "$workdir/truth-times.txt"
+"$bindir/cinct" build-temporal -in "$workdir/truth.txt" -times "$workdir/truth-times.txt" \
+  -index "$gpsdir/groads.tcinct"
+
+addr="127.0.0.1:18137"
+base="http://$addr"
+echo "== starting cinctd -roadnet on $addr (gps leg)"
+"$bindir/cinctd" -data "$gpsdir" -addr "$addr" -roadnet "groads=$workdir/net.road" &
+daemon_pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "$base/v1/indexes" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "smoke: cinctd -roadnet exited before becoming ready" >&2; exit 1
+  fi
+  sleep 0.2
+done
+
+# A standing query on the first walk's opening bigram, registered and
+# consuming over SSE before anything is ingested.
+subpath=$(awk 'NR==1{print $1" "$2}' "$workdir/truth.txt")
+"$bindir/cinct" subscribe -remote "$base" -name groads -path "$subpath" \
+  > "$workdir/notify.ndjson" 2> "$workdir/subscribe.log" &
+sub_pid=$!
+for i in $(seq 1 50); do
+  if grep -q 'subscribed:' "$workdir/subscribe.log" 2>/dev/null; then break; fi
+  if ! kill -0 "$sub_pid" 2>/dev/null; then
+    echo "smoke: cinct subscribe exited early: $(cat "$workdir/subscribe.log")" >&2; exit 1
+  fi
+  sleep 0.2
+done
+
+# Ingest the noisy traces: every one must map-match and append.
+"$bindir/cinct" gps-ingest -remote "$base" -name groads -in "$workdir/traces.ndjson" \
+  | grep 'ingested 4/4' >/dev/null \
+  || { echo "smoke: gps-ingest did not accept all 4 traces" >&2; exit 1; }
+
+# The matched trajectory is immediately queryable and reconstructs to
+# exactly the ground-truth walk the trace was simulated along.
+"$bindir/cinct" show -remote "$base" -name groads -traj 4 > "$workdir/matched.txt"
+diff <(head -1 "$workdir/truth.txt") "$workdir/matched.txt" \
+  || { echo "smoke: matched trajectory differs from ground truth" >&2; exit 1; }
+gcount=$(curl -sf "$base/v1/groads/count?path=${subpath// /,}" | jq .count)
+[ "$gcount" -ge 2 ] || { echo "smoke: ingested row not queryable (count $gcount)" >&2; exit 1; }
+echo "ok gps-ingest (matched path == ground truth, queryable)"
+
+# The standing query saw the append: at least one SSE push naming the
+# index, a trajectory in the ingested range, and its entry timestamp.
+for i in $(seq 1 50); do
+  if [ -s "$workdir/notify.ndjson" ]; then break; fi
+  sleep 0.2
+done
+[ -s "$workdir/notify.ndjson" ] || { echo "smoke: no SSE notification arrived" >&2; exit 1; }
+head -1 "$workdir/notify.ndjson" | jq -e \
+  '.index == "groads" and .trajectory >= 4 and (.enteredAt | type) == "number"' >/dev/null \
+  || { echo "smoke: SSE notification drift: $(head -1 "$workdir/notify.ndjson")" >&2; exit 1; }
+kill -INT "$sub_pid" 2>/dev/null || true
+wait "$sub_pid" 2>/dev/null || true
+echo "ok standing query received SSE push: $(head -1 "$workdir/notify.ndjson")"
+
+# The long-poll fallback drains nothing new on a fresh subscription but
+# answers cleanly, and cancel removes it.
+subjson=$(curl -sf -X POST -H 'Content-Type: application/json' \
+  -d "{\"path\":[${subpath// /, }]}" "$base/v1/groads/subscribe")
+echo "$subjson" | jq -e '.index == "groads" and (.subscription | length) > 0' >/dev/null \
+  || { echo "smoke: subscribe response drift: $subjson" >&2; exit 1; }
+subid=$(echo "$subjson" | jq -r .subscription)
+curl -sf "$base/v1/groads/subscriptions/$subid/poll?wait=0" \
+  | jq -e '.notifications == [] and .closed == false' >/dev/null \
+  || { echo "smoke: fresh-subscription poll drift" >&2; exit 1; }
+curl -sf -X DELETE "$base/v1/groads/subscriptions/$subid" \
+  | jq -e '.cancelled == true' >/dev/null \
+  || { echo "smoke: cancel drift" >&2; exit 1; }
+status=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/groads/subscriptions/$subid/poll?wait=0")
+[ "$status" = 404 ] || { echo "smoke: poll after cancel returned $status, want 404" >&2; exit 1; }
+echo "ok subscribe/poll/cancel lifecycle over HTTP"
+
+echo "== graceful shutdown (gps daemon)"
+kill -TERM "$daemon_pid"
+for i in $(seq 1 50); do
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "smoke: cinctd -roadnet did not exit on SIGTERM" >&2; exit 1
+fi
+wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" = 0 ] || { echo "smoke: cinctd -roadnet exited with $rc" >&2; exit 1; }
+daemon_pid=""
+
 echo "== CLI compaction of a local file"
 "$bindir/cinct" compact -index "$datadir/tsmoke.tcinct" | grep 'down to 1' >/dev/null \
   || { echo "smoke: cinct compact -index failed" >&2; exit 1; }

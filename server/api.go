@@ -216,6 +216,80 @@ type CompactResponse struct {
 	Generation   uint64 `json:"generation"`
 }
 
+// GPSResponse is the body of POST /v1/{index}/gps: one typed result
+// per input trace (in order), plus the batch totals. Accepted traces
+// were appended atomically with consecutive IDs; rejected ones carry a
+// reason code from the gps/mapmatch catalog.
+type GPSResponse struct {
+	Index string `json:"index"`
+	engine.GPSResult
+}
+
+// SubscribeRequest is the body of POST /v1/{index}/subscribe: the
+// standing-query predicate plus lifecycle knobs. From/To, when either
+// is present, constrain matches to entry times within the closed
+// interval (temporal indexes only).
+type SubscribeRequest struct {
+	Path []uint32 `json:"path"`
+	From *int64   `json:"from,omitempty"`
+	To   *int64   `json:"to,omitempty"`
+	// TTLSeconds bounds the subscription's lifetime (0 = server
+	// default, 15 minutes).
+	TTLSeconds int `json:"ttlSeconds,omitempty"`
+	// Buffer is the per-subscriber notification buffer (0 = server
+	// default, 64). When it is full, notifications are dropped and
+	// counted rather than blocking ingestion.
+	Buffer int `json:"buffer,omitempty"`
+}
+
+// Predicate converts the wire form to the engine descriptor.
+func (sr SubscribeRequest) Predicate() engine.Predicate {
+	p := engine.Predicate{Path: sr.Path}
+	if sr.From != nil || sr.To != nil {
+		iv := &cinct.Interval{From: math.MinInt64, To: math.MaxInt64}
+		if sr.From != nil {
+			iv.From = *sr.From
+		}
+		if sr.To != nil {
+			iv.To = *sr.To
+		}
+		p.Interval = iv
+	}
+	return p
+}
+
+// SubscribeResponse is the body of POST /v1/{index}/subscribe: the
+// subscription ID plus the paths to consume it — Events streams SSE,
+// Poll is the long-poll fallback, and DELETE on Cancel ends it.
+type SubscribeResponse struct {
+	Index        string `json:"index"`
+	Subscription string `json:"subscription"`
+	// ExpiresAt is the TTL deadline in Unix seconds.
+	ExpiresAt int64  `json:"expiresAt"`
+	Events    string `json:"events"`
+	Poll      string `json:"poll"`
+	Cancel    string `json:"cancel"`
+}
+
+// PollResponse is the body of GET
+// /v1/{index}/subscriptions/{id}/poll: the notifications that arrived
+// within the wait window (possibly none), and whether the subscription
+// has ended — a closed subscription never produces more, so the client
+// should stop polling.
+type PollResponse struct {
+	Index         string                `json:"index"`
+	Subscription  string                `json:"subscription"`
+	Notifications []engine.Notification `json:"notifications"`
+	Closed        bool                  `json:"closed"`
+}
+
+// CancelResponse is the body of DELETE /v1/{index}/subscriptions/{id}.
+type CancelResponse struct {
+	Index        string `json:"index"`
+	Subscription string `json:"subscription"`
+	Cancelled    bool   `json:"cancelled"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

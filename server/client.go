@@ -16,6 +16,7 @@ import (
 
 	"cinct"
 	"cinct/internal/engine"
+	"cinct/internal/gps"
 )
 
 // DefaultPageSize is the page length Client.Search requests per POST
@@ -404,6 +405,157 @@ func (c *Client) Ingest(ctx context.Context, index string, recs []IngestRecord, 
 		return nil, err
 	}
 	return &out, nil
+}
+
+// IngestGPS posts a batch of raw GPS traces to the daemon's
+// map-matching ingest endpoint. Traces are accepted or rejected
+// independently; the response carries one typed result per trace in
+// input order.
+func (c *Client) IngestGPS(ctx context.Context, index string, traces []gps.Trace) (*GPSResponse, error) {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, tr := range traces {
+		if err := enc.Encode(tr); err != nil {
+			return nil, err
+		}
+	}
+	u := c.base + "/v1/" + url.PathEscape(index) + "/gps"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp, raw)
+	}
+	var out GPSResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Subscribe registers a standing query on the daemon and returns the
+// subscription handle (ID, expiry, consume endpoints). Follow up with
+// Notifications (SSE) or Poll, and Unsubscribe when done.
+func (c *Client) Subscribe(ctx context.Context, index string, req SubscribeRequest) (*SubscribeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	u := c.base + "/v1/" + url.PathEscape(index) + "/subscribe"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp, raw)
+	}
+	var out SubscribeResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Unsubscribe cancels a standing query; its streams close.
+func (c *Client) Unsubscribe(ctx context.Context, index, id string) error {
+	p := "/v1/" + url.PathEscape(index) + "/subscriptions/" + url.PathEscape(id)
+	return c.call(ctx, http.MethodDelete, p, nil, nil)
+}
+
+// Poll long-polls one subscription: it blocks up to wait for the first
+// notification, then returns whatever batch is buffered. A response
+// with Closed set means the subscription ended and polling should stop.
+func (c *Client) Poll(ctx context.Context, index, id string, wait time.Duration) (*PollResponse, error) {
+	var resp PollResponse
+	q := url.Values{"wait": {strconv.Itoa(int(wait / time.Second))}}
+	p := "/v1/" + url.PathEscape(index) + "/subscriptions/" + url.PathEscape(id) + "/poll"
+	if err := c.call(ctx, http.MethodGet, p, q, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Notifications attaches to a subscription's SSE stream and yields
+// notifications as the daemon pushes them. The iterator ends cleanly
+// when the subscription closes (cancel, expiry, shutdown) and yields
+// one final error for transport failures. Cancel ctx to detach without
+// ending the subscription.
+func (c *Client) Notifications(ctx context.Context, index, id string) iter.Seq2[engine.Notification, error] {
+	return func(yield func(engine.Notification, error) bool) {
+		u := c.base + "/v1/" + url.PathEscape(index) + "/subscriptions/" + url.PathEscape(id) + "/events"
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			yield(engine.Notification{}, err)
+			return
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			yield(engine.Notification{}, err)
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+			yield(engine.Notification{}, apiError(resp, raw))
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		var event string
+		var data bytes.Buffer
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				// Blank line dispatches the accumulated event.
+				if event == "end" {
+					return
+				}
+				if event == "notification" && data.Len() > 0 {
+					var n engine.Notification
+					if err := json.Unmarshal(data.Bytes(), &n); err != nil {
+						yield(engine.Notification{}, fmt.Errorf("server: bad notification: %w", err))
+						return
+					}
+					if !yield(n, nil) {
+						return
+					}
+				}
+				event, data = "", bytes.Buffer{}
+			case strings.HasPrefix(line, ":"):
+				// Keepalive comment.
+			case strings.HasPrefix(line, "event:"):
+				event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+			case strings.HasPrefix(line, "data:"):
+				data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+			}
+		}
+		if err := sc.Err(); err != nil && ctx.Err() == nil {
+			yield(engine.Notification{}, err)
+		}
+	}
 }
 
 // Seal asks the daemon to compact one index's delta into a compressed

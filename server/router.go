@@ -26,6 +26,12 @@ type Route struct {
 	Method  string
 	Pattern string
 	Handler APIFunc
+	// Streaming marks a long-lived response (SSE, long-poll): the
+	// request bypasses the per-request timeout (it would sever the
+	// stream mid-life) and the concurrency gate (a handful of standing
+	// streams must not starve the short-request budget). Rate limiting
+	// and accounting still apply.
+	Streaming bool
 }
 
 // Router is a group of related routes; the Server assembles all
@@ -45,14 +51,14 @@ func httpStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, engine.ErrOutOfRange), errors.Is(err, errBadRequest),
 		errors.Is(err, cinct.ErrBadQuery), errors.Is(err, cinct.ErrBadCursor),
-		errors.Is(err, cinct.ErrBadAppend):
+		errors.Is(err, cinct.ErrBadAppend), errors.Is(err, engine.ErrBadSubscription):
 		return http.StatusBadRequest
 	case errors.Is(err, engine.ErrStaleCursor):
 		// The cursor was valid once; the index it pointed into is gone.
 		return http.StatusGone
 	case errors.Is(err, engine.ErrNotTemporal), errors.Is(err, engine.ErrNoFile),
 		errors.Is(err, cinct.ErrNoLocate), errors.Is(err, cinct.ErrNoTimestamps),
-		errors.Is(err, cinct.ErrNotAppendable):
+		errors.Is(err, cinct.ErrNotAppendable), errors.Is(err, engine.ErrNoRoadnet):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrRateLimited):
 		return http.StatusTooManyRequests

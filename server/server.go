@@ -89,6 +89,7 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		routers: []Router{
 			&systemRouter{eng: eng},
 			&queryRouter{eng: eng},
+			&gpsRouter{eng: eng},
 		},
 		metrics: newServerMetrics(eng.Metrics()),
 	}
@@ -114,7 +115,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, r := range s.routers {
 		for _, route := range r.Routes() {
-			mux.Handle(route.Method+" "+route.Pattern, s.wrap(route.Handler))
+			mux.Handle(route.Method+" "+route.Pattern, s.wrap(route))
 		}
 	}
 	mux.HandleFunc("GET /metrics", s.serveMetrics)
@@ -135,15 +136,27 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 // Outermost first: request ID + access log, metrics recorder, rate
 // limiter, concurrency gate, timeout — so a rejected request is still
 // logged and counted, and never consumes a gate slot or a deadline
-// timer.
-func (s *Server) wrap(h APIFunc) http.Handler {
-	h = chain(h,
-		s.requestID(),
-		s.metricsRecorder(),
-		s.rateLimit(),
-		s.gate(),
-		s.timeout(),
-	)
+// timer. Streaming routes keep the observability layers but skip the
+// gate and the timeout: a standing stream lives for minutes by design
+// and must neither be severed by the request deadline nor pin a
+// short-request concurrency slot.
+func (s *Server) wrap(route Route) http.Handler {
+	h := route.Handler
+	if route.Streaming {
+		h = chain(h,
+			s.requestID(),
+			s.metricsRecorder(),
+			s.rateLimit(),
+		)
+	} else {
+		h = chain(h,
+			s.requestID(),
+			s.metricsRecorder(),
+			s.rateLimit(),
+			s.gate(),
+			s.timeout(),
+		)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		err := h(r.Context(), w, r)
 		if err == nil {

@@ -138,6 +138,14 @@ type WriterConfig struct {
 	// runs on the failing goroutine with no Writer locks held, so
 	// background failures are observable instead of silently dropped.
 	OnError func(op string, err error)
+	// OnAppend, when non-nil, is called after every successful Append
+	// or AppendBatch with the first assigned global ID and the landed
+	// rows (times is nil on spatial writers). It runs on the appending
+	// goroutine with no Writer locks held, after the rows are already
+	// visible to Search — the hook standing-query layers use to test
+	// new trajectories against registered predicates. The slices are
+	// the caller's: read them during the call, do not retain or mutate.
+	OnAppend func(firstID int, trajs [][]uint32, times [][]int64)
 }
 
 // Writer is the live ingestion layer: an immutable sealed index
@@ -164,6 +172,7 @@ type Writer struct {
 	onSeal    func(int)
 	logf      func(format string, args ...any)
 	onError   func(op string, err error)
+	onAppend  func(firstID int, trajs [][]uint32, times [][]int64)
 
 	// mu guards the published (sealed, temp, delta, gen) binding.
 	// sealed/temp are immutable values swapped wholesale; delta is
@@ -251,6 +260,7 @@ func newWriter(ix *Index, t *TemporalIndex, temporal bool, cfg WriterConfig) (*W
 		onSeal:    cfg.OnSeal,
 		logf:      cfg.Logf,
 		onError:   cfg.OnError,
+		onAppend:  cfg.OnAppend,
 		sealed:    ix,
 		temp:      t,
 		delta:     newDeltaShard(base, temporal),
@@ -283,6 +293,13 @@ func (w *Writer) Append(edges []uint32, times []int64) (int, error) {
 	w.gen++
 	n := len(w.delta.trajs)
 	w.mu.Unlock()
+	if w.onAppend != nil {
+		var cols [][]int64
+		if w.temporal {
+			cols = [][]int64{times}
+		}
+		w.onAppend(id, [][]uint32{edges}, cols)
+	}
 	w.maybeAutoSeal(n)
 	return id, nil
 }
@@ -322,6 +339,9 @@ func (w *Writer) AppendBatch(trajs [][]uint32, times [][]int64) (int, error) {
 	w.gen++
 	n := len(w.delta.trajs)
 	w.mu.Unlock()
+	if w.onAppend != nil {
+		w.onAppend(first, trajs, times)
+	}
 	w.maybeAutoSeal(n)
 	return first, nil
 }
