@@ -44,6 +44,13 @@
 // shedding the scans, reporting goodput and p99 of the cheap queries
 // under each regime.
 //
+// The cluster section measures phase-1 scatter-gather serving: the
+// same corpus behind a single daemon versus a 2-node cluster on
+// loopback listeners (each node answering for the trajectories the
+// routing ring assigns it, the coordinator k-way merging the legs),
+// reporting unified-query p50/p99 for both so the fan-out's
+// coordination cost is a tracked number rather than folklore.
+//
 // The gps section measures the raw-ingestion pipeline: map-matcher
 // throughput in observations per second over noisy traces simulated
 // along known walks, the accept rate as GPS noise grows past the
@@ -51,7 +58,7 @@
 // an accepted row entering Append to its notification arriving on a
 // subscriber channel, p50/p99.
 //
-//	cinctbench -out BENCH_PR9.json -trajs 4000 -queries 2000 -shards 0
+//	cinctbench -out BENCH_PR10.json -trajs 4000 -queries 2000 -shards 0
 package main
 
 import (
@@ -75,6 +82,7 @@ import (
 	"time"
 
 	"cinct"
+	"cinct/internal/cluster"
 	"cinct/internal/engine"
 	"cinct/internal/gps"
 	"cinct/internal/mapmatch"
@@ -110,6 +118,21 @@ type report struct {
 	Compaction    *compactionReport      `json:"compaction,omitempty"`
 	Overload      *overloadReport        `json:"overload,omitempty"`
 	GPS           *gpsReport             `json:"gps,omitempty"`
+	Cluster       *clusterReport         `json:"cluster,omitempty"`
+}
+
+// clusterReport summarizes the scatter-gather section: the unified
+// query path against one daemon versus a coordinator fanning the same
+// workload out across the cluster and merging the legs.
+type clusterReport struct {
+	Nodes            int `json:"nodes"`
+	SlotTrajectories int `json:"slotTrajectories"`
+	Queries          int `json:"queries"`
+	Limit            int `json:"limit"`
+	// Latency keys: search.single (one daemon), search.scatter (the
+	// coordinator node of the cluster), count.local (count-kind stays
+	// local by design — the control measurement).
+	Latency map[string]percentiles `json:"latency"`
 }
 
 // gpsReport summarizes the raw-GPS ingestion pipeline: HMM
@@ -331,7 +354,7 @@ type temporalReport struct {
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_PR9.json", "output JSON file")
+		out     = flag.String("out", "BENCH_PR10.json", "output JSON file")
 		trajs   = flag.Int("trajs", 4000, "corpus size (trajectories)")
 		meanLen = flag.Int("meanlen", 45, "mean trajectory length")
 		queries = flag.Int("queries", 2000, "queries per latency distribution")
@@ -354,6 +377,9 @@ func main() {
 
 		gtraces = flag.Int("gtraces", 400, "simulated traces in the gps section (0 skips it)")
 		gwalk   = flag.Int("gwalk", 24, "ground-truth walk length per gps trace (edges)")
+
+		cnodes = flag.Int("cluster-nodes", 2, "nodes in the cluster scatter-gather section (0 skips it)")
+		cslot  = flag.Int("cluster-slot", 64, "trajectory IDs per routing slot in the cluster section")
 	)
 	flag.Parse()
 	cfg := benchConfig{
@@ -363,6 +389,7 @@ func main() {
 		itrajs: *itrajs, fanseals: *fanseals,
 		oclients: *oclients, oseconds: *oseconds,
 		gtraces: *gtraces, gwalk: *gwalk,
+		cnodes: *cnodes, cslot: *cslot,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "cinctbench: %v\n", err)
@@ -382,6 +409,7 @@ type benchConfig struct {
 	oclients                   int
 	oseconds                   float64
 	gtraces, gwalk             int
+	cnodes, cslot              int
 }
 
 // runIngest benchmarks the live write path against the main corpus:
@@ -825,6 +853,13 @@ func run(cfg benchConfig) error {
 		}
 		rep.GPS = gr
 	}
+	if cfg.cnodes > 1 {
+		cr, err := runCluster(cfg, ix, workload)
+		if err != nil {
+			return err
+		}
+		rep.Cluster = cr
+	}
 	fmt.Fprintf(os.Stderr, "serving section (heap vs mmap)...\n")
 	if rep.Serving, err = runServing(ix, workload, limit); err != nil {
 		return err
@@ -841,6 +876,116 @@ func run(cfg benchConfig) error {
 	fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 	os.Stdout.Write(body)
 	return nil
+}
+
+// runCluster measures phase-1 scatter-gather: the same index served
+// by one daemon versus a cluster of cfg.cnodes loopback daemons, the
+// unified query workload driven through a client at each. Every node
+// registers the same in-memory index (phase 1 ships identical corpus
+// files to every node); the ring decides which node answers for which
+// trajectories, so the scatter leg pays real HTTP fan-out and k-way
+// merge on top of the identical index work.
+func runCluster(cfg benchConfig, ix *cinct.Index, workload [][]uint32) (*clusterReport, error) {
+	fmt.Fprintf(os.Stderr, "cluster section (%d-node scatter-gather)...\n", cfg.cnodes)
+	cr := &clusterReport{
+		Nodes:            cfg.cnodes,
+		SlotTrajectories: cfg.cslot,
+		Queries:          len(workload),
+		Limit:            cfg.limit,
+		Latency:          map[string]percentiles{},
+	}
+	ctx := context.Background()
+
+	type node struct {
+		eng *engine.Engine
+		srv *server.Server
+		ec  chan error
+	}
+	var nodes []*node
+	shutdown := func() error {
+		for _, n := range nodes {
+			sc, cancel := context.WithTimeout(ctx, 5*time.Second)
+			err := n.srv.Shutdown(sc)
+			cancel()
+			if err != nil {
+				return err
+			}
+			if err := <-n.ec; err != nil {
+				return err
+			}
+		}
+		nodes = nil
+		return nil
+	}
+	start := func(cl *cluster.Cluster, lis net.Listener) {
+		eng := engine.New(engine.Options{CacheEntries: -1, Cluster: cl})
+		eng.Register("bench", ix)
+		srv := server.New(eng, server.Config{})
+		n := &node{eng: eng, srv: srv, ec: make(chan error, 1)}
+		go func() { n.ec <- srv.Serve(lis) }()
+		nodes = append(nodes, n)
+	}
+
+	// Single-node baseline.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	start(nil, l)
+	single := server.NewClient("http://"+l.Addr().String(), nil)
+	if cr.Latency["search.single"], err = measure(workload, func(p []uint32) error {
+		_, err := single.SearchPage(ctx, "bench", cinct.Query{Path: p, Limit: cfg.limit})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := shutdown(); err != nil {
+		return nil, err
+	}
+
+	// The cluster: listeners first (the ring needs every address), then
+	// one engine + server per node.
+	listeners := make([]net.Listener, cfg.cnodes)
+	addrs := make([]string, cfg.cnodes)
+	for i := range listeners {
+		if listeners[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		addrs[i] = "http://" + listeners[i].Addr().String()
+	}
+	for i := range listeners {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self: addrs[i], Peers: peers, SlotTrajectories: cfg.cslot,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start(cl, listeners[i])
+	}
+	defer shutdown() //nolint:errcheck // best-effort on the error paths
+
+	coord := server.NewClient(addrs[0], nil)
+	if cr.Latency["search.scatter"], err = measure(workload, func(p []uint32) error {
+		_, err := coord.SearchPage(ctx, "bench", cinct.Query{Path: p, Limit: cfg.limit})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	// Count stays local by design (every node holds the full corpus):
+	// the control number separating fan-out cost from transport cost.
+	if cr.Latency["count.local"], err = measure(workload, func(p []uint32) error {
+		_, err := coord.Count(ctx, "bench", p)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return cr, shutdown()
 }
 
 // runOverload drives the full serving stack (engine worker pool +

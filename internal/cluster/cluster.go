@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config declares a node's place in a static cluster. Self and Peers
+// are base URLs ("http://host:port"); every node of the cluster must
+// be configured with the same total node set (each one's Self plus its
+// Peers) and the same SlotTrajectories, or scoped requests are refused
+// by the ring-fingerprint check.
+type Config struct {
+	// Self is this node's advertised base URL — the identity peers
+	// route to and cursors embed. Required.
+	Self string
+	// Peers are the other nodes' base URLs.
+	Peers []string
+	// SlotTrajectories is the routing granularity (trajectories per
+	// consistent-hash slot). 0 means DefaultSlotTrajectories. Must
+	// agree across the cluster.
+	SlotTrajectories int
+	// Timeout bounds each remote page attempt. 0 means 2s.
+	Timeout time.Duration
+	// RetryBackoff is the pause before the single retry of a failed
+	// attempt. 0 means 100ms.
+	RetryBackoff time.Duration
+	// HedgeAfter fixes the hedged-read delay: when a page fetch has
+	// been in flight this long, a second identical request is issued
+	// and the first response wins. 0 derives the delay from the
+	// peer's observed p99 latency (no hedging until enough samples);
+	// negative disables hedging.
+	HedgeAfter time.Duration
+	// ProbeInterval is the health-probe cadence of Start. 0 means 5s.
+	ProbeInterval time.Duration
+	// HTTPClient issues peer requests; nil uses a private client
+	// (connection pooling matters for fan-out, so the default is not
+	// http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 2 * time.Second
+}
+
+func (c Config) backoff() time.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return 100 * time.Millisecond
+}
+
+func (c Config) probeInterval() time.Duration {
+	if c.ProbeInterval > 0 {
+		return c.ProbeInterval
+	}
+	return 5 * time.Second
+}
+
+// FetchEvent describes one completed peer HTTP attempt; the engine
+// registers an observer to turn these into per-peer metrics.
+type FetchEvent struct {
+	Peer     string
+	Duration time.Duration
+	Err      error
+	// Hedged marks an attempt issued by the hedging timer rather than
+	// the primary path.
+	Hedged bool
+}
+
+// PeerHealth is one peer's observed state, surfaced in /v1/indexes.
+type PeerHealth struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	// LastError is the most recent probe or fetch failure ("" when the
+	// last contact succeeded).
+	LastError string `json:"lastError,omitempty"`
+	// LastContactUnix is when the peer last answered anything
+	// (0 = never).
+	LastContactUnix int64 `json:"lastContactUnix,omitempty"`
+	// Requests/Errors/Hedges count page-fetch attempts against the
+	// peer since startup.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Hedges   uint64 `json:"hedges"`
+	// P50Millis/P99Millis are latency quantiles over the recent
+	// successful attempts (0 until there are samples).
+	P50Millis float64 `json:"p50Millis,omitempty"`
+	P99Millis float64 `json:"p99Millis,omitempty"`
+}
+
+// latSamples is the per-peer latency window the hedge delay and the
+// health report derive their quantiles from.
+const latSamples = 256
+
+// peerState is the mutable per-peer record.
+type peerState struct {
+	mu          sync.Mutex
+	healthy     bool
+	lastErr     string
+	lastContact time.Time
+	requests    uint64
+	errors      uint64
+	hedges      uint64
+	// lat is a ring buffer of recent successful attempt durations.
+	lat  [latSamples]time.Duration
+	latN int // total samples ever; lat[i%latSamples] is valid for i < latN
+}
+
+func (p *peerState) record(d time.Duration, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.requests++
+	if err != nil {
+		p.errors++
+		p.healthy = false
+		p.lastErr = err.Error()
+		return
+	}
+	p.healthy = true
+	p.lastErr = ""
+	p.lastContact = time.Now()
+	p.lat[p.latN%latSamples] = d
+	p.latN++
+}
+
+func (p *peerState) markProbe(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err != nil {
+		p.healthy = false
+		p.lastErr = err.Error()
+		return
+	}
+	p.healthy = true
+	p.lastErr = ""
+	p.lastContact = time.Now()
+}
+
+// quantiles returns (p50, p99) over the sample window, or zeros
+// without samples.
+func (p *peerState) quantiles() (p50, p99 time.Duration) {
+	p.mu.Lock()
+	n := p.latN
+	if n > latSamples {
+		n = latSamples
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, p.lat[:n])
+	p.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[n/2], buf[(n*99)/100]
+}
+
+// Cluster is one node's view of the static peer set: the routing ring,
+// per-peer health/latency state, and the page fetcher. Safe for
+// concurrent use.
+type Cluster struct {
+	cfg   Config
+	ring  *ring
+	self  string
+	peers []string // sorted, excluding self
+	state map[string]*peerState
+	hc    *http.Client
+
+	obsMu    sync.RWMutex
+	observer func(FetchEvent)
+
+	stopOnce sync.Once
+	done     chan struct{}
+	bg       sync.WaitGroup
+}
+
+// New validates the config and builds the node's cluster view.
+func New(cfg Config) (*Cluster, error) {
+	self := normalizeAddr(cfg.Self)
+	if self == "" {
+		return nil, fmt.Errorf("cluster: Self address is required")
+	}
+	nodes := []string{self}
+	for _, p := range cfg.Peers {
+		p = normalizeAddr(p)
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty peer address")
+		}
+		if p != self {
+			nodes = append(nodes, p)
+		}
+	}
+	if len(nodes) < 2 {
+		return nil, fmt.Errorf("cluster: need at least one peer besides self")
+	}
+	r, err := newRing(nodes, cfg.SlotTrajectories)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		ring:  r,
+		self:  self,
+		state: make(map[string]*peerState),
+		hc:    cfg.HTTPClient,
+		done:  make(chan struct{}),
+	}
+	if c.hc == nil {
+		c.hc = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	for _, n := range r.nodes {
+		if n == self {
+			continue
+		}
+		c.peers = append(c.peers, n)
+		c.state[n] = &peerState{}
+	}
+	return c, nil
+}
+
+// normalizeAddr canonicalizes a node URL so "http://a:1/" and
+// "http://a:1" are the same ring member.
+func normalizeAddr(a string) string {
+	return strings.TrimRight(strings.TrimSpace(a), "/")
+}
+
+// Self returns this node's advertised address.
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the other nodes, sorted.
+func (c *Cluster) Peers() []string { return append([]string(nil), c.peers...) }
+
+// Nodes returns the full node set (self included), sorted.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.ring.nodes...) }
+
+// SlotTrajectories returns the routing slot width.
+func (c *Cluster) SlotTrajectories() int { return c.ring.slotW }
+
+// Fingerprint identifies the (node set, slot width) configuration.
+func (c *Cluster) Fingerprint() uint64 { return c.ring.fingerprint() }
+
+// Owns reports whether this node owns trajectory id.
+func (c *Cluster) Owns(id int) bool { return c.ring.owner(id) == c.self }
+
+// OwnerOf returns the node owning trajectory id.
+func (c *Cluster) OwnerOf(id int) string { return c.ring.owner(id) }
+
+// SetObserver installs the per-attempt callback (the engine's metrics
+// bridge). Pass nil to remove it.
+func (c *Cluster) SetObserver(fn func(FetchEvent)) {
+	c.obsMu.Lock()
+	c.observer = fn
+	c.obsMu.Unlock()
+}
+
+func (c *Cluster) observe(ev FetchEvent) {
+	c.obsMu.RLock()
+	fn := c.observer
+	c.obsMu.RUnlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// Health reports every peer's observed state, sorted by address.
+func (c *Cluster) Health() []PeerHealth {
+	out := make([]PeerHealth, 0, len(c.peers))
+	for _, addr := range c.peers {
+		st := c.state[addr]
+		st.mu.Lock()
+		h := PeerHealth{
+			Addr:      addr,
+			Healthy:   st.healthy,
+			LastError: st.lastErr,
+			Requests:  st.requests,
+			Errors:    st.errors,
+			Hedges:    st.hedges,
+		}
+		if !st.lastContact.IsZero() {
+			h.LastContactUnix = st.lastContact.Unix()
+		}
+		st.mu.Unlock()
+		p50, p99 := st.quantiles()
+		h.P50Millis = float64(p50) / float64(time.Millisecond)
+		h.P99Millis = float64(p99) / float64(time.Millisecond)
+		out = append(out, h)
+	}
+	return out
+}
+
+// Start launches the background health-probe loop (GET /v1/indexes
+// against every peer on the probe cadence). Stop ends it.
+func (c *Cluster) Start() {
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		c.probeAll()
+		t := time.NewTicker(c.cfg.probeInterval())
+		defer t.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop; idempotent.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.done) })
+	c.bg.Wait()
+}
+
+func (c *Cluster) probeAll() {
+	var wg sync.WaitGroup
+	for _, addr := range c.peers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			c.state[addr].markProbe(c.probe(addr))
+		}(addr)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) probe(addr string) error {
+	req, err := http.NewRequest(http.MethodGet, addr+"/v1/indexes", nil)
+	if err != nil {
+		return err
+	}
+	hc := *c.hc
+	hc.Timeout = c.cfg.timeout()
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close() //nolint:errcheck // health probe; the status is the signal
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("cluster: probe %s: HTTP %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// hedgeDelay returns the delay before a hedged second request to addr:
+// the configured fixed delay, or the peer's observed p99 (adaptive
+// mode). 0 disables hedging for this fetch.
+func (c *Cluster) hedgeDelay(addr string) time.Duration {
+	switch {
+	case c.cfg.HedgeAfter > 0:
+		return c.cfg.HedgeAfter
+	case c.cfg.HedgeAfter < 0:
+		return 0
+	}
+	st := c.state[addr]
+	st.mu.Lock()
+	n := st.latN
+	st.mu.Unlock()
+	// Adaptive hedging needs a meaningful p99; below that, every
+	// request would hedge on noise.
+	if n < 32 {
+		return 0
+	}
+	_, p99 := st.quantiles()
+	if p99 <= 0 {
+		return 0
+	}
+	return p99
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"cinct/internal/wire"
+)
+
+// Scoped request headers. ScopeHeader marks a fan-out leg so the peer
+// answers only from trajectories it owns and never fans out again;
+// RingHeader carries the sender's ring fingerprint so two nodes with
+// diverging -peer flags refuse to cooperate instead of silently
+// double- or under-counting.
+const (
+	ScopeHeader = "X-CiNCT-Scope"
+	RingHeader  = "X-CiNCT-Ring"
+	ScopeOwned  = "owned"
+)
+
+// PartialHeader is the response header a coordinator sets on a
+// partial-result failure (HTTP 502): a comma-joined list of the peers
+// it could not reach.
+const PartialHeader = "X-CiNCT-Partial"
+
+// HTTPError is a non-2xx peer response. The engine maps Status 410 to
+// ErrStaleCursor (the peer's index changed under a resumed cursor) and
+// treats >= 500 as transient (retried once, then counted toward
+// ErrPartial).
+type HTTPError struct {
+	Peer   string
+	Status int
+	Msg    string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("cluster: %s: HTTP %d: %s", e.Peer, e.Status, e.Msg)
+}
+
+// FetchPage requests one owned-scope page of index from peer. It
+// bounds each attempt with the configured timeout, retries once (after
+// backoff) on transient failures — transport errors and 5xx — and, when
+// a hedge delay applies, races a second identical request after that
+// delay, first success winning. 4xx statuses return *HTTPError
+// immediately: they are the peer speaking, not the network failing.
+func (c *Cluster) FetchPage(ctx context.Context, peer, index string, req wire.Request) (*wire.Page, error) {
+	page, err := c.fetchHedged(ctx, peer, index, req)
+	if err == nil || !transientErr(err) {
+		return page, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(c.cfg.backoff()):
+	}
+	return c.fetchHedged(ctx, peer, index, req)
+}
+
+type fetchResult struct {
+	page *wire.Page
+	err  error
+}
+
+// fetchHedged runs one logical attempt: the primary request plus, if
+// the hedge delay fires first, a racing duplicate. First success wins
+// and cancels the loser; if everything fails, the first error is
+// returned (the primary's, unless the hedge finished first).
+func (c *Cluster) fetchHedged(ctx context.Context, peer, index string, req wire.Request) (*wire.Page, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan fetchResult, 2)
+	outstanding := 1
+	go func() {
+		p, err := c.attempt(actx, peer, index, req, false)
+		ch <- fetchResult{p, err}
+	}()
+
+	var hedge <-chan time.Time
+	if d := c.hedgeDelay(peer); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedge = t.C
+	}
+
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.page, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			outstanding--
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-hedge:
+			hedge = nil
+			st := c.state[peer]
+			st.mu.Lock()
+			st.hedges++
+			st.mu.Unlock()
+			outstanding++
+			go func() {
+				p, err := c.attempt(actx, peer, index, req, true)
+				ch <- fetchResult{p, err}
+			}()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt issues one HTTP request and decodes the page, recording the
+// outcome in the peer's health state and the observer. A 4xx means the
+// peer is alive and answering, so it does not mark the peer unhealthy;
+// transport errors and 5xx do.
+func (c *Cluster) attempt(ctx context.Context, peer, index string, req wire.Request, hedged bool) (*wire.Page, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode request: %w", err)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.timeout())
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(actx, http.MethodPost,
+		peer+"/v1/"+url.PathEscape(index)+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(ScopeHeader, ScopeOwned)
+	hreq.Header.Set(RingHeader, strconv.FormatUint(c.ring.fingerprint(), 10))
+
+	start := time.Now()
+	page, err := c.do(hreq, peer)
+	d := time.Since(start)
+
+	st := c.state[peer]
+	var he *HTTPError
+	if err != nil && errors.As(err, &he) && he.Status < 500 {
+		// The peer answered; only the request was rejected. Healthy,
+		// but no latency sample: error responses are not
+		// representative of page-serving latency.
+		st.markProbe(nil)
+	} else {
+		st.record(d, err)
+	}
+	c.observe(FetchEvent{Peer: peer, Duration: d, Err: err, Hedged: hedged})
+	return page, err
+}
+
+func (c *Cluster) do(hreq *http.Request, peer string) (*wire.Page, error) {
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-side close
+	if resp.StatusCode != http.StatusOK {
+		return nil, &HTTPError{Peer: peer, Status: resp.StatusCode, Msg: errorMessage(resp.Body)}
+	}
+	return wire.ReadPage(resp.Body)
+}
+
+// errorMessage extracts the server's {"error": "..."} body, falling
+// back to the raw text.
+func errorMessage(r io.Reader) string {
+	raw, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil || len(raw) == 0 {
+		return "(no body)"
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	return string(bytes.TrimSpace(raw))
+}
+
+// transientErr reports whether a fetch failure is worth the single
+// retry: transport-level errors and 5xx are; 4xx and mid-stream
+// semantic errors are the peer's answer and retrying cannot change it.
+func transientErr(err error) bool {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status >= 500
+	}
+	var se *wire.StreamError
+	if errors.As(err, &se) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+// Package cluster implements phase-1 cluster mode: a static peer set
+// declared at startup, consistent routing of global trajectory IDs to
+// nodes, and a robust page fetcher (per-peer timeout, one retry with
+// backoff, hedged reads) that the engine's scatter-gather search uses
+// to stream remote shards through the existing NDJSON query endpoint.
+//
+// Phase 1 assumes every node serves the same corpus files (the
+// operator ships identical index files to each node); routing decides
+// *ownership*, so each trajectory's hits are produced by exactly one
+// node and the coordinator's k-way merge reassembles the canonical
+// stream byte-identical to single-node serving. Replication and
+// gossiped membership (the networkdb design) are later phases.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultSlotTrajectories is the routing granularity: trajectory IDs
+// are grouped into fixed-width slots and each slot is assigned to one
+// node on the hash ring. Wider slots keep per-shard locality; the
+// width must agree across every node of a cluster (it is part of the
+// ring fingerprint, so mismatches are detected, not silently wrong).
+const DefaultSlotTrajectories = 1024
+
+// vnodesPerNode is the number of virtual points each node contributes
+// to the ring; enough to keep the slot distribution within a few
+// percent of even for small static clusters.
+const vnodesPerNode = 64
+
+// ring is a consistent-hash ring over the cluster's node set. It is
+// immutable after construction: phase 1 clusters are static.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted, deduplicated
+	slotW  int         // trajectories per routing slot
+	fp     uint64      // fingerprint of (nodes, slotW)
+}
+
+type ringPoint struct {
+	h    uint64
+	node string
+}
+
+// newRing builds the ring over the sorted, deduplicated node set.
+// Every member of a cluster builds an identical ring from the same
+// (self + peers) set, whatever order its flags were given in.
+func newRing(nodes []string, slotW int) (*ring, error) {
+	if slotW <= 0 {
+		slotW = DefaultSlotTrajectories
+	}
+	set := make(map[string]struct{}, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node address")
+		}
+		if _, dup := set[n]; dup {
+			continue
+		}
+		set[n] = struct{}{}
+		uniq = append(uniq, n)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	sort.Strings(uniq)
+	r := &ring{nodes: uniq, slotW: slotW}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodesPerNode)
+	for _, n := range uniq {
+		for i := 0; i < vnodesPerNode; i++ {
+			r.points = append(r.points, ringPoint{h: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Hash ties (vanishingly rare) break by node name so every
+		// member resolves them identically.
+		return r.points[i].node < r.points[j].node
+	})
+	h := fnv.New64a()
+	for _, n := range uniq {
+		fmt.Fprintf(h, "%s\x00", n)
+	}
+	fmt.Fprintf(h, "|%d", slotW)
+	r.fp = h.Sum64()
+	return r, nil
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never fails
+	return mix64(h.Sum64())
+}
+
+// mix64 is splitmix64's avalanche finalizer. Raw FNV of sequential
+// keys ("slot-0", "slot-1", …) differs only in the last processed
+// byte, leaving the hashes within a band of ~16 primes of each other —
+// a sliver of the 2^64 ring that one node's nearest vnode then owns
+// wholesale. The finalizer spreads that band over the whole ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// owner returns the node owning a trajectory ID: the first ring point
+// clockwise from the hash of the ID's slot.
+func (r *ring) owner(traj int) string {
+	if traj < 0 {
+		traj = 0
+	}
+	slot := uint64(traj) / uint64(r.slotW)
+	h := hash64(fmt.Sprintf("slot-%d", slot))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// fingerprint identifies the (node set, slot width) pair; cluster
+// cursors embed it so a resume against a differently-configured
+// cluster fails typed instead of merging misrouted pages, and scoped
+// requests carry it so two nodes with diverging peer flags refuse to
+// cooperate.
+func (r *ring) fingerprint() uint64 { return r.fp }

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	a, err := newRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newRing([]string{"http://c:3", "http://a:1", "http://b:2", "http://a:1"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.fingerprint() != b.fingerprint() {
+		t.Fatalf("fingerprint differs across node order: %x vs %x", a.fingerprint(), b.fingerprint())
+	}
+	for traj := 0; traj < 10_000; traj++ {
+		if oa, ob := a.owner(traj), b.owner(traj); oa != ob {
+			t.Fatalf("traj %d: owner %q vs %q", traj, oa, ob)
+		}
+	}
+}
+
+func TestRingCoversAllSlotsAndEveryNodeOwnsSome(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r, err := newRing(nodes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for traj := 0; traj < 80_000; traj++ {
+		o := r.owner(traj)
+		if o == "" {
+			t.Fatalf("traj %d: no owner", traj)
+		}
+		counts[o]++
+	}
+	for _, n := range nodes {
+		if counts[n] == 0 {
+			t.Fatalf("node %s owns nothing: %v", n, counts)
+		}
+	}
+}
+
+func TestRingSlotWidthGroupsNeighbors(t *testing.T) {
+	r, err := newRing([]string{"http://a:1", "http://b:2"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All trajectories of one slot share an owner.
+	for slot := 0; slot < 50; slot++ {
+		want := r.owner(slot * 100)
+		for _, off := range []int{1, 50, 99} {
+			if got := r.owner(slot*100 + off); got != want {
+				t.Fatalf("slot %d: traj %d owner %q != %q", slot, slot*100+off, got, want)
+			}
+		}
+	}
+}
+
+func TestRingFingerprintSensitivity(t *testing.T) {
+	base, err := newRing([]string{"http://a:1", "http://b:2"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffNodes, err := newRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSlot, err := newRing([]string{"http://a:1", "http://b:2"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.fingerprint() == diffNodes.fingerprint() {
+		t.Fatal("fingerprint insensitive to node set")
+	}
+	if base.fingerprint() == diffSlot.fingerprint() {
+		t.Fatal("fingerprint insensitive to slot width")
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := newRing(nil, 16); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	if _, err := newRing([]string{"http://a:1", ""}, 16); err == nil {
+		t.Fatal("empty node address accepted")
+	}
+}
+
+func TestClusterNewValidation(t *testing.T) {
+	if _, err := New(Config{Self: "", Peers: []string{"http://b:2"}}); err == nil {
+		t.Fatal("missing Self accepted")
+	}
+	if _, err := New(Config{Self: "http://a:1"}); err == nil {
+		t.Fatal("peerless cluster accepted")
+	}
+	// Self listed among peers (common with a shared -peer list) dedups.
+	c, err := New(Config{Self: "http://a:1/", Peers: []string{"http://a:1", "http://b:2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Peers(); len(got) != 1 || got[0] != "http://b:2" {
+		t.Fatalf("peers = %v, want [http://b:2]", got)
+	}
+	if got := len(c.Nodes()); got != 2 {
+		t.Fatalf("nodes = %d, want 2", got)
+	}
+	if c.SlotTrajectories() != DefaultSlotTrajectories {
+		t.Fatalf("slot width = %d, want default", c.SlotTrajectories())
+	}
+}
+
+func TestClusterOwnershipPartitions(t *testing.T) {
+	// Each trajectory is owned by exactly one node: the union of every
+	// node's Owns() view covers each ID once.
+	addrs := []string{"http://a:1", "http://b:2", "http://c:3"}
+	views := make([]*Cluster, len(addrs))
+	for i, self := range addrs {
+		var peers []string
+		for j, p := range addrs {
+			if j != i {
+				peers = append(peers, p)
+			}
+		}
+		c, err := New(Config{Self: self, Peers: peers, SlotTrajectories: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = c
+	}
+	for traj := 0; traj < 4_000; traj++ {
+		owners := 0
+		for _, v := range views {
+			if v.Owns(traj) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("traj %d owned by %d nodes", traj, owners)
+		}
+	}
+	for i := 1; i < len(views); i++ {
+		if views[i].Fingerprint() != views[0].Fingerprint() {
+			t.Fatal("views disagree on fingerprint")
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	nodes := make([]string, 8)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node%d:8080", i)
+	}
+	r, err := newRing(nodes, DefaultSlotTrajectories)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; b.Loop(); i++ {
+		_ = r.owner(i)
+	}
+}

@@ -12,6 +12,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -84,6 +85,14 @@ type entry struct {
 
 	mu  sync.RWMutex
 	gen uint64
+	// sig fingerprints the index as loaded (a hash of its structural
+	// Stats). Unlike the epoch — which restarts at 1 in every process —
+	// the sig is derived from the data, so a cursor carrying (epoch,
+	// sig) stays resumable across a restart of an unchanged index but
+	// fails typed when the file changed while the process was down.
+	// It is computed at load/register/swap time only, never on Append
+	// or Seal: cursors survive in-process ingestion by design.
+	sig uint64
 	// epoch tracks the identity of the trajectory-ID space: it bumps
 	// only when the binding is replaced wholesale (Reload, or a Load
 	// over the same name), never on Append or Seal — those extend the
@@ -126,10 +135,35 @@ type view struct {
 	name     string
 	gen      uint64
 	epoch    uint64
+	sig      uint64
 	spatial  *cinct.Index
 	temp     *cinct.TemporalIndex
 	w        *cinct.Writer
 	temporal bool
+}
+
+// indexSig fingerprints an index's structural identity from its Stats:
+// corpus shape plus the exact compressed-structure sizes. Any change to
+// the file a node serves (rebuild, different corpus, sealed-in rows)
+// moves at least one of these, which is what lets cursors detect "the
+// index on disk is not the one this cursor was minted against" across
+// process restarts where epochs reset.
+func indexSig(ix *cinct.Index, t *cinct.TemporalIndex) uint64 {
+	if t != nil {
+		ix = t.Index
+	}
+	if ix == nil {
+		return 0
+	}
+	st := ix.Stats()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		st.Shards, st.Trajectories, st.Edges, st.TextLen, st.MaxLabel,
+		st.ETGraphEdges, st.WaveletBits, st.GraphBits, st.CArrayBits, st.LocateBits)
+	if t != nil {
+		fmt.Fprintf(h, "|t%d", t.TimestampBits())
+	}
+	return h.Sum64()
 }
 
 // index returns the spatial index backing the snapshot (a temporal
@@ -166,7 +200,7 @@ func (en *entry) snapshot() (view, error) {
 	if en.closed {
 		return view{}, fmt.Errorf("%w: %q", ErrNotFound, en.name)
 	}
-	return view{name: en.name, gen: en.gen, epoch: en.epoch,
+	return view{name: en.name, gen: en.gen, epoch: en.epoch, sig: en.sig,
 		spatial: en.spatial, temp: en.temp, w: en.w, temporal: en.temporal}, nil
 }
 
@@ -185,6 +219,7 @@ func (en *entry) swap(ix *cinct.Index, t *cinct.TemporalIndex) (uint64, error) {
 	en.gen++
 	en.epoch++
 	en.spatial, en.temp = ix, t
+	en.sig = indexSig(ix, t)
 	en.w = nil
 	return en.gen, nil
 }

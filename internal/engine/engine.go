@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cinct"
+	"cinct/internal/cluster"
 	"cinct/internal/metrics"
 	"cinct/internal/wal"
 )
@@ -68,6 +69,12 @@ type Options struct {
 	// instead of queueing. 0 disables shedding — saturated queries
 	// queue, the pre-admission-control behavior.
 	ShedCost int64
+	// Cluster, when non-nil, turns the engine into one node of a
+	// phase-1 cluster: hit-producing Searches scatter-gather across the
+	// peer set (see SearchScoped) and owned-scope queries from peers are
+	// answered from the routing ring's local share. The engine wires
+	// the cluster's fetch events into its metrics registry.
+	Cluster *cluster.Cluster
 }
 
 func (o Options) workers() int {
@@ -115,6 +122,7 @@ type Engine struct {
 
 	roadnets *roadnetCatalog
 	subs     *subRegistry
+	cluster  *cluster.Cluster
 
 	walOpts    WALOptions
 	compaction CompactionOptions
@@ -143,10 +151,24 @@ func New(opts Options) *Engine {
 		shedCost:   opts.ShedCost,
 		roadnets:   newRoadnetCatalog(),
 		subs:       newSubRegistry(),
+		cluster:    opts.Cluster,
 		walOpts:    opts.WAL,
 		compaction: opts.Compaction,
 	}
 	e.metrics = newEngineMetrics(opts.Metrics, e)
+	if e.cluster != nil {
+		e.cluster.SetObserver(func(ev cluster.FetchEvent) {
+			e.metrics.peerRequests.With(ev.Peer).Inc()
+			if ev.Err != nil {
+				e.metrics.peerErrors.With(ev.Peer).Inc()
+			} else {
+				e.metrics.peerLatency.Observe(ev.Duration.Seconds())
+			}
+			if ev.Hedged {
+				e.metrics.peerHedges.With(ev.Peer).Inc()
+			}
+		})
+	}
 	if e.compaction.Interval > 0 {
 		e.done = make(chan struct{})
 		e.bg.Add(1)
@@ -172,6 +194,7 @@ func (e *Engine) OpenDir(dir string) ([]string, error) {
 		}
 		en.gen, en.epoch = 1, 1
 		en.spatial, en.temp = ix, t
+		en.sig = indexSig(ix, t)
 		// WAL before install: once the entry is reachable through the
 		// catalog an Append must find a live log handle, or its batch
 		// would be acknowledged without a record.
@@ -211,6 +234,7 @@ func (e *Engine) loadAs(name, path string, temporal bool) error {
 	}
 	en.gen, en.epoch = 1, 1
 	en.spatial, en.temp = ix, t
+	en.sig = indexSig(ix, t)
 	// WAL before install, so no Append can reach an entry whose log is
 	// missing or mid-replay (see OpenDir).
 	if err := e.openWAL(en); err != nil {
@@ -223,12 +247,12 @@ func (e *Engine) loadAs(name, path string, temporal bool) error {
 // Register publishes an in-memory spatial index under name (no backing
 // file; Reload will fail with ErrNoFile).
 func (e *Engine) Register(name string, ix *cinct.Index) {
-	e.cat.install(&entry{name: name, gen: 1, epoch: 1, spatial: ix})
+	e.cat.install(&entry{name: name, gen: 1, epoch: 1, sig: indexSig(ix, nil), spatial: ix})
 }
 
 // RegisterTemporal publishes an in-memory temporal index under name.
 func (e *Engine) RegisterTemporal(name string, t *cinct.TemporalIndex) {
-	e.cat.install(&entry{name: name, gen: 1, epoch: 1, temp: t, temporal: true})
+	e.cat.install(&entry{name: name, gen: 1, epoch: 1, sig: indexSig(nil, t), temp: t, temporal: true})
 }
 
 // Reload re-reads name's backing file, atomically swaps the new index
@@ -669,61 +693,96 @@ func (e *Engine) CacheStats() (hits, misses uint64, entries int) {
 }
 
 // Engine cursors are the library's opaque tokens wrapped in an
-// envelope binding them to the epoch of the index binding they were
-// minted against. The library token positions into a result sequence
+// envelope binding them to the identity of the index binding they were
+// minted against: the in-process epoch plus the load-time signature
+// (see indexSig). The library token positions into a result sequence
 // by (trajectory, offset); that position keeps meaning across Append
 // and Seal (IDs only ever extend) but not across Reload, where the
 // file may hold renumbered data and a resume would return silently
-// wrong pages. The envelope lets the engine detect that case and fail
-// with ErrStaleCursor instead.
+// wrong pages. The epoch catches reloads within a process; the
+// signature catches the file changing across a restart, where every
+// epoch resets to 1 and would falsely validate.
 //
-// 0xE1, not 1: the library's own tokens start with their version byte
+// 0xE2, not 1: the library's own tokens start with their version byte
 // 1, and the envelope byte must not collide with them or a bare
 // library token would "unwrap" into garbage instead of failing as
-// ErrBadCursor.
-const engineCursorVersion = 0xE1
+// ErrBadCursor. (0xE1 was the pre-signature envelope; changing the
+// byte makes old tokens fail as bad cursors rather than misparse.)
+const engineCursorVersion = 0xE2
 
-// wrapCursor envelopes a library cursor token with the epoch it was
-// minted in. Empty tokens (exhausted streams) stay empty.
-func wrapCursor(epoch uint64, token string) string {
+// wrapCursor envelopes a library cursor token with the identity it was
+// minted under. Empty tokens (exhausted streams) stay empty.
+func wrapCursor(epoch, sig uint64, token string) string {
 	if token == "" {
 		return ""
 	}
-	b := make([]byte, 0, 1+binary.MaxVarintLen64+len(token))
+	b := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(token))
 	b = append(b, engineCursorVersion)
 	b = binary.AppendUvarint(b, epoch)
+	b = binary.AppendUvarint(b, sig)
 	b = append(b, token...)
 	return base64.RawURLEncoding.EncodeToString(b)
 }
 
 // unwrapCursor decodes an engine cursor envelope back into the inner
-// library token and its minting epoch. Malformed envelopes (including
-// bare library tokens, which never leave the engine) fail with
-// cinct.ErrBadCursor; shape validation of the inner token stays with
-// the library.
-func unwrapCursor(s string) (epoch uint64, token string, err error) {
+// library token and its minting identity. Malformed envelopes
+// (including bare library tokens, which never leave the engine) fail
+// with cinct.ErrBadCursor; shape validation of the inner token stays
+// with the library.
+func unwrapCursor(s string) (epoch, sig uint64, token string, err error) {
 	raw, derr := base64.RawURLEncoding.DecodeString(s)
 	if derr != nil || len(raw) < 2 || raw[0] != engineCursorVersion {
-		return 0, "", fmt.Errorf("%w: not an engine cursor", cinct.ErrBadCursor)
+		return 0, 0, "", fmt.Errorf("%w: not an engine cursor", cinct.ErrBadCursor)
 	}
 	epoch, n := binary.Uvarint(raw[1:])
-	if n <= 0 || len(raw) == 1+n {
+	if n <= 0 {
+		return 0, 0, "", fmt.Errorf("%w: malformed engine cursor", cinct.ErrBadCursor)
+	}
+	sig, m := binary.Uvarint(raw[1+n:])
+	if m <= 0 || len(raw) == 1+n+m {
 		// An envelope with no inner token would silently restart the
 		// query from page one instead of resuming it.
-		return 0, "", fmt.Errorf("%w: malformed engine cursor", cinct.ErrBadCursor)
+		return 0, 0, "", fmt.Errorf("%w: malformed engine cursor", cinct.ErrBadCursor)
 	}
-	return epoch, string(raw[1+n:]), nil
+	return epoch, sig, string(raw[1+n+m:]), nil
 }
 
 // page is the materialized, immutable form of one Search run — the
 // value the shared LRU holds. CountOnly pages carry only the count;
 // hit pages carry the hits in canonical order plus the resume cursor
-// the run ended with.
+// the run ended with, in its final (enveloped) form.
 type page struct {
 	count  int
 	hits   []cinct.Hit
 	cursor string
 }
+
+// hitStream is what a live Results iterates: a plain library run
+// (libStream), an ownership-filtered run serving a peer (ownedStream),
+// or the coordinator's k-way merge over the cluster (clusterStream).
+// Cursor returns the final caller-facing resume token — envelopes
+// included — positioned after the last yielded hit, or "" when the
+// stream is exhausted. close releases stream-private resources and
+// must be idempotent; the engine worker slot stays the Results' own
+// concern.
+type hitStream interface {
+	All() iter.Seq2[cinct.Hit, error]
+	Cursor() string
+	Stats() cinct.QueryStats
+	close()
+}
+
+// libStream adapts a plain library run: the cursor is the library
+// token in this node's identity envelope.
+type libStream struct {
+	lr         *cinct.Results
+	epoch, sig uint64
+}
+
+func (s libStream) All() iter.Seq2[cinct.Hit, error] { return s.lr.All() }
+func (s libStream) Cursor() string                   { return wrapCursor(s.epoch, s.sig, s.lr.Cursor()) }
+func (s libStream) Stats() cinct.QueryStats          { return s.lr.Stats() }
+func (s libStream) close()                           {}
 
 // Results is the engine's streaming query handle: either a replay of a
 // cached page or a live library run that accumulates into the cache as
@@ -734,11 +793,15 @@ type page struct {
 // Not safe for concurrent use.
 type Results struct {
 	q     cinct.Query
-	epoch uint64 // epoch the search ran at; binds handed-out cursors
-	page  *page  // replay source; nil while live
+	epoch uint64 // identity the search ran at; binds handed-out cursors
+	sig   uint64
+	// ident is the serving identity token peers read from scoped query
+	// summaries; set only on owned-scope results.
+	ident string
+	page  *page // replay source; nil while live
 	pos   int
 
-	live *cinct.Results
+	live hitStream
 	pull func() (cinct.Hit, error, bool)
 	stop func()
 	e    *Engine
@@ -872,6 +935,9 @@ func (r *Results) releaseSlot() {
 		r.stop()
 		r.stop, r.pull = nil, nil
 	}
+	if r.live != nil {
+		r.live.close()
+	}
 	if r.held {
 		r.held = false
 		r.e.release()
@@ -921,18 +987,23 @@ func (r *Results) Cursor() string {
 		return ""
 	}
 	if r.live != nil {
-		return wrapCursor(r.epoch, r.live.Cursor())
+		return r.live.Cursor()
 	}
 	if r.page != nil {
 		if r.pos >= len(r.page.hits) {
-			return wrapCursor(r.epoch, r.page.cursor)
+			return r.page.cursor
 		}
 		if r.hasLast {
-			return wrapCursor(r.epoch, r.q.CursorAfter(r.last))
+			return wrapCursor(r.epoch, r.sig, r.q.CursorAfter(r.last))
 		}
 	}
 	return ""
 }
+
+// Ident returns the serving index's identity token for owned-scope
+// results ("" otherwise); scoped query summaries carry it so a cluster
+// coordinator can mint per-node resume cursors.
+func (r *Results) Ident() string { return r.ident }
 
 // Search is the engine's single query entry point: every operation —
 // spatial or temporal, counting, locating or listing trajectories — is
@@ -943,6 +1014,26 @@ func (r *Results) Cursor() string {
 // ErrNotTemporal; descriptor violations (negative limit, unknown kind)
 // fail with cinct.ErrBadQuery before any index work.
 func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Results, error) {
+	return e.SearchScoped(ctx, name, q, ScopeAuto)
+}
+
+// SearchScoped is Search with explicit cluster scope. ScopeAuto is
+// what Search does: scatter-gather on a clustered engine (except
+// CountOnly, which every node answers exactly from its full local
+// copy), plain local serving otherwise. ScopeOwned answers only from
+// ring-owned trajectories and never fans out — it is the scope peers
+// request from each other, and fails on a non-clustered engine.
+func (e *Engine) SearchScoped(ctx context.Context, name string, q cinct.Query, scope Scope) (*Results, error) {
+	if scope == ScopeOwned {
+		return e.searchOwned(ctx, name, q)
+	}
+	if e.cluster != nil && q.Kind != cinct.CountOnly {
+		return e.searchCluster(ctx, name, q)
+	}
+	return e.searchLocal(ctx, name, q)
+}
+
+func (e *Engine) searchLocal(ctx context.Context, name string, q cinct.Query) (*Results, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -951,16 +1042,16 @@ func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Resul
 		return nil, err
 	}
 	if q.Cursor != "" {
-		epoch, inner, cerr := unwrapCursor(q.Cursor)
+		epoch, sig, inner, cerr := unwrapCursor(q.Cursor)
 		if cerr != nil {
 			return nil, cerr
 		}
-		if epoch != v.epoch {
-			return nil, fmt.Errorf("%w: %q epoch %d, cursor epoch %d", ErrStaleCursor, v.name, v.epoch, epoch)
+		if epoch != v.epoch || sig != v.sig {
+			return nil, fmt.Errorf("%w: %q changed since the cursor was issued", ErrStaleCursor, v.name)
 		}
 		// The library sees only its own token; the cache key is built
-		// from the unwrapped form so a page is reusable whatever epoch
-		// envelope it arrived in.
+		// from the unwrapped form so a page is reusable whatever
+		// identity envelope it arrived in.
 		q.Cursor = inner
 	}
 	enc, err := q.MarshalBinary()
@@ -976,7 +1067,7 @@ func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Resul
 	if val, ok := e.cache.get(key); ok {
 		e.metrics.cacheHits.Inc()
 		e.recordQuery(v.name, q, start, cinct.QueryStats{}, nil)
-		return &Results{q: q, epoch: v.epoch, page: val.(*page)}, nil
+		return &Results{q: q, epoch: v.epoch, sig: v.sig, page: val.(*page)}, nil
 	}
 	e.metrics.cacheMisses.Inc()
 	if err := e.acquire(ctx, estimateCost(q)); err != nil {
@@ -1007,9 +1098,10 @@ func (e *Engine) Search(ctx context.Context, name string, q cinct.Query) (*Resul
 		}
 		p := &page{count: n}
 		e.cache.put(key, p)
-		return &Results{q: q, epoch: v.epoch, page: p}, nil
+		return &Results{q: q, epoch: v.epoch, sig: v.sig, page: p}, nil
 	}
-	return &Results{q: q, epoch: v.epoch, live: lr, e: e, key: key, held: true,
+	return &Results{q: q, epoch: v.epoch, sig: v.sig,
+		live: libStream{lr: lr, epoch: v.epoch, sig: v.sig}, e: e, key: key, held: true,
 		name: v.name, start: start, acc: make([]cinct.Hit, 0, 16)}, nil
 }
 

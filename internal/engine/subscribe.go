@@ -55,12 +55,17 @@ const (
 )
 
 // Notification is one standing-query match: a freshly appended
-// trajectory satisfied the subscription's predicate.
+// trajectory satisfied the subscription's predicate. A final
+// drop-report notification — Trajectory and Offset both -1 — is
+// delivered when the stream closes with drops the consumer has not
+// seen in-band yet, so losses are observable even when no further
+// match ever arrives.
 type Notification struct {
 	Subscription string `json:"subscription"`
 	Index        string `json:"index"`
 	// Trajectory/Offset locate the first matching occurrence in the
-	// new row, exactly as a Search hit would.
+	// new row, exactly as a Search hit would; both are -1 on the final
+	// drop-report notification.
 	Trajectory int `json:"trajectory"`
 	Offset     int `json:"offset"`
 	// EnteredAt is the entry time of the match's first edge (timed
@@ -84,9 +89,14 @@ type Subscription struct {
 
 	// mu orders push against close: a send on a closed channel would
 	// panic, so both the send and the close happen under mu.
-	mu      sync.Mutex
-	closed  bool
-	dropped atomic.Uint64
+	mu     sync.Mutex
+	closed bool
+	// reported is the drop count the consumer has seen in-band (the
+	// Dropped field of the last successfully buffered notification).
+	// close compares it against dropped to decide whether a final
+	// drop-report notification is owed. Guarded by mu.
+	reported uint64
+	dropped  atomic.Uint64
 }
 
 // ID returns the subscription's registry key.
@@ -121,6 +131,10 @@ func (s *Subscription) push(n Notification) (delivered, droppedNow bool) {
 	n.Dropped = s.dropped.Load()
 	select {
 	case s.ch <- n:
+		// Only a *successful* send makes the snapshot visible; a drop
+		// whose count was snapshotted into a notification that never
+		// left stays unreported until close settles the account.
+		s.reported = n.Dropped
 		return true, false
 	default:
 		s.dropped.Add(1)
@@ -128,12 +142,34 @@ func (s *Subscription) push(n Notification) (delivered, droppedNow bool) {
 	}
 }
 
-// close ends the stream exactly once.
+// close ends the stream exactly once. If notifications were dropped
+// after the last count the consumer saw in-band, a final drop-report
+// notification (Trajectory/Offset -1) is delivered first — evicting
+// the oldest buffered notification if the buffer is still full — so a
+// consumer whose very last notification was dropped still learns of
+// the loss instead of seeing a clean close.
 func (s *Subscription) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return
+	}
+	if d := s.dropped.Load(); d > s.reported {
+		n := Notification{Subscription: s.id, Index: s.index, Trajectory: -1, Offset: -1, Dropped: d}
+		select {
+		case s.ch <- n:
+			s.reported = d
+		default:
+			select {
+			case <-s.ch:
+			default:
+			}
+			select {
+			case s.ch <- n:
+				s.reported = d
+			default:
+			}
+		}
 	}
 	s.closed = true
 	close(s.ch)
@@ -177,21 +213,31 @@ func (r *subRegistry) add(index string, pred Predicate, ttl time.Duration, buffe
 }
 
 // remove unregisters and closes the subscription; it reports whether
-// this call was the one that removed it.
+// this call was the one that removed it. A TTL timer that has already
+// started firing when Stop is called simply loses the race: its
+// onExpire finds the subscription gone (this function returns false
+// for it), close is idempotent, and only the winning caller counts —
+// no double-close, no metric double-count. The timer handle is
+// captured under the registry lock so remove never races the add that
+// published it.
 func (r *subRegistry) remove(index, id string) bool {
 	r.mu.Lock()
 	s := r.byIndex[index][id]
+	var t *time.Timer
 	if s != nil {
 		delete(r.byIndex[index], id)
 		if len(r.byIndex[index]) == 0 {
 			delete(r.byIndex, index)
 		}
+		t = s.timer
 	}
 	r.mu.Unlock()
 	if s == nil {
 		return false
 	}
-	s.timer.Stop()
+	if t != nil {
+		t.Stop()
+	}
 	s.close()
 	return true
 }
@@ -234,9 +280,17 @@ func (r *subRegistry) closeIndex(index string) {
 	r.mu.Lock()
 	m := r.byIndex[index]
 	delete(r.byIndex, index)
-	r.mu.Unlock()
+	timers := make([]*time.Timer, 0, len(m))
 	for _, s := range m {
-		s.timer.Stop()
+		timers = append(timers, s.timer)
+	}
+	r.mu.Unlock()
+	for _, t := range timers {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	for _, s := range m {
 		s.close()
 	}
 }
@@ -247,10 +301,20 @@ func (r *subRegistry) closeAll() {
 	all := r.byIndex
 	r.byIndex = make(map[string]map[string]*Subscription)
 	r.closed = true
-	r.mu.Unlock()
+	var timers []*time.Timer
 	for _, m := range all {
 		for _, s := range m {
-			s.timer.Stop()
+			timers = append(timers, s.timer)
+		}
+	}
+	r.mu.Unlock()
+	for _, t := range timers {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	for _, m := range all {
+		for _, s := range m {
 			s.close()
 		}
 	}

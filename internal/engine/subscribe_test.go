@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -209,6 +210,171 @@ func TestSubscribeSlowConsumerDrops(t *testing.T) {
 	n := recv(t, s)
 	if n.Trajectory != 6 || n.Dropped != 3 {
 		t.Fatalf("post-drop notification %+v, want trajectory 6 with dropped=3", n)
+	}
+}
+
+// TestSubscribeFinalDropReport pins the close-time accounting: when
+// the very last notification before cancel was dropped, the consumer
+// must still learn of the loss through the final in-band drop-report
+// (Trajectory/Offset -1) rather than seeing a clean close.
+func TestSubscribeFinalDropReport(t *testing.T) {
+	e := subEngine(t)
+	ctx := context.Background()
+
+	s, err := e.Subscribe("t", Predicate{Path: []uint32{9}}, SubscribeOptions{Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First match fills the buffer; second drops. No further match will
+	// ever arrive, so without the close-time report the drop would be
+	// invisible.
+	if _, err := e.Append(ctx, "t", [][]uint32{{9, 1}}, [][]int64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append(ctx, "t", [][]uint32{{9, 2}}, [][]int64{{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	first := recv(t, s)
+	if first.Trajectory != 2 || first.Dropped != 0 {
+		t.Fatalf("first notification %+v", first)
+	}
+	if err := e.Unsubscribe("t", s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	rep := recv(t, s)
+	if rep.Trajectory != -1 || rep.Offset != -1 || rep.Dropped != 1 {
+		t.Fatalf("final drop-report %+v, want trajectory/offset -1 with dropped=1", rep)
+	}
+	assertClosed(t, s)
+}
+
+// TestSubscribeFinalDropReportEvicts covers the full-buffer close: the
+// report evicts the oldest buffered notification rather than being
+// silently discarded.
+func TestSubscribeFinalDropReportEvicts(t *testing.T) {
+	e := subEngine(t)
+	ctx := context.Background()
+
+	s, err := e.Subscribe("t", Predicate{Path: []uint32{9}}, SubscribeOptions{Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append(ctx, "t", [][]uint32{{9, 1}, {9, 2}}, [][]int64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	// Buffer holds trajectory 2; trajectory 3's notification dropped.
+	// Close with the consumer never reading: the report must displace
+	// the buffered notification.
+	if err := e.Unsubscribe("t", s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	rep := recv(t, s)
+	if rep.Trajectory != -1 || rep.Offset != -1 || rep.Dropped != 1 {
+		t.Fatalf("final drop-report %+v, want trajectory/offset -1 with dropped=1", rep)
+	}
+	assertClosed(t, s)
+
+	// A subscription with no unreported drops closes cleanly — no
+	// spurious report.
+	s2, err := e.Subscribe("t", Predicate{Path: []uint32{9}}, SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Append(ctx, "t", [][]uint32{{9, 3}}, [][]int64{{5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := recv(t, s2); n.Trajectory != 4 {
+		t.Fatalf("notification %+v", n)
+	}
+	if err := e.Unsubscribe("t", s2.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := <-s2.C(); ok {
+		t.Fatalf("unexpected notification after clean close: %+v", n)
+	}
+}
+
+// TestSubscribeExpiryCancelRace drives the TTL timer against
+// concurrent cancellation: whichever side wins, the subscription is
+// removed exactly once — the expiry metric and successful Unsubscribe
+// calls together account for every subscription, with no double count
+// and no double close.
+func TestSubscribeExpiryCancelRace(t *testing.T) {
+	e := subEngine(t)
+	const n = 64
+
+	base := e.metrics.subsExpired.Value()
+	var cancelled atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		s, err := e.Subscribe("t", Predicate{Path: []uint32{1}}, SubscribeOptions{TTL: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := e.Unsubscribe("t", id); err == nil {
+				cancelled.Add(1)
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Errorf("unsubscribe: %v", err)
+			}
+		}(s.ID())
+		go func() {
+			for range s.C() {
+			}
+		}()
+	}
+	wg.Wait()
+	// Let every timer that won its race finish firing.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.subs.count() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cnt := e.subs.count(); cnt != 0 {
+		t.Fatalf("%d subscriptions leaked", cnt)
+	}
+	// Expiries keep racing Unsubscribe after it loses, so poll until
+	// the account settles.
+	for time.Now().Before(deadline) {
+		if e.metrics.subsExpired.Value()-base+cancelled.Load() == n {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	expired := e.metrics.subsExpired.Value() - base
+	if expired+cancelled.Load() != n {
+		t.Fatalf("expired %d + cancelled %d != %d subscriptions", expired, cancelled.Load(), n)
+	}
+}
+
+// TestSubscribeExpiryCloseIndexRace races index close against firing
+// TTL timers; the loser must neither double-close nor double-count.
+func TestSubscribeExpiryCloseIndexRace(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		e := subEngine(t)
+		base := e.metrics.subsExpired.Value()
+		const n = 16
+		for i := 0; i < n; i++ {
+			s, err := e.Subscribe("t", Predicate{Path: []uint32{1}}, SubscribeOptions{TTL: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			go func() {
+				for range s.C() {
+				}
+			}()
+		}
+		time.Sleep(time.Millisecond) // let some timers fire mid-close
+		if err := e.Close("t"); err != nil {
+			t.Fatal(err)
+		}
+		if cnt := e.subs.count(); cnt != 0 {
+			t.Fatalf("round %d: %d subscriptions leaked", round, cnt)
+		}
+		if expired := e.metrics.subsExpired.Value() - base; expired > n {
+			t.Fatalf("round %d: %d expiries counted for %d subscriptions", round, expired, n)
+		}
 	}
 }
 

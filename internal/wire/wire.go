@@ -1,0 +1,154 @@
+// Package wire holds the JSON shapes of the /v1/{index}/query NDJSON
+// protocol and the page decoder both sides of it share: the server
+// package aliases Request as its public QueryRequest, the HTTP client
+// decodes pages with ReadPage, and the cluster fan-out uses the same
+// decoder to consume scoped pages from peers. Keeping one codec is
+// what makes "distributed answers byte-identical to single-node" a
+// checkable property: there is no second parser to drift.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"cinct"
+)
+
+// Request is the body of POST /v1/{index}/query — the wire form of
+// cinct.Query. Kind is spelled "occurrences" (the default),
+// "trajectories" or "count". From/To, when either is present, form the
+// closed interval constraint; a missing bound defaults to the widest
+// value, mirroring the legacy temporal endpoints.
+type Request struct {
+	Path   []uint32 `json:"path"`
+	Kind   string   `json:"kind,omitempty"`
+	From   *int64   `json:"from,omitempty"`
+	To     *int64   `json:"to,omitempty"`
+	Limit  int      `json:"limit,omitempty"`
+	Cursor string   `json:"cursor,omitempty"`
+}
+
+// Query converts the wire form to the library descriptor.
+func (qr Request) Query() (cinct.Query, error) {
+	kind, err := cinct.KindFromString(qr.Kind)
+	if err != nil {
+		return cinct.Query{}, err
+	}
+	q := cinct.Query{Path: qr.Path, Kind: kind, Limit: qr.Limit, Cursor: qr.Cursor}
+	if qr.From != nil || qr.To != nil {
+		iv := &cinct.Interval{From: math.MinInt64, To: math.MaxInt64}
+		if qr.From != nil {
+			iv.From = *qr.From
+		}
+		if qr.To != nil {
+			iv.To = *qr.To
+		}
+		q.Interval = iv
+	}
+	return q, nil
+}
+
+// FromQuery converts a library descriptor to the wire form (what
+// Client.Search posts).
+func FromQuery(q cinct.Query) Request {
+	qr := Request{Path: q.Path, Kind: q.Kind.String(), Limit: q.Limit, Cursor: q.Cursor}
+	if q.Interval != nil {
+		from, to := q.Interval.From, q.Interval.To
+		qr.From, qr.To = &from, &to
+	}
+	return qr
+}
+
+// Page is one decoded page of POST /v1/{index}/query: the hits in
+// canonical order, the count reported by the summary record, the
+// resume cursor ("" when the server exhausted the stream) and — for
+// scoped cluster pages — the serving node's index identity.
+type Page struct {
+	Hits   []cinct.Hit
+	Count  int
+	Cursor string
+	// Ident is the serving index's identity token (epoch + load
+	// signature), emitted for scoped queries so a cluster coordinator
+	// can mint per-node resume cursors. Empty on plain queries.
+	Ident string
+}
+
+// StreamError is a mid-stream failure reported by the summary record:
+// the earlier hit records form a valid prefix of the result. Partial
+// lists peers the serving node could not reach, when the failure was a
+// cluster fan-out losing a node.
+type StreamError struct {
+	Msg     string
+	Partial []string
+}
+
+func (e *StreamError) Error() string { return e.Msg }
+
+// line is the union shape of an NDJSON stream record: a summary line
+// carries done/count/cursor/error, a hit line carries
+// trajectory/offset/enteredAt. The pointer fields disambiguate.
+type line struct {
+	Trajectory *int     `json:"trajectory"`
+	Offset     *int     `json:"offset"`
+	EnteredAt  *int64   `json:"enteredAt"`
+	Done       *bool    `json:"done"`
+	Count      *int     `json:"count"`
+	Cursor     string   `json:"cursor"`
+	Ident      string   `json:"ident"`
+	Error      string   `json:"error"`
+	Partial    []string `json:"partial"`
+}
+
+// maxLine bounds one NDJSON record; generous, since a record is one
+// hit or one summary.
+const maxLine = 1 << 20
+
+// ReadPage decodes one NDJSON query stream into a Page. A summary
+// record carrying an error returns (*StreamError); a stream that ends
+// without a summary record is a transport truncation and errors too.
+func ReadPage(r io.Reader) (*Page, error) {
+	page := &Page{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	sawSummary := false
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec line
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("server: bad stream record: %w", err)
+		}
+		switch {
+		case rec.Done != nil || rec.Error != "":
+			if rec.Error != "" {
+				return nil, &StreamError{Msg: rec.Error, Partial: rec.Partial}
+			}
+			if rec.Count != nil {
+				page.Count = *rec.Count
+			}
+			page.Cursor = rec.Cursor
+			page.Ident = rec.Ident
+			sawSummary = true
+		case rec.Trajectory != nil && rec.Offset != nil:
+			h := cinct.Hit{Match: cinct.Match{Trajectory: *rec.Trajectory, Offset: *rec.Offset}}
+			if rec.EnteredAt != nil {
+				h.EnteredAt = *rec.EnteredAt
+			}
+			page.Hits = append(page.Hits, h)
+		default:
+			return nil, fmt.Errorf("server: unrecognized stream record %q", raw)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawSummary {
+		return nil, fmt.Errorf("server: truncated query stream (no summary record)")
+	}
+	return page, nil
+}

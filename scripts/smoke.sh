@@ -12,11 +12,15 @@ bindir="$workdir/bin"
 datadir="$workdir/data"
 mkdir -p "$bindir" "$datadir"
 daemon_pid=""
+daemon_b_pid=""
+oracle_pid=""
 
 cleanup() {
-  if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
-    kill -9 "$daemon_pid" 2>/dev/null || true
-  fi
+  for pid in "$daemon_pid" "$daemon_b_pid" "$oracle_pid"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -555,6 +559,121 @@ if kill -0 "$daemon_pid" 2>/dev/null; then
 fi
 wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
 [ "$rc" = 0 ] || { echo "smoke: cinctd -roadnet exited with $rc" >&2; exit 1; }
+daemon_pid=""
+
+echo "== cluster mode (two daemons, scatter-gather)"
+# Two nodes over the same index files: answers through either node must
+# be byte-identical to a single-node daemon, and killing one peer must
+# turn into a typed partial failure (502 + X-CiNCT-Partial), never a
+# silently truncated result set.
+addrA="127.0.0.1:18138"
+addrB="127.0.0.1:18139"
+baseA="http://$addrA"
+baseB="http://$addrB"
+"$bindir/cinctd" -data "$datadir" -addr "$addrA" -advertise "$baseA" \
+  -peer "$baseB" -cluster-slot 16 &
+daemon_pid=$!
+"$bindir/cinctd" -data "$datadir" -addr "$addrB" -advertise "$baseB" \
+  -peer "$baseA" -cluster-slot 16 &
+daemon_b_pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "$baseA/v1/indexes" >/dev/null 2>&1 \
+    && curl -sf "$baseB/v1/indexes" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$daemon_pid" 2>/dev/null || ! kill -0 "$daemon_b_pid" 2>/dev/null; then
+    echo "smoke: a cluster daemon exited before becoming ready" >&2; exit 1
+  fi
+  sleep 0.2
+done
+
+# Both members report the same ring fingerprint and see each other.
+fpA=$(curl -sf "$baseA/v1/indexes" | jq -r .cluster.fingerprint)
+fpB=$(curl -sf "$baseB/v1/indexes" | jq -r .cluster.fingerprint)
+[ -n "$fpA" ] && [ "$fpA" = "$fpB" ] || {
+  echo "smoke: ring fingerprints diverge ($fpA vs $fpB)" >&2; exit 1
+}
+curl -sf "$baseA/v1/indexes" | jq -e \
+  ".cluster.self == \"$baseA\" and .cluster.slotTrajectories == 16 and (.cluster.peers | length) == 1 and .cluster.peers[0].addr == \"$baseB\"" >/dev/null \
+  || { echo "smoke: cluster block drift on node A" >&2; exit 1; }
+echo "ok both nodes agree on ring $fpA"
+
+# Scatter-gather answers from either coordinator must equal the
+# single-node stream over the same files (the first daemon's unpaged
+# run is long gone, so re-derive the oracle from a fresh local run).
+oracle="$workdir/cluster-oracle.ndjson"
+"$bindir/cinctd" -data "$datadir" -addr "127.0.0.1:18140" &
+oracle_pid=$!
+for i in $(seq 1 50); do
+  if curl -sf "http://127.0.0.1:18140/v1/indexes" >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+curl -sf -X POST -H 'Content-Type: application/json' -d "{\"path\":$jpath}" \
+  "http://127.0.0.1:18140/v1/smoke/query" | jq -c 'select(has("done") | not)' > "$oracle"
+kill -TERM "$oracle_pid"; wait "$oracle_pid" 2>/dev/null || true
+oracle_pid=""
+for node in "$baseA" "$baseB"; do
+  curl -sf -X POST -H 'Content-Type: application/json' -d "{\"path\":$jpath}" \
+    "$node/v1/smoke/query" | jq -c 'select(has("done") | not)' > "$workdir/cluster-got.ndjson"
+  cmp -s "$oracle" "$workdir/cluster-got.ndjson" || {
+    echo "smoke: scatter-gather via $node differs from single-node" >&2
+    diff "$oracle" "$workdir/cluster-got.ndjson" >&2 || true
+    exit 1
+  }
+done
+echo "ok scatter-gather == single-node through both coordinators"
+
+# Cursor pagination across the cluster: pages of 2 through node A must
+# concatenate to the oracle stream too.
+: > "$workdir/cluster-paged.ndjson"
+cursor=""
+pages=0
+while :; do
+  if [ -n "$cursor" ]; then
+    body="{\"path\":$jpath,\"limit\":2,\"cursor\":\"$cursor\"}"
+  else
+    body="{\"path\":$jpath,\"limit\":2}"
+  fi
+  page=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "$baseA/v1/smoke/query")
+  echo "$page" | jq -c 'select(has("done") | not)' >> "$workdir/cluster-paged.ndjson"
+  cursor=$(echo "$page" | jq -r 'select(.done == true).cursor // empty')
+  pages=$((pages + 1))
+  [ -z "$cursor" ] && break
+  [ "$pages" -gt 200 ] && { echo "smoke: cluster cursor chain does not terminate" >&2; exit 1; }
+done
+cmp -s "$oracle" "$workdir/cluster-paged.ndjson" || {
+  echo "smoke: cluster cursor pages differ from single-node stream" >&2; exit 1
+}
+[ "$pages" -ge 2 ] || { echo "smoke: cluster pagination made only $pages page(s)" >&2; exit 1; }
+echo "ok cluster cursor pagination ($pages pages == single-node)"
+
+# Kill node B: a scatter query through A must fail typed — 502 with the
+# dead peer named in X-CiNCT-Partial — not return a truncated stream.
+kill -9 "$daemon_b_pid"
+wait "$daemon_b_pid" 2>/dev/null || true
+daemon_b_pid=""
+hdrs=$(curl -s -D - -o /dev/null -X POST -H 'Content-Type: application/json' \
+  -d "{\"path\":$jpath}" "$baseA/v1/smoke/query")
+echo "$hdrs" | head -1 | grep -q ' 502 ' \
+  || { echo "smoke: dead-peer query status not 502: $(echo "$hdrs" | head -1)" >&2; exit 1; }
+echo "$hdrs" | grep -i "^x-cinct-partial:" | grep -q "$baseB" \
+  || { echo "smoke: 502 missing X-CiNCT-Partial naming $baseB" >&2; exit 1; }
+# Count stays local (every node holds the full corpus) so it still works.
+qc=$(curl -sf -X POST -H 'Content-Type: application/json' \
+  -d "{\"path\":$jpath,\"kind\":\"count\"}" "$baseA/v1/smoke/query" \
+  | jq -r 'select(.done == true).count')
+[ "$qc" = "$legacy" ] || { echo "smoke: local count after peer death: $qc, want $legacy" >&2; exit 1; }
+echo "ok dead peer => 502 + X-CiNCT-Partial, local counts unaffected"
+
+echo "== graceful shutdown (cluster daemon A)"
+kill -TERM "$daemon_pid"
+for i in $(seq 1 50); do
+  if ! kill -0 "$daemon_pid" 2>/dev/null; then break; fi
+  sleep 0.2
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+  echo "smoke: cluster cinctd did not exit on SIGTERM" >&2; exit 1
+fi
+wait "$daemon_pid" 2>/dev/null && rc=0 || rc=$?
+[ "$rc" = 0 ] || { echo "smoke: cluster cinctd exited with $rc" >&2; exit 1; }
 daemon_pid=""
 
 echo "== CLI compaction of a local file"

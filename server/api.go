@@ -11,7 +11,9 @@ import (
 	"math"
 
 	"cinct"
+	"cinct/internal/cluster"
 	"cinct/internal/engine"
+	"cinct/internal/wire"
 )
 
 // Match mirrors cinct.Match on the wire.
@@ -41,10 +43,22 @@ type RuntimeInfo struct {
 	WALFsyncs    int64 `json:"walFsyncs"`
 }
 
+// ClusterInfo is the cluster block of GET /v1/indexes, present only on
+// clustered daemons: this node's advertised address, the routing
+// parameters (which must agree across the cluster — Fingerprint is the
+// quick equality check), and each peer's observed health.
+type ClusterInfo struct {
+	Self             string               `json:"self"`
+	SlotTrajectories int                  `json:"slotTrajectories"`
+	Fingerprint      string               `json:"fingerprint"`
+	Peers            []cluster.PeerHealth `json:"peers"`
+}
+
 // ListResponse is the body of GET /v1/indexes.
 type ListResponse struct {
 	Indexes []engine.Info `json:"indexes"`
 	Runtime RuntimeInfo   `json:"runtime"`
+	Cluster *ClusterInfo  `json:"cluster,omitempty"`
 }
 
 // CountResponse is the body of GET /v1/{index}/count.
@@ -98,49 +112,16 @@ type TemporalCountResponse struct {
 }
 
 // QueryRequest is the body of POST /v1/{index}/query — the wire form
-// of cinct.Query. Kind is spelled "occurrences" (the default),
-// "trajectories" or "count". From/To, when either is present, form the
-// closed interval constraint; a missing bound defaults to the widest
-// value, mirroring the legacy temporal endpoints.
-type QueryRequest struct {
-	Path   []uint32 `json:"path"`
-	Kind   string   `json:"kind,omitempty"`
-	From   *int64   `json:"from,omitempty"`
-	To     *int64   `json:"to,omitempty"`
-	Limit  int      `json:"limit,omitempty"`
-	Cursor string   `json:"cursor,omitempty"`
-}
-
-// Query converts the wire form to the library descriptor.
-func (qr QueryRequest) Query() (cinct.Query, error) {
-	kind, err := cinct.KindFromString(qr.Kind)
-	if err != nil {
-		return cinct.Query{}, err
-	}
-	q := cinct.Query{Path: qr.Path, Kind: kind, Limit: qr.Limit, Cursor: qr.Cursor}
-	if qr.From != nil || qr.To != nil {
-		iv := &cinct.Interval{From: math.MinInt64, To: math.MaxInt64}
-		if qr.From != nil {
-			iv.From = *qr.From
-		}
-		if qr.To != nil {
-			iv.To = *qr.To
-		}
-		q.Interval = iv
-	}
-	return q, nil
-}
+// of cinct.Query, shared with the cluster fan-out through the wire
+// package. Kind is spelled "occurrences" (the default), "trajectories"
+// or "count". From/To, when either is present, form the closed
+// interval constraint; a missing bound defaults to the widest value,
+// mirroring the legacy temporal endpoints.
+type QueryRequest = wire.Request
 
 // WireQuery converts a library descriptor to the wire form (what
 // Client.Search posts).
-func WireQuery(q cinct.Query) QueryRequest {
-	qr := QueryRequest{Path: q.Path, Kind: q.Kind.String(), Limit: q.Limit, Cursor: q.Cursor}
-	if q.Interval != nil {
-		from, to := q.Interval.From, q.Interval.To
-		qr.From, qr.To = &from, &to
-	}
-	return qr
-}
+func WireQuery(q cinct.Query) QueryRequest { return wire.FromQuery(q) }
 
 // QueryHit is one hit record in the NDJSON stream of POST
 // /v1/{index}/query. For trajectories-kind queries Offset is -1.
@@ -156,12 +137,17 @@ type QueryHit struct {
 // occurrence count for count-kind queries), cursor — when present —
 // resumes the query past the last streamed hit, and error carries a
 // mid-stream failure (in which case done is false and the earlier
-// records form a valid prefix of the result).
+// records form a valid prefix of the result). Ident is emitted only on
+// owner-scoped (cluster fan-out) streams: the serving index's identity
+// token, which coordinators fold into cluster resume cursors. Partial
+// accompanies a cluster fan-out error, listing the unreachable peers.
 type QuerySummary struct {
-	Done   bool   `json:"done"`
-	Count  int    `json:"count"`
-	Cursor string `json:"cursor,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Done    bool     `json:"done"`
+	Count   int      `json:"count"`
+	Cursor  string   `json:"cursor,omitempty"`
+	Ident   string   `json:"ident,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	Partial []string `json:"partial,omitempty"`
 }
 
 // ReloadResponse is the body of POST /v1/{index}/reload.

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"iter"
@@ -17,6 +18,7 @@ import (
 	"cinct"
 	"cinct/internal/engine"
 	"cinct/internal/gps"
+	"cinct/internal/wire"
 )
 
 // DefaultPageSize is the page length Client.Search requests per POST
@@ -54,9 +56,16 @@ func orDefault(hc *http.Client) *http.Client {
 // `errors.Is(err, engine.ErrOverloaded)` work end-to-end across the
 // wire.
 type APIError struct {
-	Status     int
-	Message    string
-	RetryAfter time.Duration // 0 when the server sent no hint
+	Status  int
+	Message string
+	// RetryAfter is the parsed Retry-After hint. A zero duration is a
+	// valid hint ("retry immediately"); check HasRetryAfter to
+	// distinguish it from "no hint sent".
+	RetryAfter    time.Duration
+	HasRetryAfter bool
+	// PartialPeers lists the unreachable peers of a partial cluster
+	// result (the X-CiNCT-Partial header of a 502).
+	PartialPeers []string
 }
 
 func (e *APIError) Error() string {
@@ -76,6 +85,10 @@ func (e *APIError) Is(target error) bool {
 		return e.Status == http.StatusServiceUnavailable
 	case engine.ErrNotFound:
 		return e.Status == http.StatusNotFound
+	case engine.ErrPartial:
+		return e.Status == http.StatusBadGateway
+	case engine.ErrStaleCursor:
+		return e.Status == http.StatusGone
 	}
 	return false
 }
@@ -88,10 +101,43 @@ func apiError(resp *http.Response, body []byte) *APIError {
 	if json.Unmarshal(body, &er) == nil && er.Error != "" {
 		e.Message = er.Error
 	}
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		e.RetryAfter = time.Duration(secs) * time.Second
+	if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok {
+		e.RetryAfter, e.HasRetryAfter = d, true
+	}
+	if p := resp.Header.Get("X-CiNCT-Partial"); p != "" {
+		for _, peer := range strings.Split(p, ",") {
+			if peer = strings.TrimSpace(peer); peer != "" {
+				e.PartialPeers = append(e.PartialPeers, peer)
+			}
+		}
 	}
 	return e
+}
+
+// parseRetryAfter decodes the Retry-After header's two RFC 9110
+// shapes: delay-seconds (integral or, leniently, fractional — some
+// proxies emit "1.5") and HTTP-date. "0" is a valid hint meaning
+// "retry immediately" and must not be conflated with an absent header;
+// negative delays and dates in the past clamp to 0.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if secs < 0 {
+			secs = 0
+		}
+		return time.Duration(secs * float64(time.Second)), true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // pathParam spells a query path the way the server parses it.
@@ -237,22 +283,11 @@ type QueryPage struct {
 	Cursor string
 }
 
-// queryLine is the union shape of an NDJSON stream record: a summary
-// line carries done/count/cursor/error, a hit line carries
-// trajectory/offset/enteredAt. The pointer fields disambiguate.
-type queryLine struct {
-	Trajectory *int   `json:"trajectory"`
-	Offset     *int   `json:"offset"`
-	EnteredAt  *int64 `json:"enteredAt"`
-	Done       *bool  `json:"done"`
-	Count      *int   `json:"count"`
-	Cursor     string `json:"cursor"`
-	Error      string `json:"error"`
-}
-
 // SearchPage executes exactly one Query page against the daemon,
-// decoding the NDJSON stream as it arrives. Most callers want Search,
-// which follows cursors transparently.
+// decoding the NDJSON stream as it arrives (the shared wire codec —
+// the same decoder the cluster fan-out uses). Most callers want
+// Search, which follows cursors transparently. A mid-stream partial
+// cluster result surfaces as *engine.PartialError.
 func (c *Client) SearchPage(ctx context.Context, index string, q cinct.Query) (*QueryPage, error) {
 	body, err := json.Marshal(WireQuery(q))
 	if err != nil {
@@ -273,46 +308,18 @@ func (c *Client) SearchPage(ctx context.Context, index string, q cinct.Query) (*
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 		return nil, apiError(resp, msg)
 	}
-	page := &QueryPage{}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	sawSummary := false
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var rec queryLine
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, fmt.Errorf("server: bad stream record: %w", err)
-		}
-		switch {
-		case rec.Done != nil || rec.Error != "":
-			if rec.Error != "" {
-				return nil, fmt.Errorf("server: %s", rec.Error)
+	page, err := wire.ReadPage(resp.Body)
+	if err != nil {
+		var se *wire.StreamError
+		if errors.As(err, &se) {
+			if len(se.Partial) > 0 {
+				return nil, &engine.PartialError{Peers: se.Partial}
 			}
-			if rec.Count != nil {
-				page.Count = *rec.Count
-			}
-			page.Cursor = rec.Cursor
-			sawSummary = true
-		case rec.Trajectory != nil && rec.Offset != nil:
-			h := cinct.Hit{Match: cinct.Match{Trajectory: *rec.Trajectory, Offset: *rec.Offset}}
-			if rec.EnteredAt != nil {
-				h.EnteredAt = *rec.EnteredAt
-			}
-			page.Hits = append(page.Hits, h)
-		default:
-			return nil, fmt.Errorf("server: unrecognized stream record %q", line)
+			return nil, fmt.Errorf("server: %s", se.Msg)
 		}
-	}
-	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if !sawSummary {
-		return nil, fmt.Errorf("server: truncated query stream (no summary record)")
-	}
-	return page, nil
+	return &QueryPage{Hits: page.Hits, Count: page.Count, Cursor: page.Cursor}, nil
 }
 
 // Search executes a Query against the daemon and returns a lazy hit

@@ -1,0 +1,643 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cinct"
+	"cinct/internal/cluster"
+	"cinct/internal/engine"
+	"cinct/internal/querygen"
+)
+
+// clusterSlotW keeps the routing slots small relative to the fixture's
+// 160 trajectories so both nodes own real shares of every result set.
+const clusterSlotW = 16
+
+// clusterNode is one in-process daemon of a test cluster: a real TCP
+// listener (peers reach each other over loopback HTTP), an engine with
+// a cluster view, and the server on top.
+type clusterNode struct {
+	addr string // http://127.0.0.1:port
+	cl   *cluster.Cluster
+	eng  *engine.Engine
+	srv  *Server
+	lis  net.Listener
+}
+
+func (n *clusterNode) stop(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := n.srv.Shutdown(ctx); err != nil {
+		t.Logf("shutdown %s: %v", n.addr, err)
+	}
+	n.cl.Stop()
+	n.eng.CloseAll()
+}
+
+// startNode boots one cluster node on lis, loading dir.
+func startNode(t *testing.T, dir, self string, peers []string, lis net.Listener) *clusterNode {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Self: self, Peers: peers, SlotTrajectories: clusterSlotW,
+		Timeout: 5 * time.Second, RetryBackoff: time.Millisecond, HedgeAfter: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Cluster: cl})
+	if _, err := eng.OpenDir(dir); err != nil {
+		eng.CloseAll()
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{})
+	go srv.Serve(lis) //nolint:errcheck // exits on Shutdown
+	return &clusterNode{addr: self, cl: cl, eng: eng, srv: srv, lis: lis}
+}
+
+// startCluster boots n nodes over one data dir (phase 1: every node
+// holds the full corpus; the ring decides who answers for what).
+func startCluster(t *testing.T, dir string, n int) []*clusterNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		addrs[i] = "http://" + l.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		nodes[i] = startNode(t, dir, addrs[i], peers, listeners[i])
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.stop(t)
+		}
+	})
+	return nodes
+}
+
+// restartNode stops the node and boots a fresh engine + server on the
+// same address, as a process restart would.
+func restartNode(t *testing.T, dir string, nodes []*clusterNode, i int) {
+	t.Helper()
+	old := nodes[i]
+	old.stop(t)
+	hostport := strings.TrimPrefix(old.addr, "http://")
+	var lis net.Listener
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		lis, err = net.Listen("tcp", hostport)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", hostport, err)
+	}
+	var peers []string
+	for j, nd := range nodes {
+		if j != i {
+			peers = append(peers, nd.addr)
+		}
+	}
+	nodes[i] = startNode(t, dir, old.addr, peers, lis)
+}
+
+// queryResult is one decoded POST /v1/{index}/query exchange: the raw
+// hit lines (byte-comparable), the summary, and the response envelope.
+type queryResult struct {
+	status int
+	header http.Header
+	hits   []string
+	sum    QuerySummary
+	raw    []byte
+}
+
+// postQuery runs one query page, optionally with extra headers.
+func postClusterQuery(t *testing.T, base, index string, req QueryRequest, hdr map[string]string) *queryResult {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, base+"/v1/"+index+"/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hr.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &queryResult{status: resp.StatusCode, header: resp.Header, raw: raw}
+	if resp.StatusCode != http.StatusOK {
+		return res
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatalf("empty query stream from %s", base)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &res.sum); err != nil {
+		t.Fatalf("bad summary %q: %v", lines[len(lines)-1], err)
+	}
+	res.hits = lines[:len(lines)-1]
+	return res
+}
+
+// drainQuery follows cursors from base until the stream is exhausted,
+// returning every hit line in order. pageLimit is the per-page limit.
+func drainQuery(t *testing.T, base, index string, req QueryRequest, pageLimit int) []string {
+	t.Helper()
+	var all []string
+	req.Limit = pageLimit
+	req.Cursor = ""
+	for page := 0; ; page++ {
+		res := postClusterQuery(t, base, index, req, nil)
+		if res.status != http.StatusOK {
+			t.Fatalf("page %d: HTTP %d: %s", page, res.status, res.raw)
+		}
+		if res.sum.Error != "" {
+			t.Fatalf("page %d: stream error: %s", page, res.sum.Error)
+		}
+		all = append(all, res.hits...)
+		if res.sum.Cursor == "" || len(res.hits) == 0 {
+			return all
+		}
+		req.Cursor = res.sum.Cursor
+		if page > 10_000 {
+			t.Fatal("cursor chain does not terminate")
+		}
+	}
+}
+
+func sameHits(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d hits, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: hit %d = %s, want %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// refServer boots a plain single-node server over dir as the oracle.
+func refServer(t *testing.T, dir string) (*engine.Engine, string) {
+	t.Helper()
+	eng := engine.New(engine.Options{})
+	if _, err := eng.OpenDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); eng.CloseAll() })
+	return eng, ts.URL
+}
+
+// clusterQueries draws the differential query mix: generated paths
+// plus a miss.
+func clusterQueries(fx *corpusFixture) [][]uint32 {
+	qs := querygen.New(fx.trajs, 1, 4, 23).Draw(6)
+	return append(qs, []uint32{1 << 30})
+}
+
+// TestClusterDifferential is the tentpole acceptance test: every query
+// answered by any node of a 2-node cluster must be byte-identical to
+// the single-node answer, across spatial and temporal indexes, query
+// kinds, limits, intervals, and cursor pagination.
+func TestClusterDifferential(t *testing.T) {
+	dir := t.TempDir()
+	fx := writeFixture(t, dir)
+	refEng, refURL := refServer(t, dir)
+	nodes := startCluster(t, dir, 2)
+	queries := clusterQueries(fx)
+
+	indexes := append(append([]string{}, fx.spatial...), fx.temporal...)
+	limits := []int{0, 1, 3, 50}
+	kinds := []string{"occurrences", "trajectories"}
+
+	for _, name := range indexes {
+		temporal := strings.HasPrefix(name, "temporal")
+		for qi, path := range queries {
+			reqs := []QueryRequest{{Path: path}}
+			if temporal {
+				from, to := int64(0), int64(4000)
+				reqs = append(reqs, QueryRequest{Path: path, From: &from, To: &to})
+			}
+			for ri, base := range reqs {
+				for _, kind := range kinds {
+					for _, limit := range limits {
+						req := base
+						req.Kind = kind
+						req.Limit = limit
+						label := fmt.Sprintf("%s q%d r%d %s limit=%d", name, qi, ri, kind, limit)
+						want := postClusterQuery(t, refURL, name, req, nil)
+						if want.status != http.StatusOK {
+							t.Fatalf("%s: oracle HTTP %d: %s", label, want.status, want.raw)
+						}
+						for ni, nd := range nodes {
+							got := postClusterQuery(t, nd.addr, name, req, nil)
+							if got.status != http.StatusOK {
+								t.Fatalf("%s node%d: HTTP %d: %s", label, ni, got.status, got.raw)
+							}
+							sameHits(t, fmt.Sprintf("%s node%d", label, ni), got.hits, want.hits)
+							if got.sum.Count != want.sum.Count {
+								t.Fatalf("%s node%d: count %d, want %d", label, ni, got.sum.Count, want.sum.Count)
+							}
+						}
+					}
+				}
+				// count kind answers locally (full corpus on every node).
+				req := base
+				req.Kind = "count"
+				want := postClusterQuery(t, refURL, name, req, nil)
+				for ni, nd := range nodes {
+					got := postClusterQuery(t, nd.addr, name, req, nil)
+					if got.status != http.StatusOK || got.sum.Count != want.sum.Count {
+						t.Fatalf("%s q%d r%d count node%d: HTTP %d count %d, want %d",
+							name, qi, ri, ni, got.status, got.sum.Count, want.sum.Count)
+					}
+				}
+			}
+		}
+	}
+
+	// Cursor pagination: walking page-by-page through the cluster must
+	// reconstruct exactly the single-node stream, for every page size.
+	for _, name := range []string{fx.spatial[1], fx.temporal[1]} {
+		for qi, path := range queries[:3] {
+			req := QueryRequest{Path: path}
+			want := drainQuery(t, refURL, name, req, 0)
+			for _, pageLimit := range []int{1, 7, 64} {
+				for ni, nd := range nodes {
+					got := drainQuery(t, nd.addr, name, req, pageLimit)
+					sameHits(t, fmt.Sprintf("%s q%d page=%d node%d walk", name, qi, pageLimit, ni), got, want)
+				}
+			}
+		}
+	}
+
+	// In-process scatter-gather differential: node engines must agree
+	// with the reference engine hit-for-hit, not just over HTTP.
+	ctx := context.Background()
+	for _, name := range []string{fx.spatial[0], fx.temporal[0]} {
+		for qi, path := range queries[:3] {
+			q := cinct.Query{Path: path}
+			var want []cinct.Hit
+			res, err := refEng.Search(ctx, name, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for h, herr := range res.All() {
+				if herr != nil {
+					t.Fatal(herr)
+				}
+				want = append(want, h)
+			}
+			res.Close()
+			for ni, nd := range nodes {
+				nres, err := nd.eng.Search(ctx, name, q)
+				if err != nil {
+					t.Fatalf("%s q%d node%d: %v", name, qi, ni, err)
+				}
+				var got []cinct.Hit
+				for h, herr := range nres.All() {
+					if herr != nil {
+						t.Fatalf("%s q%d node%d: %v", name, qi, ni, herr)
+					}
+					got = append(got, h)
+				}
+				nres.Close()
+				if len(got) != len(want) {
+					t.Fatalf("%s q%d node%d: %d hits in-process, want %d", name, qi, ni, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s q%d node%d hit %d: %+v, want %+v", name, qi, ni, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterOwnedScopePartition pins the routing invariant behind the
+// merge: the owner-scoped answers of the two nodes are disjoint and
+// their union is exactly the full result set.
+func TestClusterOwnedScopePartition(t *testing.T) {
+	dir := t.TempDir()
+	fx := writeFixture(t, dir)
+	_, refURL := refServer(t, dir)
+	nodes := startCluster(t, dir, 2)
+
+	fp := strconv.FormatUint(nodes[0].cl.Fingerprint(), 10)
+	for _, name := range []string{fx.spatial[0], fx.temporal[1]} {
+		for qi, path := range clusterQueries(fx) {
+			req := QueryRequest{Path: path}
+			want := postClusterQuery(t, refURL, name, req, nil)
+			seen := make(map[string]int)
+			total := 0
+			for ni, nd := range nodes {
+				got := postClusterQuery(t, nd.addr, name, req, map[string]string{
+					cluster.ScopeHeader: cluster.ScopeOwned,
+					cluster.RingHeader:  fp,
+				})
+				if got.status != http.StatusOK {
+					t.Fatalf("%s q%d node%d owned: HTTP %d: %s", name, qi, ni, got.status, got.raw)
+				}
+				if got.sum.Ident == "" {
+					t.Fatalf("%s q%d node%d owned: summary has no ident", name, qi, ni)
+				}
+				for _, h := range got.hits {
+					seen[h]++
+				}
+				total += len(got.hits)
+			}
+			if total != len(want.hits) {
+				t.Fatalf("%s q%d: owned legs total %d hits, full result has %d", name, qi, total, len(want.hits))
+			}
+			for _, h := range want.hits {
+				if seen[h] != 1 {
+					t.Fatalf("%s q%d: hit %s served by %d owners, want exactly 1", name, qi, h, seen[h])
+				}
+			}
+		}
+	}
+
+	// Owned scope is a cooperation protocol, not a public API: a wrong
+	// ring fingerprint or a non-clustered node must refuse it.
+	req := QueryRequest{Path: []uint32{1}}
+	bad := postClusterQuery(t, nodes[0].addr, fx.spatial[0], req, map[string]string{
+		cluster.ScopeHeader: cluster.ScopeOwned,
+		cluster.RingHeader:  "12345",
+	})
+	if bad.status != http.StatusBadRequest {
+		t.Fatalf("ring mismatch: HTTP %d, want 400", bad.status)
+	}
+	_, refURL2 := refServer(t, dir)
+	bad = postClusterQuery(t, refURL2, fx.spatial[0], req, map[string]string{
+		cluster.ScopeHeader: cluster.ScopeOwned,
+		cluster.RingHeader:  fp,
+	})
+	if bad.status != http.StatusBadRequest {
+		t.Fatalf("owned scope on non-clustered node: HTTP %d, want 400", bad.status)
+	}
+}
+
+// TestClusterPartialOnDeadPeer kills one node and asserts the
+// coordinator fails loudly — typed 502 with the unreachable peer in
+// X-CiNCT-Partial — instead of returning silently truncated results.
+func TestClusterPartialOnDeadPeer(t *testing.T) {
+	dir := t.TempDir()
+	fx := writeFixture(t, dir)
+	nodes := startCluster(t, dir, 2)
+
+	nodes[1].stop(t)
+
+	req := QueryRequest{Path: clusterQueries(fx)[0]}
+	res := postClusterQuery(t, nodes[0].addr, fx.spatial[0], req, nil)
+	if res.status != http.StatusBadGateway {
+		t.Fatalf("query with dead peer: HTTP %d, want 502: %s", res.status, res.raw)
+	}
+	if got := res.header.Get(cluster.PartialHeader); got != nodes[1].addr {
+		t.Fatalf("%s = %q, want %q", cluster.PartialHeader, got, nodes[1].addr)
+	}
+
+	// The Client surfaces it as a typed partial error naming the peer.
+	cl := NewClient(nodes[0].addr, nil)
+	_, err := cl.SearchPage(context.Background(), fx.spatial[0], cinct.Query{Path: req.Path})
+	if !errors.Is(err, engine.ErrPartial) {
+		t.Fatalf("client error %v, want engine.ErrPartial", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || len(ae.PartialPeers) != 1 || ae.PartialPeers[0] != nodes[1].addr {
+		t.Fatalf("client error %#v, want PartialPeers [%s]", err, nodes[1].addr)
+	}
+
+	// Local-only paths stay up: count never fans out, and the health
+	// listing now reports the peer down.
+	creq := QueryRequest{Path: req.Path, Kind: "count"}
+	if res := postClusterQuery(t, nodes[0].addr, fx.spatial[0], creq, nil); res.status != http.StatusOK {
+		t.Fatalf("count with dead peer: HTTP %d, want 200", res.status)
+	}
+	// stop is idempotent enough for the cleanup pass; restart the node
+	// so t.Cleanup's stop has something healthy to tear down.
+	restartNode(t, dir, nodes, 1)
+}
+
+// pickSpreadQuery returns a query and page limit such that after the
+// first page both nodes still own upcoming hits — so a resumed cursor
+// must consult every node.
+func pickSpreadQuery(t *testing.T, refURL, name string, fx *corpusFixture, nodes []*clusterNode) (QueryRequest, int) {
+	t.Helper()
+	for _, path := range clusterQueries(fx) {
+		req := QueryRequest{Path: path}
+		full := drainQuery(t, refURL, name, req, 0)
+		for limit := 1; limit <= 3 && limit < len(full); limit++ {
+			owners := make(map[string]bool)
+			for _, line := range full[limit:] {
+				var h QueryHit
+				if err := json.Unmarshal([]byte(line), &h); err != nil {
+					t.Fatal(err)
+				}
+				owners[nodes[0].cl.OwnerOf(h.Trajectory)] = true
+			}
+			if len(owners) == len(nodes) {
+				return req, limit
+			}
+		}
+	}
+	t.Fatal("no query spreads residual hits across all nodes; tune the fixture")
+	panic("unreachable")
+}
+
+// TestClusterCursorResumeAcrossPeerRestart pins the cursor envelope's
+// node identity: a resume after a peer restart with unchanged files
+// continues exactly; a resume after the peer's index file changed
+// yields a typed 410, never wrong pages.
+func TestClusterCursorResumeAcrossPeerRestart(t *testing.T) {
+	dir := t.TempDir()
+	fx := writeFixture(t, dir)
+	_, refURL := refServer(t, dir)
+	nodes := startCluster(t, dir, 2)
+	name := fx.spatial[0]
+
+	req, limit := pickSpreadQuery(t, refURL, name, fx, nodes)
+	full := drainQuery(t, refURL, name, req, 0)
+
+	page := req
+	page.Limit = limit
+	first := postClusterQuery(t, nodes[0].addr, name, page, nil)
+	if first.status != http.StatusOK || first.sum.Cursor == "" {
+		t.Fatalf("first page: HTTP %d cursor %q", first.status, first.sum.Cursor)
+	}
+	sameHits(t, "first page", first.hits, full[:limit])
+
+	// Same files, new process: the per-node identity in the cursor
+	// still matches, so the resume streams the exact continuation.
+	restartNode(t, dir, nodes, 1)
+	resume := req
+	resume.Cursor = first.sum.Cursor
+	rest := postClusterQuery(t, nodes[0].addr, name, resume, nil)
+	if rest.status != http.StatusOK {
+		t.Fatalf("resume after restart: HTTP %d: %s", rest.status, rest.raw)
+	}
+	sameHits(t, "resume after restart", rest.hits, full[limit:])
+
+	// Changed file on the peer: its load-time fingerprint differs, the
+	// peer answers 410 for the stale leg, and the coordinator passes
+	// the typed staleness through instead of serving wrong pages.
+	trajs2 := append(append([][]uint32{}, fx.trajs...), []uint32{1, 2, 3, 4})
+	opts := cinct.DefaultOptions()
+	opts.Shards = 1
+	ix2, err := cinct.Build(trajs2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeIndexFile(t, filepath.Join(dir, name+engine.ExtSpatial), ix2.Save)
+	restartNode(t, dir, nodes, 1)
+
+	stale := postClusterQuery(t, nodes[0].addr, name, resume, nil)
+	if stale.status != http.StatusGone {
+		t.Fatalf("resume against changed peer: HTTP %d, want 410: %s", stale.status, stale.raw)
+	}
+}
+
+// TestClusterChurnRace is the -race soak: queries keep scatter-
+// gathering while a peer restarts repeatedly. Every query must either
+// succeed with the exact single-node answer or fail typed (502
+// partial / 504 deadline) — never return truncated data.
+func TestClusterChurnRace(t *testing.T) {
+	dir := t.TempDir()
+	fx := writeFixture(t, dir)
+	_, refURL := refServer(t, dir)
+	nodes := startCluster(t, dir, 2)
+	name := fx.temporal[1]
+
+	req := QueryRequest{Path: clusterQueries(fx)[0]}
+	want := postClusterQuery(t, refURL, name, req, nil)
+	if want.status != http.StatusOK {
+		t.Fatalf("oracle: HTTP %d", want.status)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res := postClusterQuery(t, nodes[0].addr, name, req, nil)
+				switch res.status {
+				case http.StatusOK:
+					if res.sum.Error != "" {
+						// Mid-stream partial: the summary must carry the
+						// typed marker, and the prefix must be a prefix.
+						if len(res.sum.Partial) == 0 {
+							t.Errorf("mid-stream error without partial peers: %s", res.sum.Error)
+							return
+						}
+						continue
+					}
+					sameHits(t, "churn query", res.hits, want.hits)
+				case http.StatusBadGateway:
+					if res.header.Get(cluster.PartialHeader) == "" {
+						t.Errorf("502 without %s header: %s", cluster.PartialHeader, res.raw)
+						return
+					}
+				case http.StatusGatewayTimeout, http.StatusServiceUnavailable:
+					// Acceptable transients under churn.
+				default:
+					t.Errorf("churn query: HTTP %d: %s", res.status, res.raw)
+					return
+				}
+			}
+		}()
+	}
+	for round := 0; round < 3; round++ {
+		time.Sleep(50 * time.Millisecond)
+		restartNode(t, dir, nodes, 1)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(done)
+	wg.Wait()
+}
+
+// TestClusterHealthListing asserts /v1/indexes on a clustered node
+// carries the cluster block with peer health.
+func TestClusterHealthListing(t *testing.T) {
+	dir := t.TempDir()
+	writeFixture(t, dir)
+	nodes := startCluster(t, dir, 2)
+
+	// One fan-out query seeds per-peer stats.
+	res := postClusterQuery(t, nodes[0].addr, "spatial1", QueryRequest{Path: []uint32{1, 2}}, nil)
+	if res.status != http.StatusOK {
+		t.Fatalf("seed query: HTTP %d", res.status)
+	}
+
+	status, body := get(t, nodes[0].addr, "/v1/indexes", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/v1/indexes: HTTP %d", status)
+	}
+	var list ListResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Cluster == nil {
+		t.Fatal("clustered /v1/indexes has no cluster block")
+	}
+	if list.Cluster.Self != nodes[0].addr {
+		t.Fatalf("cluster.self = %q, want %q", list.Cluster.Self, nodes[0].addr)
+	}
+	if list.Cluster.SlotTrajectories != clusterSlotW {
+		t.Fatalf("cluster.slotTrajectories = %d, want %d", list.Cluster.SlotTrajectories, clusterSlotW)
+	}
+	if len(list.Cluster.Peers) != 1 || list.Cluster.Peers[0].Addr != nodes[1].addr {
+		t.Fatalf("cluster.peers = %+v, want exactly %q", list.Cluster.Peers, nodes[1].addr)
+	}
+	ph := list.Cluster.Peers[0]
+	if !ph.Healthy || ph.Requests == 0 {
+		t.Fatalf("peer health %+v, want healthy with requests > 0", ph)
+	}
+}

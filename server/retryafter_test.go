@@ -1,0 +1,74 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter pins the header decoder over every RFC 9110
+// shape the wild emits — most importantly "0", a valid "retry
+// immediately" hint that must be distinguishable from an absent
+// header, and fractional seconds from lenient proxies.
+func TestParseRetryAfter(t *testing.T) {
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	cases := []struct {
+		name  string
+		value string
+		ok    bool
+		min   time.Duration
+		max   time.Duration
+	}{
+		{name: "absent", value: "", ok: false},
+		{name: "blank", value: "   ", ok: false},
+		{name: "zero", value: "0", ok: true, min: 0, max: 0},
+		{name: "integral", value: "7", ok: true, min: 7 * time.Second, max: 7 * time.Second},
+		{name: "fractional", value: "1.5", ok: true, min: 1500 * time.Millisecond, max: 1500 * time.Millisecond},
+		{name: "negative clamps", value: "-3", ok: true, min: 0, max: 0},
+		{name: "padded", value: " 2 ", ok: true, min: 2 * time.Second, max: 2 * time.Second},
+		{name: "http date", value: future, ok: true, min: 80 * time.Second, max: 91 * time.Second},
+		{name: "past date clamps", value: past, ok: true, min: 0, max: 0},
+		{name: "garbage", value: "soon", ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, ok := parseRetryAfter(tc.value)
+			if ok != tc.ok {
+				t.Fatalf("parseRetryAfter(%q) ok = %v, want %v", tc.value, ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if d < tc.min || d > tc.max {
+				t.Fatalf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.value, d, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestClientRetryAfterZero pins the end-to-end regression: a 429 with
+// "Retry-After: 0" must reach the caller as an explicit zero hint, not
+// as a missing one.
+func TestClientRetryAfterZero(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"rate limited"}` + "\n"))
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL, nil)
+	_, err := cl.Indexes(t.Context())
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error type %T, want *APIError", err)
+	}
+	if !ae.HasRetryAfter || ae.RetryAfter != 0 {
+		t.Fatalf("HasRetryAfter=%v RetryAfter=%v, want explicit zero hint", ae.HasRetryAfter, ae.RetryAfter)
+	}
+}
